@@ -1,0 +1,52 @@
+// Quickstart: build a small graph, index it for k-hop reachability, and
+// answer queries — the 60-second tour of the kreach public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kreach"
+)
+
+func main() {
+	// A small delivery network: edges point from sender to receiver.
+	//
+	//	0 → 1 → 2 → 3 → 4
+	//	    └──────→ 5 → 6
+	b := kreach.NewBuilder(7)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {1, 5}, {5, 6}} {
+		b.AddEdge(e[0], e[1])
+	}
+	g := b.Build()
+	fmt.Printf("graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+
+	// Index for k = 2: "can a message arrive within two hops?"
+	ix, err := kreach.BuildIndex(g, kreach.IndexOptions{K: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("2-reach index: cover %d vertices, %d index edges, %d bytes\n",
+		ix.CoverSize(), ix.IndexEdges(), ix.SizeBytes())
+	for _, q := range [][2]int{{0, 2}, {0, 3}, {1, 6}, {4, 0}} {
+		fmt.Printf("  reach within 2 hops %d→%d: %v\n", q[0], q[1], ix.Reach(q[0], q[1]))
+	}
+
+	// Classic reachability is the k = ∞ special case.
+	classic, err := kreach.BuildIndex(g, kreach.IndexOptions{K: kreach.Unbounded})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("classic reach 0→4: %v, 0→6: %v, 6→0: %v\n",
+		classic.Reach(0, 4), classic.Reach(0, 6), classic.Reach(6, 0))
+
+	// A multi-resolution ladder answers any k exactly.
+	multi, err := kreach.BuildMultiIndex(g, kreach.MultiOptions{Rungs: kreach.ExactRungs(6)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for k := 1; k <= 4; k++ {
+		v, _ := multi.Reach(0, 4, k)
+		fmt.Printf("  reach 0→4 within %d hops: %v\n", k, v)
+	}
+}

@@ -1,0 +1,110 @@
+// Sensornet demonstrates the paper's wireless/sensor-network motivation
+// (Section 1): a broadcast message's delivery probability decays roughly
+// exponentially per hop, so what matters is not whether a route exists but
+// whether one exists within a hop budget. The example lays sensors on a
+// plane with directed radio links (asymmetric transmit power), builds a
+// multi-resolution k-reach ladder, and uses it to answer coverage
+// questions per hop budget — including the one-sided approximate mode of
+// Section 4.4.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand/v2"
+
+	"kreach"
+)
+
+const (
+	sensors = 2_500
+	area    = 1000.0 // square side, meters
+	radio   = 26.0   // base radio range, meters
+)
+
+func main() {
+	rng := rand.New(rand.NewPCG(99, 5))
+	// Random sensor positions; directed link i→j when j is inside i's
+	// transmit range (ranges vary per node: asymmetric links, so the graph
+	// is genuinely directed).
+	xs := make([]float64, sensors)
+	ys := make([]float64, sensors)
+	rg := make([]float64, sensors)
+	for i := 0; i < sensors; i++ {
+		xs[i], ys[i] = rng.Float64()*area, rng.Float64()*area
+		rg[i] = radio * (0.6 + 0.8*rng.Float64())
+	}
+	b := kreach.NewBuilder(sensors)
+	edges := 0
+	for i := 0; i < sensors; i++ {
+		for j := 0; j < sensors; j++ {
+			if i == j {
+				continue
+			}
+			dx, dy := xs[i]-xs[j], ys[i]-ys[j]
+			if math.Hypot(dx, dy) <= rg[i] {
+				b.AddEdge(i, j)
+				edges++
+			}
+		}
+	}
+	g := b.Build()
+	fmt.Printf("sensor network: %d nodes, %d directed links\n", g.NumVertices(), g.NumEdges())
+
+	// Exact rungs for small hop budgets (where delivery probability is
+	// meaningful), power-of-two coverage beyond.
+	multi, err := kreach.BuildMultiIndex(g, kreach.MultiOptions{
+		Rungs: append(kreach.ExactRungs(8), 16),
+		Seed:  3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ladder rungs: %v, total %.2f MB\n",
+		multi.Rungs(), float64(multi.SizeBytes())/(1<<20))
+
+	// Coverage of a base station: how many sensors receive a broadcast
+	// within h hops, and with what delivery probability (0.9 per hop)?
+	base := 0
+	fmt.Println("\nbase-station coverage by hop budget:")
+	for _, budget := range []int{1, 2, 4, 6, 8} {
+		count := 0
+		for t := 0; t < sensors; t++ {
+			if v, _ := multi.Reach(base, t, budget); v == kreach.Yes {
+				count++
+			}
+		}
+		fmt.Printf("  ≤%2d hops: %5d sensors (%5.1f%%), per-message delivery ≥ %.2f\n",
+			budget, count, 100*float64(count)/sensors, math.Pow(0.9, float64(budget)))
+	}
+
+	// Off-rung budgets get one-sided answers: "no" is exact, "yes" may be
+	// certified only for the next rung up.
+	fmt.Println("\noff-rung queries (budget 12 — between rungs 8 and 16):")
+	exact, approx := 0, 0
+	for t := 0; t < sensors; t += 7 {
+		switch v, within := multi.Reach(base, t, 12); v {
+		case kreach.Yes, kreach.No:
+			exact++
+		case kreach.YesWithin:
+			approx++
+			if approx == 1 {
+				fmt.Printf("  e.g. sensor %d: reachable within %d hops, maybe not 12\n", t, within)
+			}
+		}
+	}
+	fmt.Printf("  %d exact verdicts, %d one-sided (YesWithin)\n", exact, approx)
+
+	// Sleep scheduling: which sensors could still alert the base station if
+	// they must relay through at most 4 hops? (reverse direction!)
+	alert, _ := kreach.BuildIndex(g, kreach.IndexOptions{K: 4, Seed: 3})
+	canAlert := 0
+	for s := 0; s < sensors; s++ {
+		if alert.Reach(s, base) {
+			canAlert++
+		}
+	}
+	fmt.Printf("\nsensors able to alert the base within 4 hops: %d (%.1f%%)\n",
+		canAlert, 100*float64(canAlert)/sensors)
+}

@@ -1,0 +1,152 @@
+// Socialnetwork demonstrates the paper's motivating scenario (Section 1):
+// "who is in your small world?" on a follower graph with celebrity hubs.
+//
+// A BFS from a celebrity covers a huge slice of the network within 2–3
+// hops, so answering "can s reach t within k hops" online is hopeless at
+// interactive rates; the k-reach index answers the same queries with one
+// adjacency-list intersection. The example builds a synthetic follower
+// graph with a power-law degree distribution, indexes it for k = 3
+// ("friends of friends of friends"), and compares the index's verdicts and
+// speed against the direct BFS.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"time"
+
+	"kreach"
+)
+
+const (
+	users       = 40_000
+	follows     = 300_000
+	celebrities = 25 // accounts with enormous followings
+	k           = 3
+)
+
+// buildInfluenceGraph builds the information-flow graph: an edge u→v means
+// v follows u, so u's posts reach v. Celebrities (ids [0, celebrities))
+// collect a large share of followers — a BFS from one explodes within 2–3
+// hops, the paper's §1 motivation for indexing instead of searching.
+func buildInfluenceGraph(rng *rand.Rand) *kreach.Graph {
+	b := kreach.NewBuilder(users)
+	for c := 0; c < celebrities; c++ {
+		for d := 0; d < celebrities; d++ {
+			if c != d && rng.Float64() < 0.3 {
+				b.AddEdge(c, d)
+			}
+		}
+	}
+	for i := 0; i < follows; i++ {
+		follower := rng.IntN(users)
+		var followee int
+		if rng.Float64() < 0.35 {
+			// Zipf-ish celebrity pick.
+			u := rng.Float64()
+			followee = int(u * u * celebrities)
+		} else {
+			followee = rng.IntN(users)
+		}
+		if follower != followee {
+			b.AddEdge(followee, follower) // posts flow followee → follower
+		}
+	}
+	return b.Build()
+}
+
+func main() {
+	rng := rand.New(rand.NewPCG(2012, 11))
+	g := buildInfluenceGraph(rng)
+	fmt.Printf("follower graph: %d users, %d follow edges\n", g.NumVertices(), g.NumEdges())
+
+	t0 := time.Now()
+	ix, err := kreach.BuildIndex(g, kreach.IndexOptions{
+		K: k,
+		// §4.3: pull the celebrities into the cover so their queries take
+		// the cheap Case 1/2/3 paths.
+		Cover: kreach.DegreePrioritizedCover,
+		Seed:  7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d-reach index built in %v: cover %d, %d index edges, %.2f MB\n",
+		k, time.Since(t0).Round(time.Millisecond),
+		ix.CoverSize(), ix.IndexEdges(), float64(ix.SizeBytes())/(1<<20))
+	inCover := 0
+	for c := 0; c < celebrities; c++ {
+		if ix.InCover(c) {
+			inCover++
+		}
+	}
+	fmt.Printf("celebrities in cover: %d of %d\n", inCover, celebrities)
+
+	// Influence sphere of celebrity 0: how many users see a post within k
+	// retweet hops?
+	reached := 0
+	for u := 0; u < users; u++ {
+		if ix.Reach(0, u) {
+			reached++
+		}
+	}
+	fmt.Printf("celebrity 0's posts reach %d users (%.1f%%) within %d hops\n",
+		reached, 100*float64(reached)/users, k)
+
+	// Interactive workload: 200k random "are we in each other's small
+	// world?" checks, index vs no index.
+	const queries = 200_000
+	type pair struct{ s, t int }
+	qs := make([]pair, queries)
+	for i := range qs {
+		qs[i] = pair{rng.IntN(users), rng.IntN(users)}
+	}
+	t0 = time.Now()
+	hits := 0
+	for _, q := range qs {
+		if ix.Reach(q.s, q.t) {
+			hits++
+		}
+	}
+	dIndex := time.Since(t0)
+	fmt.Printf("index: %d queries in %v (%.0f ns/query), %.1f%% within %d hops\n",
+		queries, dIndex.Round(time.Millisecond),
+		float64(dIndex.Nanoseconds())/queries, 100*float64(hits)/queries, k)
+
+	// The same workload by direct k-hop BFS (sampled — it is far slower).
+	const bfsSample = 2_000
+	t0 = time.Now()
+	for _, q := range qs[:bfsSample] {
+		bfsReach(g, q.s, q.t, k)
+	}
+	dBFS := time.Since(t0) * (queries / bfsSample)
+	fmt.Printf("k-hop BFS (extrapolated): %v for the same workload — %.0fx slower\n",
+		dBFS.Round(time.Millisecond), float64(dBFS)/float64(dIndex))
+}
+
+// bfsReach is the online baseline: BFS bounded to k hops.
+func bfsReach(g *kreach.Graph, s, t, k int) bool {
+	if s == t {
+		return true
+	}
+	dist := map[int]int{s: 0}
+	queue := []int{s}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if dist[u] >= k {
+			break
+		}
+		for _, v := range g.OutNeighbors(u) {
+			if v == t {
+				return true
+			}
+			if _, seen := dist[v]; !seen {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,167 @@
+package kreach_test
+
+// Integration tests: every reachability system in the repository answers
+// the same queries on the same (scaled-down) synthetic datasets, so the
+// k-reach index, all four classic-reachability baselines, the distance
+// index, the (h,k)-reach variant and the multi-k ladder must agree with the
+// BFS ground truth and hence with each other. This exercises the full
+// pipeline the kbench harness uses: gen → scc → cover → indexes.
+
+import (
+	"fmt"
+	"testing"
+
+	"kreach/internal/baseline/grail"
+	"kreach/internal/baseline/pll"
+	"kreach/internal/baseline/ptree"
+	"kreach/internal/baseline/pwah"
+	"kreach/internal/baseline/threehop"
+	"kreach/internal/core"
+	"kreach/internal/cover"
+	"kreach/internal/gen"
+	"kreach/internal/graph"
+	"kreach/internal/workload"
+)
+
+// integrationGraph generates a ~1/40-scale instance of a dataset family.
+func integrationGraph(t *testing.T, name string) *graph.Graph {
+	t.Helper()
+	spec, ok := gen.Dataset(name)
+	if !ok {
+		t.Fatalf("unknown dataset %q", name)
+	}
+	const scale = 40
+	spec.N /= scale
+	spec.M /= scale
+	spec.SCCExtra /= scale
+	if spec.Hubs > 0 {
+		spec.Hubs = max(spec.Hubs/scale, 4)
+	}
+	if spec.DegMax > spec.N/2 {
+		spec.DegMax = spec.N / 2
+	} else if spec.DegMax > 0 {
+		spec.DegMax = max(spec.DegMax/scale, 8)
+	}
+	if spec.Window > 0 {
+		spec.Window = max(spec.Window/scale, 10)
+	}
+	spec.BackEdges /= scale
+	return spec.Generate()
+}
+
+func TestAllSystemsAgreeOnDatasets(t *testing.T) {
+	// One dataset per family keeps the run fast while touching every
+	// generator and every index code path.
+	for _, name := range []string{"AgroCyc", "aMaze", "ArXiv", "Nasa", "YAGO"} {
+		t.Run(name, func(t *testing.T) {
+			g := integrationGraph(t, name)
+			n := g.NumVertices()
+			scratch := graph.NewBFSScratch(n)
+
+			nreach, err := core.Build(g, core.Options{
+				K: core.Unbounded, Strategy: cover.DegreePrioritized, Seed: 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			qs := core.NewQueryScratch()
+			pt := ptree.Build(g)
+			th := threehop.Build(g)
+			gr := grail.Build(g, 2, 1)
+			pw := pwah.Build(g)
+			dist := pll.Build(g)
+
+			q := workload.Uniform(n, 4000, 99)
+			for i := 0; i < q.Len(); i++ {
+				s, tt := q.S[i], q.T[i]
+				want := graph.KHopReach(g, s, tt, -1, scratch)
+				checks := map[string]bool{
+					"n-reach": nreach.Reach(s, tt, qs),
+					"PTree":   pt.Reach(s, tt),
+					"3-hop":   th.Reach(s, tt),
+					"GRAIL":   gr.Reach(s, tt),
+					"PWAH":    pw.Reach(s, tt),
+					"PLL":     dist.Reach(s, tt, -1),
+				}
+				for sys, got := range checks {
+					if got != want {
+						t.Fatalf("%s disagrees with BFS on (%d,%d): got %v want %v",
+							sys, s, tt, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestKHopSystemsAgreeOnDatasets(t *testing.T) {
+	for _, name := range []string{"AgroCyc", "Nasa"} {
+		for _, k := range []int{2, 5} {
+			t.Run(fmt.Sprintf("%s/k=%d", name, k), func(t *testing.T) {
+				g := integrationGraph(t, name)
+				n := g.NumVertices()
+				scratch := graph.NewBFSScratch(n)
+
+				ix, err := core.Build(g, core.Options{K: k, Seed: 2})
+				if err != nil {
+					t.Fatal(err)
+				}
+				qs := core.NewQueryScratch()
+				var hk *core.HKIndex
+				var hkScratch *core.HKQueryScratch
+				if k > 4 {
+					hk, err = core.BuildHK(g, core.HKOptions{H: 2, K: k})
+					if err != nil {
+						t.Fatal(err)
+					}
+					hkScratch = core.NewHKQueryScratch(hk)
+				}
+				multi, err := core.BuildMulti(g, core.AllKs(8), core.Options{Seed: 2})
+				if err != nil {
+					t.Fatal(err)
+				}
+				dist := pll.Build(g)
+
+				q := workload.Uniform(n, 3000, 7)
+				for i := 0; i < q.Len(); i++ {
+					s, tt := q.S[i], q.T[i]
+					want := graph.KHopReach(g, s, tt, k, scratch)
+					if got := ix.Reach(s, tt, qs); got != want {
+						t.Fatalf("k-reach disagrees on (%d,%d): %v want %v", s, tt, got, want)
+					}
+					if hk != nil {
+						if got := hk.Reach(s, tt, hkScratch); got != want {
+							t.Fatalf("(2,%d)-reach disagrees on (%d,%d): %v want %v", k, s, tt, got, want)
+						}
+					}
+					if res := multi.Reach(s, tt, k, qs); (res.Verdict == core.Yes) != want ||
+						res.Verdict == core.YesWithin {
+						t.Fatalf("ladder disagrees on (%d,%d): %v want %v", s, tt, res.Verdict, want)
+					}
+					if got := dist.Reach(s, tt, k); got != want {
+						t.Fatalf("PLL k-hop disagrees on (%d,%d): %v want %v", s, tt, got, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestCelebrityWorkloadFavorsCheapCases(t *testing.T) {
+	// §4.3: with the degree-prioritized cover, celebrity-biased workloads
+	// land mostly in Cases 1–3 (the cheap paths); with a random cover the
+	// same workload can degrade. Verify the prioritized cover keeps
+	// hub-endpoint queries out of Case 4 entirely.
+	g := integrationGraph(t, "Human")
+	ix, err := core.Build(g, core.Options{
+		K: 4, Strategy: cover.DegreePrioritized, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := workload.CelebrityBiased(g, 5000, 5, 1.0, 3) // every endpoint a top-5 hub
+	mix := workload.Classify(ix, q)
+	if mix.Case[3] > 0 {
+		t.Fatalf("celebrity-only workload hit Case 4: %+v", mix)
+	}
+}

@@ -1,0 +1,193 @@
+// Package grail implements the GRAIL reachability baseline of Yildirim,
+// Chaoji & Zaki (PVLDB 2010), compared against in Section 6 of the k-reach
+// paper. GRAIL assigns each DAG vertex a small number of interval labels
+// from randomized post-order traversals; interval containment is a
+// *necessary* condition for reachability, so a failed containment answers
+// "no" in O(dims) while a passed one falls back to a label-pruned DFS.
+//
+// The profile the paper reports — very fast construction, small labels,
+// slow queries on graphs with many exceptions — follows directly from this
+// design.
+package grail
+
+import (
+	"math/rand/v2"
+
+	"kreach/internal/graph"
+	"kreach/internal/scc"
+)
+
+// Index is a GRAIL label set over the condensation DAG of the input graph.
+type Index struct {
+	comp []int32 // graph vertex → DAG component
+	dag  *graph.Graph
+	dims int
+	// labels[d][v] = [begin, end]: end is v's post-order rank in traversal
+	// d, begin the minimum rank in v's (traversal-visible) subtree.
+	labels [][][2]int32
+
+	// query scratch (one index instance is not safe for concurrent queries)
+	stamp []uint32
+	epoch uint32
+	stack []graph.Vertex
+}
+
+// Build constructs a GRAIL index with the given number of label dimensions
+// (the original paper uses 2–5; 2 is its default for sparse graphs). seed
+// drives the randomized traversals.
+func Build(g *graph.Graph, dims int, seed uint64) *Index {
+	if dims < 1 {
+		panic("grail: dims must be >= 1")
+	}
+	cond := scc.Condense(g)
+	dag := cond.DAG
+	nc := dag.NumVertices()
+	ix := &Index{
+		comp:   cond.R.Comp,
+		dag:    dag,
+		dims:   dims,
+		labels: make([][][2]int32, dims),
+		stamp:  make([]uint32, nc),
+	}
+	rng := rand.New(rand.NewPCG(seed, 0x6e41a11))
+	roots := make([]graph.Vertex, 0)
+	for v := 0; v < nc; v++ {
+		if dag.InDegree(graph.Vertex(v)) == 0 {
+			roots = append(roots, graph.Vertex(v))
+		}
+	}
+	for d := 0; d < dims; d++ {
+		ix.labels[d] = randomizedPostOrder(dag, roots, rng)
+	}
+	return ix
+}
+
+// randomizedPostOrder runs one DFS over the whole DAG with uniformly
+// shuffled child order, assigning post-order ranks and propagating minimum
+// subtree ranks.
+func randomizedPostOrder(dag *graph.Graph, roots []graph.Vertex, rng *rand.Rand) [][2]int32 {
+	nc := dag.NumVertices()
+	lab := make([][2]int32, nc)
+	visited := make([]bool, nc)
+	var rank int32 = 1
+
+	order := make([]graph.Vertex, len(roots))
+	copy(order, roots)
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+
+	// Iterative DFS with per-frame shuffled children.
+	type frame struct {
+		v        graph.Vertex
+		children []graph.Vertex
+		next     int
+	}
+	var stack []frame
+	pushFrame := func(v graph.Vertex) {
+		visited[v] = true
+		kids := append([]graph.Vertex(nil), dag.OutNeighbors(v)...)
+		rng.Shuffle(len(kids), func(i, j int) { kids[i], kids[j] = kids[j], kids[i] })
+		stack = append(stack, frame{v: v, children: kids})
+	}
+	visit := func(root graph.Vertex) {
+		pushFrame(root)
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			advanced := false
+			for f.next < len(f.children) {
+				c := f.children[f.next]
+				f.next++
+				if !visited[c] {
+					pushFrame(c)
+					advanced = true
+					break
+				}
+			}
+			if advanced {
+				continue
+			}
+			v := f.v
+			stack = stack[:len(stack)-1]
+			begin := rank
+			for _, c := range dag.OutNeighbors(v) {
+				if lab[c][0] < begin {
+					begin = lab[c][0]
+				}
+			}
+			lab[v] = [2]int32{begin, rank}
+			rank++
+		}
+	}
+	for _, r := range order {
+		if !visited[r] {
+			visit(r)
+		}
+	}
+	// A DAG with no in-degree-0 vertex is impossible after condensation
+	// unless the graph is empty, but guard for isolated leftovers anyway.
+	for v := 0; v < nc; v++ {
+		if !visited[graph.Vertex(v)] {
+			visit(graph.Vertex(v))
+		}
+	}
+	return lab
+}
+
+// contains reports label containment L(v) ⊆ L(u) in every dimension — the
+// necessary condition for u → v.
+func (ix *Index) contains(u, v graph.Vertex) bool {
+	for d := 0; d < ix.dims; d++ {
+		lu, lv := ix.labels[d][u], ix.labels[d][v]
+		if lv[0] < lu[0] || lv[1] > lu[1] {
+			return false
+		}
+	}
+	return true
+}
+
+// Reach reports whether t is reachable from s. Not safe for concurrent use
+// (shared query scratch), matching the single-threaded query loops of the
+// paper's experiments.
+func (ix *Index) Reach(s, t graph.Vertex) bool {
+	cs, ct := graph.Vertex(ix.comp[s]), graph.Vertex(ix.comp[t])
+	if cs == ct {
+		return true
+	}
+	if !ix.contains(cs, ct) {
+		return false
+	}
+	// Label-pruned DFS for the exception case.
+	ix.epoch++
+	if ix.epoch == 0 {
+		for i := range ix.stamp {
+			ix.stamp[i] = 0
+		}
+		ix.epoch = 1
+	}
+	ix.stack = ix.stack[:0]
+	ix.stack = append(ix.stack, cs)
+	ix.stamp[cs] = ix.epoch
+	for len(ix.stack) > 0 {
+		u := ix.stack[len(ix.stack)-1]
+		ix.stack = ix.stack[:len(ix.stack)-1]
+		for _, w := range ix.dag.OutNeighbors(u) {
+			if w == ct {
+				return true
+			}
+			if ix.stamp[w] == ix.epoch || !ix.contains(w, ct) {
+				continue
+			}
+			ix.stamp[w] = ix.epoch
+			ix.stack = append(ix.stack, w)
+		}
+	}
+	return false
+}
+
+// Dims returns the number of label dimensions.
+func (ix *Index) Dims() int { return ix.dims }
+
+// SizeBytes returns the serialized footprint: component map plus dims
+// intervals of two int32 per DAG vertex.
+func (ix *Index) SizeBytes() int {
+	return 4*len(ix.comp) + ix.dims*8*ix.dag.NumVertices()
+}

@@ -1,0 +1,83 @@
+package grail_test
+
+import (
+	"testing"
+
+	"kreach/internal/baseline/grail"
+	"kreach/internal/graph"
+	"kreach/internal/testgraph"
+)
+
+func checkReach(t *testing.T, g *graph.Graph, dims int, seed uint64, label string) {
+	t.Helper()
+	ix := grail.Build(g, dims, seed)
+	oracle := testgraph.NewReachOracle(g)
+	n := g.NumVertices()
+	for s := 0; s < n; s++ {
+		for tt := 0; tt < n; tt++ {
+			want := oracle.Reach(graph.Vertex(s), graph.Vertex(tt), -1)
+			if got := ix.Reach(graph.Vertex(s), graph.Vertex(tt)); got != want {
+				t.Fatalf("%s dims=%d seed=%d: Reach(%d,%d) = %v, want %v",
+					label, dims, seed, s, tt, got, want)
+			}
+		}
+	}
+}
+
+func TestReachMatchesOracle(t *testing.T) {
+	for seed := uint64(0); seed < 6; seed++ {
+		for _, dims := range []int{1, 2, 3, 5} {
+			checkReach(t, testgraph.Random(30, 90, seed), dims, seed, "random")
+		}
+	}
+	checkReach(t, testgraph.Path(25), 2, 1, "path")
+	checkReach(t, testgraph.Cycle(11), 2, 1, "cycle")
+	checkReach(t, testgraph.Star(20, false), 2, 1, "star")
+	checkReach(t, testgraph.PaperFigure1(), 2, 1, "paper")
+	checkReach(t, testgraph.RandomDAG(40, 200, 7), 3, 2, "dag")
+}
+
+func TestMultipleRootsAndComponents(t *testing.T) {
+	// Disconnected DAG with several roots exercises the forest traversal.
+	b := graph.NewBuilder(9)
+	b.AddEdge(0, 2)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	b.AddEdge(4, 5)
+	// 6,7,8 isolated
+	checkReach(t, b.Build(), 2, 3, "multi-root")
+}
+
+func TestDimsValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dims=0 accepted")
+		}
+	}()
+	grail.Build(testgraph.Path(3), 0, 1)
+}
+
+func TestSizeGrowsWithDims(t *testing.T) {
+	g := testgraph.RandomDAG(60, 150, 5)
+	a := grail.Build(g, 2, 1)
+	b := grail.Build(g, 5, 1)
+	if a.SizeBytes() >= b.SizeBytes() {
+		t.Errorf("size dims=2 (%d) >= dims=5 (%d)", a.SizeBytes(), b.SizeBytes())
+	}
+	if a.Dims() != 2 || b.Dims() != 5 {
+		t.Error("Dims accessor wrong")
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	g := testgraph.Random(40, 120, 8)
+	a := grail.Build(g, 3, 42)
+	b := grail.Build(g, 3, 42)
+	for s := 0; s < 40; s++ {
+		for tt := 0; tt < 40; tt += 3 {
+			if a.Reach(graph.Vertex(s), graph.Vertex(tt)) != b.Reach(graph.Vertex(s), graph.Vertex(tt)) {
+				t.Fatal("same seed produced different answers")
+			}
+		}
+	}
+}

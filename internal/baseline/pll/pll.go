@@ -1,0 +1,172 @@
+// Package pll implements pruned landmark labeling (Akiba, Iwata & Yoshida,
+// SIGMOD 2013) for exact shortest-path distances on directed unweighted
+// graphs. It stands in for the µ-dist comparison index of Table 7 — the
+// online exact-distance index of Cheng & Yu (EDBT 2009) — as both are
+// 2-hop-style distance labelings queried by label intersection; see
+// DESIGN.md §3. Being a *distance* index, it can answer k-hop reachability
+// for any k (Section 3.5 of the paper), at a distance-index price.
+package pll
+
+import (
+	"sort"
+
+	"kreach/internal/graph"
+)
+
+// InfDist marks an unreachable pair.
+const InfDist = int32(-1)
+
+// Index holds 2-hop distance labels: for every vertex v, Lin(v) is the set
+// of landmarks that reach v (with distances) and Lout(v) the set v reaches.
+// Landmark ids are label ranks (0 = highest-degree vertex), kept ascending
+// in each label so queries are a linear merge.
+type Index struct {
+	rankOf []int32 // graph vertex → landmark rank
+	inL    []label // Lin per vertex
+	outL   []label
+}
+
+type label struct {
+	lm []int32 // landmark ranks, ascending
+	d  []int32
+}
+
+func (l *label) add(lm, d int32) {
+	l.lm = append(l.lm, lm)
+	l.d = append(l.d, d)
+}
+
+// Build constructs the labeling. Landmarks are processed in decreasing
+// degree order (the standard heuristic); every BFS is pruned by the labels
+// already built, which is what keeps label sizes near-linear on real
+// graphs.
+func Build(g *graph.Graph) *Index {
+	n := g.NumVertices()
+	order := make([]graph.Vertex, n)
+	for i := range order {
+		order[i] = graph.Vertex(i)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return g.Degree(order[i]) > g.Degree(order[j])
+	})
+	ix := &Index{
+		rankOf: make([]int32, n),
+		inL:    make([]label, n),
+		outL:   make([]label, n),
+	}
+	for r, v := range order {
+		ix.rankOf[v] = int32(r)
+	}
+	b := &builder{ix: ix, g: g, stamp: make([]uint32, n)}
+	for r, root := range order {
+		// Forward pruned BFS: discovers u with root → u, extending Lin(u).
+		b.prunedBFS(root, int32(r), graph.Forward)
+		// Backward pruned BFS: discovers u with u → root, extending Lout(u).
+		b.prunedBFS(root, int32(r), graph.Backward)
+	}
+	return ix
+}
+
+type builder struct {
+	ix    *Index
+	g     *graph.Graph
+	stamp []uint32
+	epoch uint32
+	qv    []graph.Vertex
+	qd    []int32
+}
+
+// prunedBFS runs a BFS from root, adding the label (rank, dist) to each
+// vertex whose distance is not already covered by existing labels.
+func (b *builder) prunedBFS(root graph.Vertex, rank int32, dir graph.Direction) {
+	b.epoch++
+	b.qv = append(b.qv[:0], root)
+	b.qd = append(b.qd[:0], 0)
+	b.stamp[root] = b.epoch
+	for head := 0; head < len(b.qv); head++ {
+		v, d := b.qv[head], b.qd[head]
+		// Prune if the labels built so far already certify dist ≤ d.
+		var have int32
+		if dir == graph.Forward {
+			have = b.ix.queryRaw(root, v)
+		} else {
+			have = b.ix.queryRaw(v, root)
+		}
+		if have != InfDist && have <= d {
+			continue
+		}
+		if dir == graph.Forward {
+			b.ix.inL[v].add(rank, d)
+		} else {
+			b.ix.outL[v].add(rank, d)
+		}
+		var next []graph.Vertex
+		if dir == graph.Forward {
+			next = b.g.OutNeighbors(v)
+		} else {
+			next = b.g.InNeighbors(v)
+		}
+		for _, w := range next {
+			if b.stamp[w] != b.epoch {
+				b.stamp[w] = b.epoch
+				b.qv = append(b.qv, w)
+				b.qd = append(b.qd, d+1)
+			}
+		}
+	}
+}
+
+// queryRaw returns the labeled distance from s to t ignoring the s == t
+// case (used during construction pruning).
+func (ix *Index) queryRaw(s, t graph.Vertex) int32 {
+	a, b := &ix.outL[s], &ix.inL[t]
+	best := InfDist
+	i, j := 0, 0
+	for i < len(a.lm) && j < len(b.lm) {
+		switch {
+		case a.lm[i] < b.lm[j]:
+			i++
+		case a.lm[i] > b.lm[j]:
+			j++
+		default:
+			if d := a.d[i] + b.d[j]; best == InfDist || d < best {
+				best = d
+			}
+			i++
+			j++
+		}
+	}
+	return best
+}
+
+// Dist returns the exact shortest-path distance from s to t, or InfDist.
+func (ix *Index) Dist(s, t graph.Vertex) int32 {
+	if s == t {
+		return 0
+	}
+	return ix.queryRaw(s, t)
+}
+
+// Reach reports whether t is reachable from s within k hops (k < 0 means
+// unbounded): the µ-dist usage of Table 7.
+func (ix *Index) Reach(s, t graph.Vertex, k int) bool {
+	d := ix.Dist(s, t)
+	if d == InfDist {
+		return false
+	}
+	return k < 0 || int(d) <= k
+}
+
+// LabelEntries returns the total number of label entries (diagnostics).
+func (ix *Index) LabelEntries() int {
+	total := 0
+	for i := range ix.inL {
+		total += len(ix.inL[i].lm) + len(ix.outL[i].lm)
+	}
+	return total
+}
+
+// SizeBytes returns the serialized footprint of the labeling.
+func (ix *Index) SizeBytes() int {
+	return 4*len(ix.rankOf) + 8*ix.LabelEntries()
+}

@@ -1,0 +1,66 @@
+package pll_test
+
+import (
+	"testing"
+
+	"kreach/internal/baseline/pll"
+	"kreach/internal/graph"
+	"kreach/internal/testgraph"
+)
+
+func checkDistances(t *testing.T, g *graph.Graph, label string) {
+	t.Helper()
+	ix := pll.Build(g)
+	n := g.NumVertices()
+	for s := 0; s < n; s++ {
+		dist := graph.BFSDistances(g, graph.Vertex(s), graph.Forward)
+		for tt := 0; tt < n; tt++ {
+			want := dist[tt]
+			got := ix.Dist(graph.Vertex(s), graph.Vertex(tt))
+			if got != want {
+				t.Fatalf("%s: Dist(%d,%d) = %d, want %d", label, s, tt, got, want)
+			}
+		}
+	}
+}
+
+func TestDistancesExact(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		checkDistances(t, testgraph.Random(30, 100, seed), "random")
+	}
+	checkDistances(t, testgraph.Path(25), "path")
+	checkDistances(t, testgraph.Cycle(10), "cycle")
+	checkDistances(t, testgraph.Star(20, true), "star")
+	checkDistances(t, testgraph.PaperFigure1(), "paper")
+	checkDistances(t, testgraph.RandomDAG(35, 140, 3), "dag")
+}
+
+func TestKHopReach(t *testing.T) {
+	g := testgraph.PaperFigure1()
+	ix := pll.Build(g)
+	// b →3 g but b does not 3-reach i (4 hops), per Example 2.
+	if !ix.Reach(testgraph.B, testgraph.G, 3) {
+		t.Error("b should 3-reach g")
+	}
+	if ix.Reach(testgraph.B, testgraph.I, 3) {
+		t.Error("b should not 3-reach i")
+	}
+	if !ix.Reach(testgraph.B, testgraph.I, -1) {
+		t.Error("b should reach i eventually")
+	}
+	if !ix.Reach(testgraph.B, testgraph.B, 0) {
+		t.Error("self reach with k=0")
+	}
+}
+
+func TestPruningKeepsLabelsSmall(t *testing.T) {
+	// On a star, the hub covers everything: labels must be O(n), not O(n²).
+	g := testgraph.Star(200, true)
+	ix := pll.Build(g)
+	if got := ix.LabelEntries(); got > 3*200 {
+		t.Errorf("star labels = %d entries, want ≤ %d", got, 3*200)
+	}
+	if ix.SizeBytes() <= 0 {
+		t.Error("SizeBytes not positive")
+	}
+}

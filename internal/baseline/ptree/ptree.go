@@ -1,0 +1,178 @@
+// Package ptree implements the tree-cover reachability baseline in the
+// lineage of Agrawal/Borgida/Jagadish (SIGMOD 1989) and PathTree (Jin et
+// al., SIGMOD 2008), one of the comparison indexes of Section 6.
+//
+// Design (see DESIGN.md §3 for the substitution note): the condensation DAG
+// is covered by a spanning forest; a pre-order numbering makes every
+// subtree a contiguous interval, and each vertex stores a normalized
+// interval list covering its *entire* successor set (own subtree merged
+// with the lists of all out-neighbors, swept in reverse topological order).
+// A query is a binary search of pre(t) in the interval list of s. PathTree
+// proper derives its intervals from a path decomposition instead of a
+// spanning tree, which shrinks the lists but leaves the construction/query
+// shape unchanged.
+package ptree
+
+import (
+	"sort"
+
+	"kreach/internal/graph"
+	"kreach/internal/scc"
+)
+
+type interval struct {
+	lo, hi int32 // inclusive pre-order range
+}
+
+// Index is a tree-cover compressed transitive closure.
+type Index struct {
+	comp  []int32 // graph vertex → DAG component
+	pre   []int32 // DAG vertex → pre-order number
+	lists [][]interval
+}
+
+// Build constructs the index over the condensation DAG of g.
+func Build(g *graph.Graph) *Index {
+	cond := scc.Condense(g)
+	dag := cond.DAG
+	nc := dag.NumVertices()
+	ix := &Index{comp: cond.R.Comp, pre: make([]int32, nc), lists: make([][]interval, nc)}
+
+	// Spanning forest: scan vertices in topological order (descending
+	// Tarjan component id) and give every still-orphaned child its first
+	// topological parent.
+	parent := make([]int32, nc)
+	for i := range parent {
+		parent[i] = -1
+	}
+	childHead := make([]int32, nc) // forest adjacency via linked lists
+	childNext := make([]int32, nc)
+	for i := range childHead {
+		childHead[i] = -1
+		childNext[i] = -1
+	}
+	for id := nc - 1; id >= 0; id-- {
+		v := graph.Vertex(id)
+		for _, w := range dag.OutNeighbors(v) {
+			if parent[w] < 0 {
+				parent[w] = int32(v)
+				childNext[w] = childHead[v]
+				childHead[v] = int32(w)
+			}
+		}
+	}
+
+	// Pre-order numbering of the forest; maxPre[v] closes v's subtree.
+	maxPre := make([]int32, nc)
+	var counter int32
+	var stack []int32
+	for id := nc - 1; id >= 0; id-- {
+		if parent[id] >= 0 {
+			continue // not a root
+		}
+		stack = append(stack[:0], int32(id))
+		// Iterative pre/post: first pass assigns pre numbers, second pass
+		// (reverse topological within the tree) computes maxPre. We do it
+		// with an explicit two-phase stack.
+		type fr struct {
+			v     int32
+			child int32
+		}
+		frames := []fr{{int32(id), childHead[id]}}
+		ix.pre[id] = counter
+		counter++
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.child >= 0 {
+				c := f.child
+				f.child = childNext[c]
+				ix.pre[c] = counter
+				counter++
+				frames = append(frames, fr{c, childHead[c]})
+				continue
+			}
+			v := f.v
+			frames = frames[:len(frames)-1]
+			maxPre[v] = ix.pre[v]
+			for c := childHead[v]; c >= 0; c = childNext[c] {
+				if maxPre[c] > maxPre[v] {
+					maxPre[v] = maxPre[c]
+				}
+			}
+		}
+	}
+
+	// Interval lists in reverse topological order (ascending component id:
+	// successors first).
+	var scratch []interval
+	for c := 0; c < nc; c++ {
+		scratch = scratch[:0]
+		scratch = append(scratch, interval{ix.pre[c], maxPre[c]})
+		for _, w := range dag.OutNeighbors(graph.Vertex(c)) {
+			scratch = append(scratch, ix.lists[w]...)
+		}
+		ix.lists[c] = normalize(scratch)
+	}
+	return ix
+}
+
+// normalize sorts intervals and merges overlaps and adjacencies.
+func normalize(in []interval) []interval {
+	if len(in) == 0 {
+		return nil
+	}
+	sort.Slice(in, func(i, j int) bool { return in[i].lo < in[j].lo })
+	out := make([]interval, 0, len(in))
+	cur := in[0]
+	for _, iv := range in[1:] {
+		if iv.lo <= cur.hi+1 {
+			if iv.hi > cur.hi {
+				cur.hi = iv.hi
+			}
+			continue
+		}
+		out = append(out, cur)
+		cur = iv
+	}
+	return append(out, cur)
+}
+
+// Reach reports whether t is reachable from s (classic reachability).
+func (ix *Index) Reach(s, t graph.Vertex) bool {
+	cs, ct := ix.comp[s], ix.comp[t]
+	if cs == ct {
+		return true
+	}
+	p := ix.pre[ct]
+	list := ix.lists[cs]
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if list[mid].hi < p {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(list) && list[lo].lo <= p
+}
+
+// SizeBytes returns the serialized footprint: component map, pre numbers
+// and the interval lists.
+func (ix *Index) SizeBytes() int {
+	size := 4*len(ix.comp) + 4*len(ix.pre)
+	for _, l := range ix.lists {
+		size += 8 * len(l)
+	}
+	return size
+}
+
+// Intervals returns the total interval count (diagnostics: the compressed
+// transitive closure size).
+func (ix *Index) Intervals() int {
+	total := 0
+	for _, l := range ix.lists {
+		total += len(l)
+	}
+	return total
+}

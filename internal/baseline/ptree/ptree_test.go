@@ -1,0 +1,71 @@
+package ptree_test
+
+import (
+	"testing"
+
+	"kreach/internal/baseline/ptree"
+	"kreach/internal/graph"
+	"kreach/internal/testgraph"
+)
+
+func checkReach(t *testing.T, g *graph.Graph, label string) {
+	t.Helper()
+	ix := ptree.Build(g)
+	oracle := testgraph.NewReachOracle(g)
+	n := g.NumVertices()
+	for s := 0; s < n; s++ {
+		for tt := 0; tt < n; tt++ {
+			want := oracle.Reach(graph.Vertex(s), graph.Vertex(tt), -1)
+			if got := ix.Reach(graph.Vertex(s), graph.Vertex(tt)); got != want {
+				t.Fatalf("%s: Reach(%d,%d) = %v, want %v", label, s, tt, got, want)
+			}
+		}
+	}
+}
+
+func TestReachMatchesOracle(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		checkReach(t, testgraph.Random(35, 100, seed), "random")
+	}
+	checkReach(t, testgraph.Path(25), "path")
+	checkReach(t, testgraph.Cycle(13), "cycle")
+	checkReach(t, testgraph.Star(18, true), "star-out")
+	checkReach(t, testgraph.Star(18, false), "star-in")
+	checkReach(t, testgraph.PaperFigure1(), "paper")
+	checkReach(t, testgraph.RandomDAG(45, 220, 6), "dag")
+}
+
+func TestTreeOnlyDAGHasOneIntervalPerVertex(t *testing.T) {
+	// On a directed tree, every closure is one contiguous interval.
+	b := graph.NewBuilder(7)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	b.AddEdge(1, 3)
+	b.AddEdge(1, 4)
+	b.AddEdge(2, 5)
+	b.AddEdge(2, 6)
+	g := b.Build()
+	ix := ptree.Build(g)
+	if got := ix.Intervals(); got != 7 {
+		t.Errorf("intervals on a tree = %d, want 7 (one per vertex)", got)
+	}
+	checkReach(t, g, "tree")
+}
+
+func TestDiamondMergesIntervals(t *testing.T) {
+	// 0→1, 0→2, 1→3, 2→3: the non-tree edge into 3 must not create a wrong
+	// answer, and 3 is reachable from everything.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	b.AddEdge(1, 3)
+	b.AddEdge(2, 3)
+	checkReach(t, b.Build(), "diamond")
+}
+
+func TestSizePositive(t *testing.T) {
+	ix := ptree.Build(testgraph.Random(30, 90, 2))
+	if ix.SizeBytes() <= 0 || ix.Intervals() <= 0 {
+		t.Error("degenerate size accounting")
+	}
+}

@@ -1,0 +1,80 @@
+package pwah_test
+
+import (
+	"testing"
+
+	"kreach/internal/baseline/pwah"
+	"kreach/internal/graph"
+	"kreach/internal/testgraph"
+)
+
+func checkReach(t *testing.T, g *graph.Graph, label string) {
+	t.Helper()
+	ix := pwah.Build(g)
+	oracle := testgraph.NewReachOracle(g)
+	n := g.NumVertices()
+	for s := 0; s < n; s++ {
+		for tt := 0; tt < n; tt++ {
+			want := oracle.Reach(graph.Vertex(s), graph.Vertex(tt), -1)
+			if got := ix.Reach(graph.Vertex(s), graph.Vertex(tt)); got != want {
+				t.Fatalf("%s: Reach(%d,%d) = %v, want %v", label, s, tt, got, want)
+			}
+		}
+	}
+}
+
+func TestReachMatchesOracle(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		checkReach(t, testgraph.Random(2+int(seed)*5, 20+int(seed)*15, seed), "random")
+	}
+	checkReach(t, testgraph.Path(20), "path")
+	checkReach(t, testgraph.Cycle(9), "cycle")
+	checkReach(t, testgraph.Star(15, true), "star")
+	checkReach(t, testgraph.PaperFigure1(), "paper")
+	checkReach(t, testgraph.RandomDAG(40, 160, 4), "dag")
+}
+
+func TestSizeAndClosure(t *testing.T) {
+	g := testgraph.RandomDAG(50, 120, 9)
+	ix := pwah.Build(g)
+	if ix.SizeBytes() <= 0 {
+		t.Error("SizeBytes not positive")
+	}
+	// Closure bit count equals the number of reachable ordered pairs
+	// including self-pairs.
+	oracle := testgraph.NewReachOracle(g)
+	want := 0
+	for s := 0; s < 50; s++ {
+		for tt := 0; tt < 50; tt++ {
+			if oracle.Reach(graph.Vertex(s), graph.Vertex(tt), -1) {
+				want++
+			}
+		}
+	}
+	if got := ix.ClosureBits(); got != want {
+		t.Errorf("ClosureBits = %d, want %d", got, want)
+	}
+}
+
+func TestCyclesCollapse(t *testing.T) {
+	// Two cycles joined: every vertex of the first reaches all of both.
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 3)
+	g := b.Build()
+	ix := pwah.Build(g)
+	for s := 0; s < 3; s++ {
+		for tt := 0; tt < 5; tt++ {
+			if !ix.Reach(graph.Vertex(s), graph.Vertex(tt)) {
+				t.Errorf("cycle member %d must reach %d", s, tt)
+			}
+		}
+	}
+	if ix.Reach(5, 0) || ix.Reach(3, 0) {
+		t.Error("false positive across components")
+	}
+}

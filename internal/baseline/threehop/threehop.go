@@ -1,0 +1,178 @@
+// Package threehop implements a chain-cover reachability index in the
+// lineage of Jagadish (TODS 1990) and 3-hop (Jin et al., SIGMOD 2009), the
+// chain-centric comparison index of Section 6.
+//
+// Design (substitution documented in DESIGN.md §3): the condensation DAG is
+// decomposed greedily into chains (paths of consecutive DAG edges). Every
+// vertex then stores its chain code: for each chain it can reach, the
+// smallest reachable position in that chain (reaching position p implies
+// reaching every later position, since consecutive chain elements are
+// edges). Codes are computed in one reverse-topological sweep; a query
+// binary-searches t's chain in s's code list. 3-hop proper adds a 2-hop
+// index over chain segments to shrink the codes — the skeleton here keeps
+// its chain structure and its characteristically heavy construction, which
+// is the behavior Table 3 of the paper observes.
+package threehop
+
+import (
+	"slices"
+
+	"kreach/internal/graph"
+	"kreach/internal/scc"
+)
+
+// Index is a chain-code compressed transitive closure.
+type Index struct {
+	comp     []int32 // graph vertex → DAG component
+	chainOf  []int32 // DAG vertex → chain id
+	posOf    []int32 // DAG vertex → position in its chain (0-based)
+	numChain int
+	// codes[v]: parallel sorted-by-chain arrays of (chain, min reachable
+	// position).
+	codeChain [][]int32
+	codePos   [][]int32
+}
+
+// Build constructs the index over the condensation DAG of g.
+func Build(g *graph.Graph) *Index {
+	cond := scc.Condense(g)
+	dag := cond.DAG
+	nc := dag.NumVertices()
+	ix := &Index{
+		comp:      cond.R.Comp,
+		chainOf:   make([]int32, nc),
+		posOf:     make([]int32, nc),
+		codeChain: make([][]int32, nc),
+		codePos:   make([][]int32, nc),
+	}
+
+	// Greedy chain decomposition along topological order (descending
+	// Tarjan ids): try to extend a chain ending in a predecessor of v.
+	for i := range ix.chainOf {
+		ix.chainOf[i] = -1
+	}
+	chainTail := map[int32]graph.Vertex{} // chain id → current tail vertex
+	tailOf := make([]int32, nc)           // vertex → chain id if it is a tail, else -1
+	for i := range tailOf {
+		tailOf[i] = -1
+	}
+	for id := nc - 1; id >= 0; id-- {
+		v := graph.Vertex(id)
+		assigned := false
+		for _, u := range dag.InNeighbors(v) {
+			if c := tailOf[u]; c >= 0 {
+				// Extend chain c: u → v is a DAG edge and u is the tail.
+				ix.chainOf[v] = c
+				ix.posOf[v] = ix.posOf[u] + 1
+				tailOf[u] = -1
+				tailOf[v] = c
+				chainTail[c] = v
+				assigned = true
+				break
+			}
+		}
+		if !assigned {
+			c := int32(ix.numChain)
+			ix.numChain++
+			ix.chainOf[v] = c
+			ix.posOf[v] = 0
+			tailOf[v] = c
+			chainTail[c] = v
+		}
+	}
+
+	// Chain codes in reverse topological order (ascending ids).
+	var scratch []entry
+	for c := 0; c < nc; c++ {
+		scratch = scratch[:0]
+		scratch = append(scratch, entry{ix.chainOf[c], ix.posOf[c]})
+		for _, w := range dag.OutNeighbors(graph.Vertex(c)) {
+			cc, cp := ix.codeChain[w], ix.codePos[w]
+			for i := range cc {
+				scratch = append(scratch, entry{cc[i], cp[i]})
+			}
+		}
+		// Keep the minimum position per chain.
+		sortEntries(scratch)
+		chains := make([]int32, 0, len(scratch))
+		poss := make([]int32, 0, len(scratch))
+		for i, e := range scratch {
+			if i > 0 && e.chain == scratch[i-1].chain {
+				continue // sorted by (chain, pos): first wins
+			}
+			chains = append(chains, e.chain)
+			poss = append(poss, e.pos)
+		}
+		ix.codeChain[c] = chains
+		ix.codePos[c] = poss
+	}
+	return ix
+}
+
+type entry = struct{ chain, pos int32 }
+
+func sortEntries(es []entry) {
+	// Insertion sort for the short lists that dominate; pdqsort via
+	// slices.SortFunc for long merges (some vertices in dense DAGs reach
+	// thousands of chains).
+	if len(es) < 24 {
+		for i := 1; i < len(es); i++ {
+			e := es[i]
+			j := i - 1
+			for j >= 0 && (es[j].chain > e.chain || (es[j].chain == e.chain && es[j].pos > e.pos)) {
+				es[j+1] = es[j]
+				j--
+			}
+			es[j+1] = e
+		}
+		return
+	}
+	slices.SortFunc(es, func(a, b entry) int {
+		if a.chain != b.chain {
+			return int(a.chain) - int(b.chain)
+		}
+		return int(a.pos) - int(b.pos)
+	})
+}
+
+// Reach reports whether t is reachable from s (classic reachability).
+func (ix *Index) Reach(s, t graph.Vertex) bool {
+	cs, ct := ix.comp[s], ix.comp[t]
+	if cs == ct {
+		return true
+	}
+	chain, pos := ix.chainOf[ct], ix.posOf[ct]
+	chains := ix.codeChain[cs]
+	lo, hi := 0, len(chains)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if chains[mid] < chain {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(chains) && chains[lo] == chain && ix.codePos[cs][lo] <= pos
+}
+
+// NumChains returns the number of chains in the decomposition.
+func (ix *Index) NumChains() int { return ix.numChain }
+
+// SizeBytes returns the serialized footprint: component map, per-vertex
+// chain/position, and the chain codes.
+func (ix *Index) SizeBytes() int {
+	size := 4*len(ix.comp) + 8*len(ix.chainOf)
+	for i := range ix.codeChain {
+		size += 8 * len(ix.codeChain[i])
+	}
+	return size
+}
+
+// CodeEntries returns the total chain-code length (diagnostics).
+func (ix *Index) CodeEntries() int {
+	total := 0
+	for _, c := range ix.codeChain {
+		total += len(c)
+	}
+	return total
+}

@@ -1,0 +1,63 @@
+package threehop_test
+
+import (
+	"testing"
+
+	"kreach/internal/baseline/threehop"
+	"kreach/internal/graph"
+	"kreach/internal/testgraph"
+)
+
+func checkReach(t *testing.T, g *graph.Graph, label string) {
+	t.Helper()
+	ix := threehop.Build(g)
+	oracle := testgraph.NewReachOracle(g)
+	n := g.NumVertices()
+	for s := 0; s < n; s++ {
+		for tt := 0; tt < n; tt++ {
+			want := oracle.Reach(graph.Vertex(s), graph.Vertex(tt), -1)
+			if got := ix.Reach(graph.Vertex(s), graph.Vertex(tt)); got != want {
+				t.Fatalf("%s: Reach(%d,%d) = %v, want %v", label, s, tt, got, want)
+			}
+		}
+	}
+}
+
+func TestReachMatchesOracle(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		checkReach(t, testgraph.Random(35, 110, seed), "random")
+	}
+	checkReach(t, testgraph.Path(30), "path")
+	checkReach(t, testgraph.Cycle(8), "cycle")
+	checkReach(t, testgraph.Star(22, true), "star")
+	checkReach(t, testgraph.PaperFigure1(), "paper")
+	checkReach(t, testgraph.RandomDAG(45, 180, 12), "dag")
+}
+
+func TestPathIsOneChain(t *testing.T) {
+	g := testgraph.Path(40)
+	ix := threehop.Build(g)
+	if got := ix.NumChains(); got != 1 {
+		t.Errorf("path decomposed into %d chains, want 1", got)
+	}
+	// Each vertex's code is then a single (chain, pos) entry.
+	if got := ix.CodeEntries(); got != 40 {
+		t.Errorf("code entries = %d, want 40", got)
+	}
+}
+
+func TestAntichainManyChains(t *testing.T) {
+	// Edgeless graph: every vertex its own chain.
+	g := graph.NewBuilder(12).Build()
+	ix := threehop.Build(g)
+	if got := ix.NumChains(); got != 12 {
+		t.Errorf("chains = %d, want 12", got)
+	}
+}
+
+func TestSizePositive(t *testing.T) {
+	ix := threehop.Build(testgraph.Random(30, 100, 3))
+	if ix.SizeBytes() <= 0 {
+		t.Error("SizeBytes not positive")
+	}
+}

@@ -1,0 +1,197 @@
+// Package bitvec implements word-aligned-hybrid (WAH) compressed bit
+// vectors, the substrate for the PWAH transitive-closure baseline of van
+// Schaik & de Moor that Section 6 of the paper compares against. The
+// scheme here is classic 32-bit WAH (31 payload bits per word); the
+// partitioned refinement of the original PWAH paper changes constants, not
+// behavior, so WAH preserves the baseline's profile (see DESIGN.md §3).
+//
+// Encoding: each uint32 word is either
+//   - a literal (MSB 0): the low 31 bits are a payload group, or
+//   - a fill (MSB 1): bit 30 is the fill bit value, bits 0..29 count how
+//     many consecutive 31-bit groups the fill spans (≥ 1).
+package bitvec
+
+import (
+	"math/bits"
+)
+
+const (
+	groupBits = 31
+	fillFlag  = uint32(1) << 31
+	fillOne   = uint32(1) << 30
+	maxRun    = (uint32(1) << 30) - 1
+)
+
+// Vector is an immutable WAH-compressed bit vector of NBits bits.
+type Vector struct {
+	words []uint32
+	nbits int
+}
+
+// NBits returns the logical length of the vector in bits.
+func (v Vector) NBits() int { return v.nbits }
+
+// SizeBytes returns the compressed storage footprint.
+func (v Vector) SizeBytes() int { return 4 * len(v.words) }
+
+// Words returns the number of compressed words (diagnostics).
+func (v Vector) Words() int { return len(v.words) }
+
+// group j of an uncompressed []uint64 bitset covers bits [31j, 31j+30].
+func getGroup(bs []uint64, j int) uint32 {
+	pos := j * groupBits
+	w, off := pos/64, uint(pos%64)
+	g := bs[w] >> off
+	if off > 64-groupBits && w+1 < len(bs) {
+		g |= bs[w+1] << (64 - off)
+	}
+	return uint32(g) & (1<<groupBits - 1)
+}
+
+func orGroup(bs []uint64, j int, g uint32) {
+	pos := j * groupBits
+	w, off := pos/64, uint(pos%64)
+	bs[w] |= uint64(g) << off
+	if off > 64-groupBits && w+1 < len(bs) {
+		bs[w+1] |= uint64(g) >> (64 - off)
+	}
+}
+
+// WordsFor returns the []uint64 buffer length needed for nbits.
+func WordsFor(nbits int) int { return (nbits + 63) / 64 }
+
+// Compress builds a Vector from an uncompressed bitset of nbits bits.
+func Compress(bs []uint64, nbits int) Vector {
+	if nbits == 0 {
+		return Vector{}
+	}
+	groups := (nbits + groupBits - 1) / groupBits
+	var words []uint32
+	appendFill := func(val uint32, run uint32) {
+		for run > 0 {
+			chunk := run
+			if chunk > maxRun {
+				chunk = maxRun
+			}
+			words = append(words, fillFlag|val|chunk)
+			run -= chunk
+		}
+	}
+	var (
+		runVal uint32 // fillOne or 0
+		runLen uint32
+	)
+	flush := func() {
+		if runLen > 0 {
+			appendFill(runVal, runLen)
+			runLen = 0
+		}
+	}
+	for j := 0; j < groups; j++ {
+		g := getGroup(bs, j)
+		if j == groups-1 {
+			// Mask tail bits beyond nbits.
+			rem := nbits - j*groupBits
+			if rem < groupBits {
+				g &= (1 << rem) - 1
+			}
+		}
+		switch g {
+		case 0:
+			if runLen > 0 && runVal != 0 {
+				flush()
+			}
+			runVal = 0
+			runLen++
+		case 1<<groupBits - 1:
+			if runLen > 0 && runVal != fillOne {
+				flush()
+			}
+			runVal = fillOne
+			runLen++
+		default:
+			flush()
+			words = append(words, g)
+		}
+	}
+	flush()
+	return Vector{words: words, nbits: nbits}
+}
+
+// FromPositions builds a Vector with the given bit positions set. Positions
+// may repeat and appear in any order.
+func FromPositions(nbits int, positions []int) Vector {
+	bs := make([]uint64, WordsFor(nbits))
+	for _, p := range positions {
+		bs[p/64] |= 1 << (uint(p) % 64)
+	}
+	return Compress(bs, nbits)
+}
+
+// OrInto expands v, OR-ing its set bits into the uncompressed bitset dst,
+// which must have WordsFor(v.NBits()) words.
+func (v Vector) OrInto(dst []uint64) {
+	j := 0
+	for _, w := range v.words {
+		if w&fillFlag == 0 {
+			if w != 0 {
+				orGroup(dst, j, w)
+			}
+			j++
+			continue
+		}
+		run := int(w & maxRun)
+		if w&fillOne != 0 {
+			for i := 0; i < run; i++ {
+				orGroup(dst, j+i, 1<<groupBits-1)
+			}
+		}
+		j += run
+	}
+	// Clear tail garbage beyond nbits.
+	if v.nbits%64 != 0 && len(dst) > 0 {
+		dst[len(dst)-1] &= (1 << uint(v.nbits%64)) - 1
+	}
+}
+
+// Test reports whether bit i is set.
+func (v Vector) Test(i int) bool {
+	if i < 0 || i >= v.nbits {
+		return false
+	}
+	target := i / groupBits
+	off := uint(i % groupBits)
+	j := 0
+	for _, w := range v.words {
+		if w&fillFlag == 0 {
+			if j == target {
+				return w>>off&1 == 1
+			}
+			j++
+			continue
+		}
+		run := int(w & maxRun)
+		if target < j+run {
+			return w&fillOne != 0
+		}
+		j += run
+	}
+	return false
+}
+
+// Count returns the number of set bits. A partial final group can never be
+// part of a one-fill (Compress masks it below all-ones first), so fills
+// always contribute exactly run×31 bits.
+func (v Vector) Count() int {
+	total := 0
+	for _, w := range v.words {
+		if w&fillFlag == 0 {
+			total += bits.OnesCount32(w)
+			continue
+		}
+		if w&fillOne != 0 {
+			total += int(w&maxRun) * groupBits
+		}
+	}
+	return total
+}

@@ -1,0 +1,175 @@
+package bitvec_test
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"kreach/internal/bitvec"
+)
+
+// naive reference bitset.
+type naive struct {
+	bits  []bool
+	nbits int
+}
+
+func newNaive(nbits int) *naive { return &naive{bits: make([]bool, nbits), nbits: nbits} }
+
+func (n *naive) set(i int) { n.bits[i] = true }
+func (n *naive) count() int {
+	c := 0
+	for _, b := range n.bits {
+		if b {
+			c++
+		}
+	}
+	return c
+}
+
+func (n *naive) toWords() []uint64 {
+	w := make([]uint64, bitvec.WordsFor(n.nbits))
+	for i, b := range n.bits {
+		if b {
+			w[i/64] |= 1 << (uint(i) % 64)
+		}
+	}
+	return w
+}
+
+func TestCompressRoundTripPatterns(t *testing.T) {
+	patterns := map[string]func(i int) bool{
+		"empty":      func(int) bool { return false },
+		"full":       func(int) bool { return true },
+		"even":       func(i int) bool { return i%2 == 0 },
+		"sparse":     func(i int) bool { return i%97 == 0 },
+		"block":      func(i int) bool { return i >= 100 && i < 400 },
+		"head":       func(i int) bool { return i < 31 },
+		"tail":       func(i int) bool { return i >= 970 },
+		"group-edge": func(i int) bool { return i%31 == 30 },
+	}
+	for name, pat := range patterns {
+		for _, nbits := range []int{1, 30, 31, 32, 62, 63, 64, 100, 1000, 1023} {
+			n := newNaive(nbits)
+			for i := 0; i < nbits; i++ {
+				if pat(i) {
+					n.set(i)
+				}
+			}
+			v := bitvec.Compress(n.toWords(), nbits)
+			if v.NBits() != nbits {
+				t.Fatalf("%s/%d: NBits = %d", name, nbits, v.NBits())
+			}
+			for i := 0; i < nbits; i++ {
+				if v.Test(i) != n.bits[i] {
+					t.Fatalf("%s/%d: Test(%d) = %v, want %v", name, nbits, i, v.Test(i), n.bits[i])
+				}
+			}
+			if v.Count() != n.count() {
+				t.Fatalf("%s/%d: Count = %d, want %d", name, nbits, v.Count(), n.count())
+			}
+		}
+	}
+}
+
+func TestTestOutOfRange(t *testing.T) {
+	v := bitvec.FromPositions(10, []int{3})
+	if v.Test(-1) || v.Test(10) || v.Test(1000) {
+		t.Error("out-of-range Test returned true")
+	}
+}
+
+func TestFromPositionsDuplicates(t *testing.T) {
+	v := bitvec.FromPositions(100, []int{5, 5, 5, 99, 0})
+	if v.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", v.Count())
+	}
+	for _, i := range []int{0, 5, 99} {
+		if !v.Test(i) {
+			t.Errorf("bit %d lost", i)
+		}
+	}
+}
+
+func TestOrIntoMatchesUnion(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 14))
+	for trial := 0; trial < 30; trial++ {
+		nbits := 1 + rng.IntN(2000)
+		a := newNaive(nbits)
+		b := newNaive(nbits)
+		for i := 0; i < nbits; i++ {
+			if rng.Float64() < 0.1 {
+				a.set(i)
+			}
+			if rng.Float64() < 0.7 {
+				b.set(i)
+			}
+		}
+		va := bitvec.Compress(a.toWords(), nbits)
+		vb := bitvec.Compress(b.toWords(), nbits)
+		dst := make([]uint64, bitvec.WordsFor(nbits))
+		va.OrInto(dst)
+		vb.OrInto(dst)
+		union := bitvec.Compress(dst, nbits)
+		for i := 0; i < nbits; i++ {
+			want := a.bits[i] || b.bits[i]
+			if union.Test(i) != want {
+				t.Fatalf("trial %d nbits %d: union bit %d = %v, want %v",
+					trial, nbits, i, union.Test(i), want)
+			}
+		}
+	}
+}
+
+func TestCompressionActuallyCompresses(t *testing.T) {
+	// A mostly-empty vector must be far smaller than raw.
+	nbits := 100_000
+	v := bitvec.FromPositions(nbits, []int{0, 50_000, 99_999})
+	raw := nbits / 8
+	if v.SizeBytes() >= raw/100 {
+		t.Errorf("sparse vector %dB, raw %dB: compression ineffective", v.SizeBytes(), raw)
+	}
+	// A fully-set vector likewise.
+	bs := make([]uint64, bitvec.WordsFor(nbits))
+	for i := range bs {
+		bs[i] = ^uint64(0)
+	}
+	full := bitvec.Compress(bs, nbits)
+	if full.SizeBytes() >= raw/100 {
+		t.Errorf("full vector %dB, raw %dB", full.SizeBytes(), raw)
+	}
+	if full.Count() != nbits {
+		t.Errorf("full count = %d", full.Count())
+	}
+}
+
+func TestQuickCompressFaithful(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		nbits := int(n)%1500 + 1
+		rng := rand.New(rand.NewPCG(seed, 0))
+		nv := newNaive(nbits)
+		for i := 0; i < nbits/3; i++ {
+			nv.set(rng.IntN(nbits))
+		}
+		v := bitvec.Compress(nv.toWords(), nbits)
+		// Probe a handful of positions plus count.
+		for i := 0; i < 20; i++ {
+			p := rng.IntN(nbits)
+			if v.Test(p) != nv.bits[p] {
+				return false
+			}
+		}
+		return v.Count() == nv.count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyVector(t *testing.T) {
+	v := bitvec.Compress(nil, 0)
+	if v.NBits() != 0 || v.Count() != 0 || v.SizeBytes() != 0 {
+		t.Errorf("empty vector: %+v", v)
+	}
+	v.OrInto(nil) // must not panic
+}

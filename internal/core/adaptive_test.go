@@ -1,0 +1,148 @@
+package core_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"kreach/internal/core"
+	"kreach/internal/cover"
+	"kreach/internal/graph"
+	"kreach/internal/testgraph"
+)
+
+// TestAdaptiveIntersectionPaths exercises the three Case 4 intersection
+// strategies (binary probes of the long adjacency, binary probes of the
+// long in-list, and the linear merge) by constructing graphs with extreme
+// list-length imbalances, and validates every answer against the oracle.
+func TestAdaptiveIntersectionPaths(t *testing.T) {
+	// Dense-ish random graph: cover vertices have index adjacency hundreds
+	// long, while leaf in-lists stay short (triggers the 8× probe paths).
+	g := testgraph.Random(400, 3000, 123)
+	for _, k := range []int{2, 3, 6, core.Unbounded} {
+		ix, err := core.Build(g, core.Options{K: k, Strategy: cover.DegreePrioritized, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := testgraph.NewReachOracle(g)
+		scratch := core.NewQueryScratch()
+		rng := rand.New(rand.NewPCG(8, 8))
+		for trial := 0; trial < 30000; trial++ {
+			s := graph.Vertex(rng.IntN(400))
+			tt := graph.Vertex(rng.IntN(400))
+			want := oracle.Reach(s, tt, k)
+			if got := ix.Reach(s, tt, scratch); got != want {
+				t.Fatalf("k=%d: Reach(%d,%d) = %v, want %v (case %v)",
+					k, s, tt, got, want, ix.Classify(s, tt))
+			}
+		}
+	}
+}
+
+// TestHubFanIntersection builds a three-layer graph (sources → hubs →
+// sinks) where the middle layer's index adjacency is long and the outer
+// layers' adjacency is a single vertex: the most lopsided intersection
+// possible.
+func TestHubFanIntersection(t *testing.T) {
+	const hubs, outer = 120, 800
+	b := graph.NewBuilder(hubs + 2*outer)
+	rng := rand.New(rand.NewPCG(4, 4))
+	// Hubs are densely interconnected (long index adjacency).
+	for i := 0; i < hubs; i++ {
+		for e := 0; e < 20; e++ {
+			b.AddEdge(graph.Vertex(i), graph.Vertex(rng.IntN(hubs)))
+		}
+	}
+	// Each source points at one hub; each sink hangs off one hub.
+	for i := 0; i < outer; i++ {
+		b.AddEdge(graph.Vertex(hubs+i), graph.Vertex(rng.IntN(hubs)))
+		b.AddEdge(graph.Vertex(rng.IntN(hubs)), graph.Vertex(hubs+outer+i))
+	}
+	g := b.Build()
+	for _, k := range []int{2, 4, core.Unbounded} {
+		ix, err := core.Build(g, core.Options{K: k, Strategy: cover.DegreePrioritized, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := testgraph.NewReachOracle(g)
+		scratch := core.NewQueryScratch()
+		// Focus on source→sink pairs: Case 4 with 1-element neighbor lists
+		// against hub adjacency hundreds long.
+		for trial := 0; trial < 4000; trial++ {
+			s := graph.Vertex(hubs + rng.IntN(outer))
+			tt := graph.Vertex(hubs + outer + rng.IntN(outer))
+			want := oracle.Reach(s, tt, k)
+			if got := ix.Reach(s, tt, scratch); got != want {
+				t.Fatalf("k=%v: Reach(%d,%d) = %v, want %v", k, s, tt, got, want)
+			}
+		}
+	}
+}
+
+// TestPeelingShrinksHubCovers verifies the Table 9 premise end to end: on
+// hub-dominated graphs the peeled 2-hop cover is smaller than the vertex
+// cover, and still valid.
+func TestPeelingShrinksHubCovers(t *testing.T) {
+	for seed := uint64(0); seed < 3; seed++ {
+		// Hub-star union: 20 hubs, 400 polarized leaves.
+		b := graph.NewBuilder(420)
+		rng := rand.New(rand.NewPCG(seed, 17))
+		for i := 0; i < 400; i++ {
+			h := graph.Vertex(rng.IntN(20))
+			leaf := graph.Vertex(20 + i)
+			if i%2 == 0 {
+				b.AddEdge(leaf, h)
+			} else {
+				b.AddEdge(h, leaf)
+			}
+		}
+		g := b.Build()
+		vc := cover.VertexCover(g, cover.DegreePrioritized, seed)
+		hc := cover.HHopCover(g, 2)
+		if cover.HasUncoveredHPath(g, hc, 2) {
+			t.Fatal("peeled cover invalid")
+		}
+		if hc.Len() >= vc.Len() {
+			t.Errorf("seed %d: 2-hop cover %d not smaller than VC %d", seed, hc.Len(), vc.Len())
+		}
+	}
+}
+
+func TestPeelingKeepsEveryHNeeded(t *testing.T) {
+	// Property: dropping any single vertex from the peeled cover must break
+	// it (the peel reaches a minimal — not minimum — cover).
+	g := testgraph.Random(60, 200, 31)
+	for _, h := range []int{1, 2} {
+		s := cover.HHopCover(g, h)
+		for _, drop := range s.List() {
+			var rest []graph.Vertex
+			for _, v := range s.List() {
+				if v != drop {
+					rest = append(rest, v)
+				}
+			}
+			reduced := cover.NewSet(g.NumVertices(), rest)
+			if !cover.HasUncoveredHPath(g, reduced, h) {
+				t.Fatalf("h=%d: cover still valid without %d — peel left redundancy", h, drop)
+			}
+		}
+	}
+}
+
+func BenchmarkCase4HeavyHubGraph(b *testing.B) {
+	g := testgraph.Random(2000, 16000, 5)
+	ix, err := core.Build(g, core.Options{K: 4, Strategy: cover.DegreePrioritized, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	scratch := core.NewQueryScratch()
+	rng := rand.New(rand.NewPCG(1, 1))
+	pairs := make([][2]graph.Vertex, 4096)
+	for i := range pairs {
+		pairs[i] = [2]graph.Vertex{graph.Vertex(rng.IntN(2000)), graph.Vertex(rng.IntN(2000))}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		ix.Reach(p[0], p[1], scratch)
+	}
+}

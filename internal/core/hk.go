@@ -1,0 +1,376 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"kreach/internal/cover"
+	"kreach/internal/graph"
+)
+
+// This file implements the (h,k)-reach index of Section 5: the same design
+// as k-reach but built over an h-hop vertex cover, trading query time for
+// index size. Definition 2 requires h < k/2; edge weights now span the 2h+1
+// values k-2h … k (bucketed at the low end), stored ⌈lg(2h+1)⌉ bits each.
+//
+// Correction over the paper's Algorithm 3 (see DESIGN.md §5): an h-hop
+// vertex cover only covers paths of length ≥ h, so a short path (length
+// < h) between two non-cover vertices can avoid the cover entirely. The
+// query therefore also watches for the target while expanding the ≤h-hop
+// neighborhoods it needs anyway; this keeps the algorithm exact at no
+// asymptotic cost.
+
+// HKOptions configures (h,k)-reach construction.
+type HKOptions struct {
+	// H is the hop-cover radius (h ≥ 1; h = 1 degenerates to plain k-reach
+	// built on a matching-based vertex cover).
+	H int
+	// K is the hop bound; must satisfy K > 2H (Definition 2: h < k/2).
+	K int
+	// Parallelism bounds concurrent construction BFS traversals; 0 means
+	// GOMAXPROCS.
+	Parallelism int
+}
+
+func (o HKOptions) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return Options{}.workers()
+}
+
+// ErrBadHK reports an invalid (h,k) combination.
+var ErrBadHK = errors.New("core: (h,k)-reach requires h >= 1 and k > 2h")
+
+// HKIndex is the (h,k)-reach index of Definition 2.
+type HKIndex struct {
+	g    *graph.Graph
+	h, k int
+
+	coverSet *cover.Set
+	coverID  []int32
+
+	outHead []int32
+	outAdj  []int32
+	weights *packedArray // value w encodes distance clamp: dist = k-2h+w for w>0, dist ≤ k-2h for w=0
+}
+
+// BuildHK constructs the (h,k)-reach index: an (h+1)-approximate minimum
+// h-hop vertex cover, then a k-hop BFS from each cover vertex.
+func BuildHK(g *graph.Graph, opts HKOptions) (*HKIndex, error) {
+	if opts.H < 1 || opts.K <= 2*opts.H {
+		return nil, fmt.Errorf("%w (h=%d, k=%d)", ErrBadHK, opts.H, opts.K)
+	}
+	return buildHKWithCover(g, opts, cover.HHopCover(g, opts.H))
+}
+
+// BuildHKWithCover constructs the (h,k)-reach index over a caller-supplied
+// h-hop vertex cover (validated).
+func BuildHKWithCover(g *graph.Graph, opts HKOptions, s *cover.Set) (*HKIndex, error) {
+	if opts.H < 1 || opts.K <= 2*opts.H {
+		return nil, fmt.Errorf("%w (h=%d, k=%d)", ErrBadHK, opts.H, opts.K)
+	}
+	if cover.HasUncoveredHPath(g, s, opts.H) {
+		return nil, errors.New("core: supplied set is not an h-hop vertex cover")
+	}
+	return buildHKWithCover(g, opts, s)
+}
+
+func buildHKWithCover(g *graph.Graph, opts HKOptions, s *cover.Set) (*HKIndex, error) {
+	n := g.NumVertices()
+	ix := &HKIndex{g: g, h: opts.H, k: opts.K, coverSet: s, coverID: make([]int32, n)}
+	for i := range ix.coverID {
+		ix.coverID[i] = -1
+	}
+	for i, v := range s.List() {
+		ix.coverID[v] = int32(i)
+	}
+
+	type arc struct {
+		to int32
+		w  uint16
+	}
+	perSource := make([][]arc, s.Len())
+	floor := ix.k - 2*ix.h // distances at or below this share bucket 0
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < opts.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scratch := graph.NewBFSScratch(n)
+			for ui := range work {
+				u := s.List()[ui]
+				graph.KHopBFS(g, u, ix.k, graph.Forward, scratch)
+				var arcs []arc
+				for _, v := range scratch.Visited() {
+					if v == u {
+						continue
+					}
+					ci := ix.coverID[v]
+					if ci < 0 {
+						continue
+					}
+					d := int(scratch.Dist(v))
+					w := 0
+					if d > floor {
+						w = d - floor
+					}
+					arcs = append(arcs, arc{to: ci, w: uint16(w)})
+				}
+				sort.Slice(arcs, func(i, j int) bool { return arcs[i].to < arcs[j].to })
+				perSource[ui] = arcs
+			}
+		}()
+	}
+	for ui := 0; ui < s.Len(); ui++ {
+		work <- ui
+	}
+	close(work)
+	wg.Wait()
+
+	total := 0
+	for _, arcs := range perSource {
+		total += len(arcs)
+	}
+	ix.outHead = make([]int32, s.Len()+1)
+	ix.outAdj = make([]int32, total)
+	ix.weights = newPackedArray(total, bitsFor(uint(2*ix.h)))
+	pos := 0
+	for ui, arcs := range perSource {
+		ix.outHead[ui] = int32(pos)
+		for _, a := range arcs {
+			ix.outAdj[pos] = a.to
+			ix.weights.set(pos, uint(a.w))
+			pos++
+		}
+	}
+	ix.outHead[s.Len()] = int32(pos)
+	return ix, nil
+}
+
+// H returns the hop-cover radius h.
+func (ix *HKIndex) H() int { return ix.h }
+
+// K returns the hop bound k.
+func (ix *HKIndex) K() int { return ix.k }
+
+// Cover returns the h-hop vertex cover underlying the index.
+func (ix *HKIndex) Cover() *cover.Set { return ix.coverSet }
+
+// NumIndexEdges returns |E_H|.
+func (ix *HKIndex) NumIndexEdges() int { return len(ix.outAdj) }
+
+// SizeBytes estimates the serialized index size (cover list, CSR, packed
+// weights), mirroring Index.SizeBytes.
+func (ix *HKIndex) SizeBytes() int {
+	return 4*len(ix.coverSet.List()) + 4*len(ix.outHead) + 4*len(ix.outAdj) + ix.weights.sizeBytes()
+}
+
+func (ix *HKIndex) arcWeight(u, v int32) uint {
+	adj := ix.outAdj[ix.outHead[u]:ix.outHead[u+1]]
+	lo, hi := 0, len(adj)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if adj[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(adj) && adj[lo] == v {
+		return ix.weights.get(int(ix.outHead[u]) + lo)
+	}
+	return notFound
+}
+
+// HKQueryScratch carries the per-goroutine BFS state used to expand the
+// ≤h-hop neighborhoods of the query endpoints.
+type HKQueryScratch struct {
+	fwd, bwd *graph.BFSScratch
+	bwdIDs   []int32 // sorted cover ids seen by the backward expansion
+	bwdDist  []int32 // backward hop count per entry of bwdIDs
+}
+
+// NewHKQueryScratch returns scratch space for queries against ix.
+func NewHKQueryScratch(ix *HKIndex) *HKQueryScratch {
+	n := ix.g.NumVertices()
+	return &HKQueryScratch{fwd: graph.NewBFSScratch(n), bwd: graph.NewBFSScratch(n)}
+}
+
+// Reach reports whether s →k t using Algorithm 3. scratch must come from
+// NewHKQueryScratch (nil allocates).
+func (ix *HKIndex) Reach(s, t graph.Vertex, scratch *HKQueryScratch) bool {
+	if s == t {
+		return true
+	}
+	if scratch == nil {
+		scratch = NewHKQueryScratch(ix)
+	}
+	cs, ct := ix.coverID[s], ix.coverID[t]
+	maxBudget := 2 * ix.h // stored weight w means dist ≤ k-2h+w; check w ≤ 2h-i-j
+
+	switch {
+	case cs >= 0 && ct >= 0:
+		// Case 1.
+		return ix.arcWeight(cs, ct) != notFound
+
+	case cs >= 0:
+		// Case 2: expand inNei_j(t) for j = 1..h; accept if s itself appears
+		// (a direct ≤h-hop path) or some cover vertex v at backward hop j
+		// has dist(s,v) ≤ k-j.
+		graph.KHopBFS(ix.g, t, ix.h, graph.Backward, scratch.bwd)
+		for _, v := range scratch.bwd.Visited() {
+			if v == t {
+				continue
+			}
+			if v == s {
+				return true // s →j t with j ≤ h < k
+			}
+			cv := ix.coverID[v]
+			if cv < 0 {
+				continue
+			}
+			j := int(scratch.bwd.Dist(v))
+			if w := ix.arcWeight(cs, cv); w != notFound && int(w) <= maxBudget-j {
+				return true
+			}
+		}
+		return false
+
+	case ct >= 0:
+		// Case 3: mirror image via outNei_i(s).
+		graph.KHopBFS(ix.g, s, ix.h, graph.Forward, scratch.fwd)
+		for _, u := range scratch.fwd.Visited() {
+			if u == s {
+				continue
+			}
+			if u == t {
+				return true
+			}
+			cu := ix.coverID[u]
+			if cu < 0 {
+				continue
+			}
+			i := int(scratch.fwd.Dist(u))
+			if w := ix.arcWeight(cu, ct); w != notFound && int(w) <= maxBudget-i {
+				return true
+			}
+		}
+		return false
+
+	default:
+		// Case 4: expand both neighborhoods. Any direct hit answers true;
+		// otherwise look for cover vertices u (forward hop i) and v
+		// (backward hop j) with dist(u,v) ≤ k-i-j, including u = v
+		// (dist 0, i+j ≤ 2h < k).
+		graph.KHopBFS(ix.g, t, ix.h, graph.Backward, scratch.bwd)
+		if scratch.bwd.Dist(s) >= 0 {
+			return true // direct path of length ≤ h
+		}
+		ids := scratch.bwdIDs[:0]
+		dists := scratch.bwdDist[:0]
+		for _, v := range scratch.bwd.Visited() {
+			if cv := ix.coverID[v]; cv >= 0 && v != t {
+				ids = append(ids, cv)
+				dists = append(dists, scratch.bwd.Dist(v))
+			}
+		}
+		scratch.bwdIDs, scratch.bwdDist = ids, dists
+		if len(ids) == 0 {
+			// No cover vertex within h hops behind t and no direct short
+			// path: unreachable, and the forward expansion can be skipped.
+			return false
+		}
+		sortPairs(ids, dists)
+
+		graph.KHopBFS(ix.g, s, ix.h, graph.Forward, scratch.fwd)
+		for _, u := range scratch.fwd.Visited() {
+			cu := ix.coverID[u]
+			if cu < 0 || u == s {
+				continue
+			}
+			i := int(scratch.fwd.Dist(u))
+			// u = v case: s →i u →j t with i+j ≤ 2h < k.
+			if pos := searchInt32(ids, cu); pos >= 0 {
+				return true
+			}
+			adj := ix.outAdj[ix.outHead[cu]:ix.outHead[cu+1]]
+			base := int(ix.outHead[cu])
+			if len(ids)*8 < len(adj) {
+				// Binary-probe the long adjacency for each backward id.
+				for bi, v := range ids {
+					if p := searchInt32(adj, v); p >= 0 &&
+						int(ix.weights.get(base+p)) <= maxBudget-i-int(dists[bi]) {
+						return true
+					}
+				}
+				continue
+			}
+			ai, bi := 0, 0
+			for ai < len(adj) && bi < len(ids) {
+				switch {
+				case adj[ai] < ids[bi]:
+					ai++
+				case adj[ai] > ids[bi]:
+					bi++
+				default:
+					j := int(dists[bi])
+					if int(ix.weights.get(base+ai)) <= maxBudget-i-j {
+						return true
+					}
+					ai++
+					bi++
+				}
+			}
+		}
+		return false
+	}
+}
+
+// Classify reports the Algorithm 3 case of the query (s, t).
+func (ix *HKIndex) Classify(s, t graph.Vertex) QueryCase {
+	switch {
+	case s == t:
+		return CaseEqual
+	case ix.coverID[s] >= 0 && ix.coverID[t] >= 0:
+		return Case1
+	case ix.coverID[s] >= 0:
+		return Case2
+	case ix.coverID[t] >= 0:
+		return Case3
+	default:
+		return Case4
+	}
+}
+
+func sortPairs(ids, dists []int32) {
+	sort.Sort(&pairSlice{ids, dists})
+}
+
+type pairSlice struct{ ids, dists []int32 }
+
+func (p *pairSlice) Len() int           { return len(p.ids) }
+func (p *pairSlice) Less(i, j int) bool { return p.ids[i] < p.ids[j] }
+func (p *pairSlice) Swap(i, j int) {
+	p.ids[i], p.ids[j] = p.ids[j], p.ids[i]
+	p.dists[i], p.dists[j] = p.dists[j], p.dists[i]
+}
+
+func searchInt32(sorted []int32, v int32) int {
+	lo, hi := 0, len(sorted)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if sorted[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(sorted) && sorted[lo] == v {
+		return lo
+	}
+	return -1
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"kreach/internal/cover"
+	"kreach/internal/graph"
+)
+
+// (h,k)-reach index serialization, mirroring the plain index format:
+//
+//	magic "KRH1" | uint32 crc of payload | payload:
+//	  varint h | varint k | varint n | varint coverLen |
+//	  cover vertex ids (varint deltas) | varint totalArcs |
+//	  per cover vertex: varint deg, adj ids (varint deltas) |
+//	  varint weight words, 8 bytes each
+
+var hkMagic = [4]byte{'K', 'R', 'H', '1'}
+
+// WriteBinary writes the (h,k)-reach index (without its graph) to w.
+func (ix *HKIndex) WriteBinary(w io.Writer) error {
+	var buf []byte
+	buf = binary.AppendUvarint(buf, uint64(ix.h))
+	buf = binary.AppendUvarint(buf, uint64(ix.k))
+	buf = binary.AppendUvarint(buf, uint64(len(ix.coverID)))
+	list := ix.coverSet.List()
+	buf = binary.AppendUvarint(buf, uint64(len(list)))
+	prev := graph.Vertex(0)
+	for _, v := range list {
+		buf = binary.AppendUvarint(buf, uint64(v-prev))
+		prev = v
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(ix.outAdj)))
+	for u := 0; u < len(list); u++ {
+		adj := ix.outAdj[ix.outHead[u]:ix.outHead[u+1]]
+		buf = binary.AppendUvarint(buf, uint64(len(adj)))
+		p := int32(0)
+		for _, v := range adj {
+			buf = binary.AppendUvarint(buf, uint64(v-p))
+			p = v
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(ix.weights.data)))
+	for _, word := range ix.weights.data {
+		var wbuf [8]byte
+		binary.LittleEndian.PutUint64(wbuf[:], word)
+		buf = append(buf, wbuf[:]...)
+	}
+
+	var hdr [8]byte
+	copy(hdr[:4], hkMagic[:])
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(buf))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadBinaryHKIndex reads an index written by HKIndex.WriteBinary and
+// attaches it to g, which must be the graph it was built from.
+func ReadBinaryHKIndex(r io.Reader, g *graph.Graph) (*HKIndex, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	if [4]byte(hdr[:4]) != hkMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadIndexFormat)
+	}
+	payload, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(hdr[4:]) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadIndexFormat)
+	}
+	d := decoder{buf: payload}
+	h := int(d.uvarint())
+	k := int(d.uvarint())
+	n := int(d.uvarint())
+	if n != g.NumVertices() {
+		return nil, fmt.Errorf("%w: index built for n=%d, graph has n=%d",
+			ErrBadIndexFormat, n, g.NumVertices())
+	}
+	if h < 1 || k <= 2*h {
+		return nil, fmt.Errorf("%w: invalid (h,k)=(%d,%d)", ErrBadIndexFormat, h, k)
+	}
+	coverLen := int(d.uvarint())
+	list := make([]graph.Vertex, coverLen)
+	prev := graph.Vertex(0)
+	for i := range list {
+		prev += graph.Vertex(d.uvarint())
+		list[i] = prev
+		if int(prev) >= n {
+			return nil, fmt.Errorf("%w: cover vertex out of range", ErrBadIndexFormat)
+		}
+	}
+	total := int(d.uvarint())
+	ix := &HKIndex{
+		g:        g,
+		h:        h,
+		k:        k,
+		coverSet: cover.NewSet(n, list),
+		coverID:  make([]int32, n),
+		outHead:  make([]int32, coverLen+1),
+		outAdj:   make([]int32, total),
+	}
+	for i := range ix.coverID {
+		ix.coverID[i] = -1
+	}
+	for i, v := range list {
+		ix.coverID[v] = int32(i)
+	}
+	pos := 0
+	for u := 0; u < coverLen; u++ {
+		ix.outHead[u] = int32(pos)
+		deg := int(d.uvarint())
+		p := int32(0)
+		for j := 0; j < deg; j++ {
+			if pos >= total {
+				return nil, fmt.Errorf("%w: arc overflow", ErrBadIndexFormat)
+			}
+			p += int32(d.uvarint())
+			if int(p) >= coverLen {
+				return nil, fmt.Errorf("%w: arc target out of range", ErrBadIndexFormat)
+			}
+			ix.outAdj[pos] = p
+			pos++
+		}
+	}
+	ix.outHead[coverLen] = int32(pos)
+	if pos != total {
+		return nil, fmt.Errorf("%w: arc count mismatch", ErrBadIndexFormat)
+	}
+	words := int(d.uvarint())
+	ix.weights = newPackedArray(total, bitsFor(uint(2*h)))
+	if words != len(ix.weights.data) {
+		return nil, fmt.Errorf("%w: weight block size mismatch", ErrBadIndexFormat)
+	}
+	for i := 0; i < words; i++ {
+		ix.weights.data[i] = d.u64()
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return ix, nil
+}

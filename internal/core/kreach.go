@@ -1,0 +1,231 @@
+// Package core implements the paper's contribution: the k-reach index for
+// k-hop reachability queries (Definition 1, Algorithms 1–2), the
+// (h,k)-reach variant built on an h-hop vertex cover (Definition 2,
+// Algorithm 3), and the multi-resolution ladder of Section 4.4 for queries
+// with a general k.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"kreach/internal/cover"
+	"kreach/internal/graph"
+)
+
+// Unbounded selects classic reachability (k = ∞); the paper calls the
+// resulting structure n-reach.
+const Unbounded = -1
+
+// Weight buckets of Definition 1. Only the bucket — not the exact distance —
+// is stored, 2 bits per index edge.
+const (
+	weightLEKm2 = 0 // shortest distance ≤ k-2
+	weightKm1   = 1 // shortest distance = k-1
+	weightK     = 2 // shortest distance = k
+)
+
+// Options configures index construction.
+type Options struct {
+	// K is the hop bound the index answers queries for. K = Unbounded (or
+	// any K < 0) builds the n-reach variant for classic reachability.
+	// K must not be 0 (a 0-hop query is the identity test).
+	K int
+	// Strategy selects the vertex-cover heuristic; the default (zero value)
+	// is cover.RandomEdge, the paper's Section 4.1.1 baseline. Use
+	// cover.DegreePrioritized for the Section 4.3 variant.
+	Strategy cover.Strategy
+	// Seed drives the randomized cover selection.
+	Seed uint64
+	// Parallelism bounds the number of concurrent per-cover-vertex BFS
+	// traversals during construction (Section 4.1.3 notes this
+	// parallelizes). 0 means GOMAXPROCS; 1 means sequential.
+	Parallelism int
+}
+
+func (o Options) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Index is the k-reach index of Definition 1: a weighted directed graph
+// I = (V_I, E_I, ω_I) with V_I a vertex cover of G, an edge (u,v) for every
+// cover pair with u →k v, and 2-bit bucketed weights. It retains a
+// reference to the indexed graph, which queries consult for the adjacency
+// of non-cover endpoints (Cases 2–4 of Algorithm 2).
+type Index struct {
+	g *graph.Graph
+	k int // Unbounded for n-reach
+
+	coverSet *cover.Set
+	coverID  []int32 // graph vertex → dense cover id, -1 if not in cover
+
+	// Index graph in CSR over cover ids, adjacency sorted by cover id.
+	outHead []int32
+	outAdj  []int32
+	weights *packedArray
+}
+
+// ErrBadK reports an invalid hop bound.
+var ErrBadK = errors.New("core: k must be >= 1 or Unbounded")
+
+// Build constructs the k-reach index of g per Algorithm 1: compute a vertex
+// cover S, then run a k-hop BFS from every u ∈ S and record, for every
+// cover vertex v reached, the edge (u,v) with its weight bucket.
+func Build(g *graph.Graph, opts Options) (*Index, error) {
+	if opts.K == 0 || (opts.K < 0 && opts.K != Unbounded) {
+		return nil, fmt.Errorf("%w (got %d)", ErrBadK, opts.K)
+	}
+	s := cover.VertexCover(g, opts.Strategy, opts.Seed)
+	return buildWithCover(g, opts, s)
+}
+
+// BuildWithCover constructs the index over a caller-supplied vertex cover.
+// The cover is validated; supplying a precomputed cover lets experiments
+// share one cover across many k values (as the Table 7 sweep does).
+func BuildWithCover(g *graph.Graph, opts Options, s *cover.Set) (*Index, error) {
+	if opts.K == 0 || (opts.K < 0 && opts.K != Unbounded) {
+		return nil, fmt.Errorf("%w (got %d)", ErrBadK, opts.K)
+	}
+	if !cover.IsVertexCover(g, s) {
+		return nil, errors.New("core: supplied set is not a vertex cover")
+	}
+	return buildWithCover(g, opts, s)
+}
+
+func buildWithCover(g *graph.Graph, opts Options, s *cover.Set) (*Index, error) {
+	n := g.NumVertices()
+	ix := &Index{g: g, k: opts.K, coverSet: s, coverID: make([]int32, n)}
+	for i := range ix.coverID {
+		ix.coverID[i] = -1
+	}
+	for i, v := range s.List() {
+		ix.coverID[v] = int32(i)
+	}
+
+	type arc struct {
+		to int32
+		w  uint8
+	}
+	perSource := make([][]arc, s.Len())
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < opts.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scratch := graph.NewBFSScratch(n)
+			for ui := range work {
+				u := s.List()[ui]
+				graph.KHopBFS(g, u, ix.k, graph.Forward, scratch)
+				var arcs []arc
+				for _, v := range scratch.Visited() {
+					if v == u {
+						continue // (u,u): distance 0 is implicit at query time
+					}
+					ci := ix.coverID[v]
+					if ci < 0 {
+						continue
+					}
+					arcs = append(arcs, arc{to: ci, w: ix.bucketFor(scratch.Dist(v))})
+				}
+				sort.Slice(arcs, func(i, j int) bool { return arcs[i].to < arcs[j].to })
+				perSource[ui] = arcs
+			}
+		}()
+	}
+	for ui := 0; ui < s.Len(); ui++ {
+		work <- ui
+	}
+	close(work)
+	wg.Wait()
+
+	total := 0
+	for _, arcs := range perSource {
+		total += len(arcs)
+	}
+	ix.outHead = make([]int32, s.Len()+1)
+	ix.outAdj = make([]int32, total)
+	ix.weights = newPackedArray(total, 2)
+	pos := 0
+	for ui, arcs := range perSource {
+		ix.outHead[ui] = int32(pos)
+		for _, a := range arcs {
+			ix.outAdj[pos] = a.to
+			ix.weights.set(pos, uint(a.w))
+			pos++
+		}
+	}
+	ix.outHead[s.Len()] = int32(pos)
+	return ix, nil
+}
+
+// bucketFor maps a BFS distance (1..k) to its 2-bit weight bucket. For the
+// unbounded (n-reach) index every reachable pair lands in the ≤k-2 bucket,
+// making all query-side weight comparisons trivially true.
+func (ix *Index) bucketFor(dist int32) uint8 {
+	if ix.k == Unbounded {
+		return weightLEKm2
+	}
+	switch {
+	case int(dist) <= ix.k-2:
+		return weightLEKm2
+	case int(dist) == ix.k-1:
+		return weightKm1
+	default:
+		return weightK
+	}
+}
+
+// K returns the hop bound the index was built for (Unbounded for n-reach).
+func (ix *Index) K() int { return ix.k }
+
+// Graph returns the indexed graph.
+func (ix *Index) Graph() *graph.Graph { return ix.g }
+
+// Cover returns the vertex cover underlying the index.
+func (ix *Index) Cover() *cover.Set { return ix.coverSet }
+
+// NumIndexEdges returns |E_I|.
+func (ix *Index) NumIndexEdges() int { return len(ix.outAdj) }
+
+// InCover reports whether v ∈ V_I, i.e. membership in the vertex cover.
+func (ix *Index) InCover(v graph.Vertex) bool { return ix.coverID[v] >= 0 }
+
+// SizeBytes estimates the on-disk size of the index: the cover id map, the
+// CSR offsets and adjacency, and the 2-bit packed weights. This matches how
+// Table 4 of the paper accounts index size (the input graph is not part of
+// the index).
+func (ix *Index) SizeBytes() int {
+	size := 4 * len(ix.coverSet.List()) // cover membership as a sorted id list
+	size += 4 * len(ix.outHead)
+	size += 4 * len(ix.outAdj)
+	size += ix.weights.sizeBytes()
+	return size
+}
+
+// arcWeight returns the weight bucket of the index edge (u,v) given by
+// cover ids, or notFound if the edge is absent.
+const notFound = uint(0xFF)
+
+func (ix *Index) arcWeight(u, v int32) uint {
+	adj := ix.outAdj[ix.outHead[u]:ix.outHead[u+1]]
+	lo, hi := 0, len(adj)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if adj[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(adj) && adj[lo] == v {
+		return ix.weights.get(int(ix.outHead[u]) + lo)
+	}
+	return notFound
+}

@@ -1,0 +1,292 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"kreach/internal/core"
+	"kreach/internal/cover"
+	"kreach/internal/graph"
+	"kreach/internal/testgraph"
+)
+
+// paperIndex builds the 3-reach index of Example 1: the Figure 1 graph with
+// the paper's cover {b,d,g,i}.
+func paperIndex(t *testing.T, k int) *core.Index {
+	t.Helper()
+	g := testgraph.PaperFigure1()
+	s := cover.NewSet(g.NumVertices(),
+		[]graph.Vertex{testgraph.B, testgraph.D, testgraph.G, testgraph.I})
+	ix, err := core.BuildWithCover(g, core.Options{K: k}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestPaperExample1IndexShape(t *testing.T) {
+	// Figure 2: the 3-reach index has exactly 5 edges:
+	// (b,d):1 (b,g):3 (d,g):2 (d,i):3 (g,i):1.
+	ix := paperIndex(t, 3)
+	if got := ix.NumIndexEdges(); got != 5 {
+		t.Fatalf("index edges = %d, want 5 (Figure 2)", got)
+	}
+	if ix.Cover().Len() != 4 {
+		t.Fatalf("cover size = %d, want 4", ix.Cover().Len())
+	}
+}
+
+func TestPaperExample2Queries(t *testing.T) {
+	// All verdicts stated in Example 2 (k = 3).
+	ix := paperIndex(t, 3)
+	cases := []struct {
+		s, t graph.Vertex
+		want bool
+		c    core.QueryCase
+	}{
+		{testgraph.B, testgraph.G, true, core.Case1},  // b →3 g
+		{testgraph.B, testgraph.I, false, core.Case1}, // b reaches i only in 4 hops
+		{testgraph.D, testgraph.H, true, core.Case2},  // via in-neighbor g, ω=2 ≤ 2
+		{testgraph.D, testgraph.J, false, core.Case2}, // ω((d,i))=3 > 2
+		{testgraph.A, testgraph.D, true, core.Case3},  // via out-neighbor b, ω=1 ≤ 2
+		{testgraph.A, testgraph.G, false, core.Case3}, // ω((b,g))=3 > 2
+		{testgraph.C, testgraph.F, true, core.Case4},  // ω((b,d))=1 ≤ 1
+		{testgraph.C, testgraph.H, false, core.Case4}, // ω((b,g))=3 > 1
+	}
+	scratch := core.NewQueryScratch()
+	for _, c := range cases {
+		if got := ix.Reach(c.s, c.t, scratch); got != c.want {
+			t.Errorf("Reach(%s,%s) = %v, want %v",
+				testgraph.VertexName(c.s), testgraph.VertexName(c.t), got, c.want)
+		}
+		if got := ix.Classify(c.s, c.t); got != c.c {
+			t.Errorf("Classify(%s,%s) = %v, want %v",
+				testgraph.VertexName(c.s), testgraph.VertexName(c.t), got, c.c)
+		}
+	}
+}
+
+func TestSelfQueryAlwaysTrue(t *testing.T) {
+	ix := paperIndex(t, 3)
+	for v := graph.Vertex(0); v < 10; v++ {
+		if !ix.Reach(v, v, nil) {
+			t.Errorf("Reach(%s,%s) = false, want true (0 hops)",
+				testgraph.VertexName(v), testgraph.VertexName(v))
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	g := testgraph.Path(3)
+	if _, err := core.Build(g, core.Options{K: 0}); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := core.Build(g, core.Options{K: -7}); err == nil {
+		t.Error("negative non-Unbounded K accepted")
+	}
+	if _, err := core.Build(g, core.Options{K: core.Unbounded}); err != nil {
+		t.Errorf("Unbounded rejected: %v", err)
+	}
+	// BuildWithCover must reject a non-cover.
+	bad := cover.NewSet(3, []graph.Vertex{0})
+	if _, err := core.BuildWithCover(g, core.Options{K: 2}, bad); err == nil {
+		t.Error("non-cover accepted")
+	}
+}
+
+// checkOracle exhaustively compares index answers to the BFS oracle for
+// every ordered pair.
+func checkOracle(t *testing.T, g *graph.Graph, ix *core.Index, k int, label string) {
+	t.Helper()
+	oracle := testgraph.NewReachOracle(g)
+	scratch := core.NewQueryScratch()
+	n := g.NumVertices()
+	for s := 0; s < n; s++ {
+		for tt := 0; tt < n; tt++ {
+			want := oracle.Reach(graph.Vertex(s), graph.Vertex(tt), k)
+			got := ix.Reach(graph.Vertex(s), graph.Vertex(tt), scratch)
+			if got != want {
+				t.Fatalf("%s: Reach(%d,%d) k=%d = %v, want %v (case %v, dist %d)",
+					label, s, tt, k, got, want,
+					ix.Classify(graph.Vertex(s), graph.Vertex(tt)),
+					oracle.Dist[s][tt])
+			}
+		}
+	}
+}
+
+func TestOracleEquivalenceRandomGraphs(t *testing.T) {
+	strategies := []cover.Strategy{cover.RandomEdge, cover.DegreePrioritized, cover.GreedyVertex}
+	for seed := uint64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewPCG(seed, 13))
+		n := 2 + rng.IntN(45)
+		g := testgraph.Random(n, rng.IntN(4*n), seed)
+		for _, k := range []int{1, 2, 3, 5, 9, core.Unbounded} {
+			strat := strategies[int(seed)%len(strategies)]
+			ix, err := core.Build(g, core.Options{K: k, Strategy: strat, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkOracle(t, g, ix, k, fmt.Sprintf("seed=%d k=%d strat=%v", seed, k, strat))
+		}
+	}
+}
+
+func TestOracleEquivalenceStructuredGraphs(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"path":     testgraph.Path(20),
+		"cycle":    testgraph.Cycle(15),
+		"star-out": testgraph.Star(20, true),
+		"star-in":  testgraph.Star(20, false),
+		"paper":    testgraph.PaperFigure1(),
+		"dag":      testgraph.RandomDAG(30, 80, 3),
+	}
+	for name, g := range graphs {
+		for _, k := range []int{1, 2, 4, 7, core.Unbounded} {
+			ix, err := core.Build(g, core.Options{K: k, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkOracle(t, g, ix, k, fmt.Sprintf("%s k=%d", name, k))
+		}
+	}
+}
+
+func TestOracleEquivalenceWithSelfLoopsAndCycles(t *testing.T) {
+	// Self-loops and 2-cycles stress the cover and the distance-0
+	// conventions.
+	b := graph.NewBuilder(8)
+	b.AddEdge(0, 0)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 1)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 2)
+	b.AddEdge(5, 6)
+	g := b.Build()
+	for _, k := range []int{1, 2, 3, 4, core.Unbounded} {
+		ix, err := core.Build(g, core.Options{K: k, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkOracle(t, g, ix, k, fmt.Sprintf("loops k=%d", k))
+	}
+}
+
+func TestParallelMatchesSequentialBuild(t *testing.T) {
+	g := testgraph.Random(80, 300, 9)
+	seq, err := core.Build(g, core.Options{K: 4, Seed: 5, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := core.Build(g, core.Options{K: 4, Seed: 5, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.NumIndexEdges() != par.NumIndexEdges() || seq.SizeBytes() != par.SizeBytes() {
+		t.Fatalf("parallel build differs: edges %d vs %d",
+			seq.NumIndexEdges(), par.NumIndexEdges())
+	}
+	scratch := core.NewQueryScratch()
+	for s := 0; s < 80; s++ {
+		for tt := 0; tt < 80; tt += 7 {
+			a := seq.Reach(graph.Vertex(s), graph.Vertex(tt), scratch)
+			b := par.Reach(graph.Vertex(s), graph.Vertex(tt), scratch)
+			if a != b {
+				t.Fatalf("parallel/sequential disagree on (%d,%d)", s, tt)
+			}
+		}
+	}
+}
+
+func TestNReachIsClassicReachability(t *testing.T) {
+	g := testgraph.Random(50, 160, 21)
+	ix, err := core.Build(g, core.Options{K: core.Unbounded, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkOracle(t, g, ix, -1, "n-reach")
+	if ix.K() != core.Unbounded {
+		t.Errorf("K() = %d", ix.K())
+	}
+}
+
+func TestCelebrityStarQueries(t *testing.T) {
+	// The "Lady Gaga" case: a huge-degree hub. With degree prioritization
+	// the hub lands in the cover, so hub queries are Case 1/2/3.
+	g := testgraph.Star(1000, true)
+	ix, err := core.Build(g, core.Options{K: 2, Strategy: cover.DegreePrioritized})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ix.InCover(0) {
+		t.Fatal("hub not in degree-prioritized cover")
+	}
+	scratch := core.NewQueryScratch()
+	for _, fan := range []graph.Vertex{1, 500, 999} {
+		if !ix.Reach(0, fan, scratch) {
+			t.Errorf("hub cannot reach fan %d", fan)
+		}
+		if ix.Reach(fan, 0, scratch) {
+			t.Errorf("fan %d reaches hub in out-star", fan)
+		}
+		if got := ix.Classify(0, fan); got == core.Case4 {
+			t.Errorf("hub query fell into Case 4")
+		}
+	}
+	// Fan-to-fan within 2 hops is impossible in an out-star.
+	if ix.Reach(1, 2, scratch) {
+		t.Error("fan → fan should be unreachable")
+	}
+}
+
+func TestIndexAccessors(t *testing.T) {
+	g := testgraph.PaperFigure1()
+	ix, err := core.Build(g, core.Options{K: 3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Graph() != g {
+		t.Error("Graph() identity lost")
+	}
+	if ix.K() != 3 {
+		t.Errorf("K() = %d", ix.K())
+	}
+	if ix.SizeBytes() <= 0 {
+		t.Errorf("SizeBytes = %d", ix.SizeBytes())
+	}
+	if !cover.IsVertexCover(g, ix.Cover()) {
+		t.Error("Cover() is not a vertex cover")
+	}
+}
+
+func TestEdgelessGraph(t *testing.T) {
+	g := graph.NewBuilder(5).Build()
+	ix, err := core.Build(g, core.Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := core.NewQueryScratch()
+	for s := 0; s < 5; s++ {
+		for tt := 0; tt < 5; tt++ {
+			want := s == tt
+			if got := ix.Reach(graph.Vertex(s), graph.Vertex(tt), scratch); got != want {
+				t.Fatalf("edgeless Reach(%d,%d) = %v", s, tt, got)
+			}
+		}
+	}
+	if ix.NumIndexEdges() != 0 || ix.Cover().Len() != 0 {
+		t.Errorf("edgeless index not empty: %d edges, cover %d",
+			ix.NumIndexEdges(), ix.Cover().Len())
+	}
+}
+
+func TestQueryCaseStrings(t *testing.T) {
+	for _, c := range []core.QueryCase{core.CaseEqual, core.Case1, core.Case2, core.Case3, core.Case4} {
+		if c.String() == "?" {
+			t.Errorf("missing String for case %d", int(c))
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"kreach/internal/cover"
+	"kreach/internal/graph"
+)
+
+// This file implements Section 4.4: answering k-hop reachability for a
+// *general* k with a ladder of i-reach indexes. Two ladders are discussed
+// in the paper:
+//
+//   - power-of-2: i = 2, 4, 8, …, 2^⌈lg d⌉ (lg d indexes). Queries for a k
+//     between rungs get a one-sided approximate answer: "no" is always
+//     exact, "yes" may mean reachable within k' for some k < k' ≤ 2^⌈lg k⌉.
+//   - exhaustive: i = 2, …, d (d-1 indexes), exact for every k.
+//
+// Both ladders share one vertex cover across all rungs (the cover does not
+// depend on k), which also keeps the rungs mutually consistent.
+
+// Verdict is the answer of a MultiIndex query.
+type Verdict int
+
+const (
+	// No means t is certainly not reachable from s within k hops.
+	No Verdict = iota
+	// Yes means t is certainly reachable from s within k hops.
+	Yes
+	// YesWithin means t is reachable within EffectiveK hops (the rung above
+	// k) but possibly not within k itself — the approximate answer the
+	// power-of-2 ladder gives between rungs.
+	YesWithin
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case No:
+		return "no"
+	case Yes:
+		return "yes"
+	case YesWithin:
+		return "yes-within"
+	}
+	return "?"
+}
+
+// MultiResult carries a verdict and, for YesWithin, the rung k' that the
+// positive answer is certain for.
+type MultiResult struct {
+	Verdict    Verdict
+	EffectiveK int // meaningful when Verdict == YesWithin
+}
+
+// MultiIndex is a ladder of k-reach indexes for general-k queries.
+type MultiIndex struct {
+	g     *graph.Graph
+	ks    []int // ascending rungs
+	byK   map[int]*Index
+	unbnd *Index // n-reach rung for k beyond the top (classic reachability)
+}
+
+// PowerOfTwoKs returns the Section 4.4 rungs 2, 4, 8, …, up to the first
+// power of two ≥ maxK.
+func PowerOfTwoKs(maxK int) []int {
+	var ks []int
+	for k := 2; ; k *= 2 {
+		ks = append(ks, k)
+		if k >= maxK {
+			return ks
+		}
+	}
+}
+
+// AllKs returns the exhaustive rungs 2, 3, …, maxK.
+func AllKs(maxK int) []int {
+	var ks []int
+	for k := 2; k <= maxK; k++ {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// BuildMulti constructs one k-reach index per rung in ks (deduplicated,
+// sorted), plus an n-reach rung, all sharing a single vertex cover computed
+// with opts.Strategy/Seed. opts.K is ignored.
+func BuildMulti(g *graph.Graph, ks []int, opts Options) (*MultiIndex, error) {
+	if len(ks) == 0 {
+		return nil, errors.New("core: no ladder rungs")
+	}
+	rungs := append([]int(nil), ks...)
+	sort.Ints(rungs)
+	uniq := rungs[:0]
+	for i, k := range rungs {
+		if k < 1 {
+			return nil, fmt.Errorf("%w (rung %d)", ErrBadK, k)
+		}
+		if i > 0 && k == rungs[i-1] {
+			continue
+		}
+		uniq = append(uniq, k)
+	}
+	rungs = uniq
+	s := cover.VertexCover(g, opts.Strategy, opts.Seed)
+	m := &MultiIndex{g: g, ks: rungs, byK: make(map[int]*Index, len(rungs))}
+	for _, k := range rungs {
+		o := opts
+		o.K = k
+		ix, err := buildWithCover(g, o, s)
+		if err != nil {
+			return nil, err
+		}
+		m.byK[k] = ix
+	}
+	o := opts
+	o.K = Unbounded
+	ub, err := buildWithCover(g, o, s)
+	if err != nil {
+		return nil, err
+	}
+	m.unbnd = ub
+	return m, nil
+}
+
+// Rungs returns the ladder's k values in ascending order.
+func (m *MultiIndex) Rungs() []int { return m.ks }
+
+// SizeBytes sums the rung sizes (including the n-reach rung), the space
+// figure Section 4.4 reasons about (≈ lg d × one index).
+func (m *MultiIndex) SizeBytes() int {
+	total := m.unbnd.SizeBytes()
+	for _, ix := range m.byK {
+		total += ix.SizeBytes()
+	}
+	return total
+}
+
+// Reach answers a k-hop reachability query with the ladder. The answer is
+// exact whenever k matches a rung, k exceeds the top rung's coverage of the
+// graph's diameter, or the bracketing rungs agree; otherwise it is the
+// paper's one-sided approximation (YesWithin the next rung up).
+func (m *MultiIndex) Reach(s, t graph.Vertex, k int, scratch *QueryScratch) MultiResult {
+	if k < 0 { // classic reachability
+		if m.unbnd.Reach(s, t, scratch) {
+			return MultiResult{Verdict: Yes}
+		}
+		return MultiResult{Verdict: No}
+	}
+	if s == t {
+		return MultiResult{Verdict: Yes}
+	}
+	if k == 0 {
+		return MultiResult{Verdict: No}
+	}
+	if ix, ok := m.byK[k]; ok {
+		if ix.Reach(s, t, scratch) {
+			return MultiResult{Verdict: Yes}
+		}
+		return MultiResult{Verdict: No}
+	}
+	// Bracketing rungs.
+	pos := sort.SearchInts(m.ks, k)
+	// Upper rung: first rung ≥ k (or the unbounded rung).
+	var upper *Index
+	upperK := 0
+	if pos < len(m.ks) {
+		upper = m.byK[m.ks[pos]]
+		upperK = m.ks[pos]
+	} else {
+		upper = m.unbnd
+	}
+	if !upper.Reach(s, t, scratch) {
+		if upperK == 0 {
+			// Not reachable at all, so certainly not within k.
+			return MultiResult{Verdict: No}
+		}
+		return MultiResult{Verdict: No}
+	}
+	// Lower rung: last rung < k, if any; a positive there is exact.
+	if pos > 0 {
+		lowerK := m.ks[pos-1]
+		if m.byK[lowerK].Reach(s, t, scratch) {
+			return MultiResult{Verdict: Yes}
+		}
+	}
+	if upperK == 0 {
+		// Reachable eventually but we cannot bound by k: report the weakest
+		// one-sided answer (reachable within the diameter).
+		return MultiResult{Verdict: YesWithin, EffectiveK: m.g.NumVertices() - 1}
+	}
+	return MultiResult{Verdict: YesWithin, EffectiveK: upperK}
+}

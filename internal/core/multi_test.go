@@ -1,0 +1,130 @@
+package core_test
+
+import (
+	"reflect"
+	"testing"
+
+	"kreach/internal/core"
+	"kreach/internal/graph"
+	"kreach/internal/testgraph"
+)
+
+func TestPowerOfTwoKs(t *testing.T) {
+	if got := core.PowerOfTwoKs(10); !reflect.DeepEqual(got, []int{2, 4, 8, 16}) {
+		t.Errorf("PowerOfTwoKs(10) = %v", got)
+	}
+	if got := core.PowerOfTwoKs(2); !reflect.DeepEqual(got, []int{2}) {
+		t.Errorf("PowerOfTwoKs(2) = %v", got)
+	}
+	if got := core.PowerOfTwoKs(24); !reflect.DeepEqual(got, []int{2, 4, 8, 16, 32}) {
+		t.Errorf("PowerOfTwoKs(24) = %v", got)
+	}
+}
+
+func TestAllKs(t *testing.T) {
+	if got := core.AllKs(5); !reflect.DeepEqual(got, []int{2, 3, 4, 5}) {
+		t.Errorf("AllKs(5) = %v", got)
+	}
+}
+
+func TestMultiValidation(t *testing.T) {
+	g := testgraph.Path(4)
+	if _, err := core.BuildMulti(g, nil, core.Options{}); err == nil {
+		t.Error("empty ladder accepted")
+	}
+	if _, err := core.BuildMulti(g, []int{0}, core.Options{}); err == nil {
+		t.Error("rung 0 accepted")
+	}
+}
+
+func TestExactLadderMatchesOracle(t *testing.T) {
+	g := testgraph.Random(35, 110, 17)
+	// Exhaustive ladder up to a bound safely above the diameter.
+	m, err := core.BuildMulti(g, core.AllKs(36), core.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := testgraph.NewReachOracle(g)
+	scratch := core.NewQueryScratch()
+	for s := 0; s < 35; s++ {
+		for tt := 0; tt < 35; tt++ {
+			for _, k := range []int{2, 3, 5, 11, 36, -1} {
+				res := m.Reach(graph.Vertex(s), graph.Vertex(tt), k, scratch)
+				want := oracle.Reach(graph.Vertex(s), graph.Vertex(tt), k)
+				if res.Verdict == core.YesWithin {
+					t.Fatalf("exact ladder gave approximate answer for k=%d", k)
+				}
+				if (res.Verdict == core.Yes) != want {
+					t.Fatalf("ladder Reach(%d,%d,k=%d) = %v, want %v", s, tt, k, res.Verdict, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPowerLadderOneSidedGuarantees(t *testing.T) {
+	g := testgraph.Random(40, 100, 23)
+	m, err := core.BuildMulti(g, core.PowerOfTwoKs(16), core.Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := testgraph.NewReachOracle(g)
+	scratch := core.NewQueryScratch()
+	for s := 0; s < 40; s++ {
+		for tt := 0; tt < 40; tt++ {
+			for _, k := range []int{2, 3, 5, 6, 7, 9, 12, 40} {
+				res := m.Reach(graph.Vertex(s), graph.Vertex(tt), k, scratch)
+				exact := oracle.Reach(graph.Vertex(s), graph.Vertex(tt), k)
+				switch res.Verdict {
+				case core.Yes:
+					if !exact {
+						t.Fatalf("Yes but not reachable: (%d,%d) k=%d", s, tt, k)
+					}
+				case core.No:
+					if exact {
+						t.Fatalf("No but reachable: (%d,%d) k=%d", s, tt, k)
+					}
+				case core.YesWithin:
+					// Guarantee: reachable within EffectiveK and EffectiveK is
+					// the next rung (k < EffectiveK ≤ 2^⌈lg k⌉ when inside the
+					// ladder).
+					if !oracle.Reach(graph.Vertex(s), graph.Vertex(tt), res.EffectiveK) {
+						t.Fatalf("YesWithin %d not even reachable within it: (%d,%d) k=%d",
+							res.EffectiveK, s, tt, k)
+					}
+					if res.EffectiveK <= k {
+						t.Fatalf("YesWithin rung %d ≤ k=%d", res.EffectiveK, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLadderSelfAndZero(t *testing.T) {
+	g := testgraph.Path(6)
+	m, err := core.BuildMulti(g, []int{2, 4}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := m.Reach(3, 3, 2, nil); r.Verdict != core.Yes {
+		t.Errorf("self query = %v", r.Verdict)
+	}
+	if r := m.Reach(0, 1, 0, nil); r.Verdict != core.No {
+		t.Errorf("k=0 cross query = %v", r.Verdict)
+	}
+}
+
+func TestLadderRungDedup(t *testing.T) {
+	g := testgraph.Path(6)
+	m, err := core.BuildMulti(g, []int{4, 2, 4, 2}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m.Rungs(), []int{2, 4}) {
+		t.Errorf("Rungs = %v", m.Rungs())
+	}
+	if m.SizeBytes() <= 0 {
+		t.Error("SizeBytes not positive")
+	}
+}

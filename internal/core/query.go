@@ -1,0 +1,200 @@
+package core
+
+import (
+	"sort"
+
+	"kreach/internal/graph"
+)
+
+// This file implements Algorithm 2: query processing with the k-reach
+// index. A query (s, t) falls into one of four cases by cover membership;
+// each case reduces to at most one adjacency-list intersection against the
+// index graph.
+//
+// Two degenerate situations the paper's pseudocode leaves implicit are
+// handled explicitly (see DESIGN.md §5): s = t answers true for any k ≥ 0,
+// and the "index distance" of a cover vertex to itself is 0, which makes
+// the Case 2–4 weight comparisons correct when the covering neighbor is the
+// query's own cover endpoint (e.g. the direct edge (s,t) in Case 2).
+
+// QueryCase identifies which branch of Algorithm 2 a query falls into,
+// reported for the Table 8 experiment.
+type QueryCase int
+
+const (
+	// CaseEqual is the degenerate s = t query (not counted by the paper).
+	CaseEqual QueryCase = iota
+	// Case1 has both endpoints in the vertex cover.
+	Case1
+	// Case2 has only the source in the vertex cover.
+	Case2
+	// Case3 has only the target in the vertex cover.
+	Case3
+	// Case4 has neither endpoint in the vertex cover.
+	Case4
+)
+
+func (c QueryCase) String() string {
+	switch c {
+	case CaseEqual:
+		return "s=t"
+	case Case1:
+		return "case1"
+	case Case2:
+		return "case2"
+	case Case3:
+		return "case3"
+	case Case4:
+		return "case4"
+	}
+	return "?"
+}
+
+// Classify reports the Algorithm 2 case of the query (s, t).
+func (ix *Index) Classify(s, t graph.Vertex) QueryCase {
+	switch {
+	case s == t:
+		return CaseEqual
+	case ix.InCover(s) && ix.InCover(t):
+		return Case1
+	case ix.InCover(s):
+		return Case2
+	case ix.InCover(t):
+		return Case3
+	default:
+		return Case4
+	}
+}
+
+// QueryScratch holds reusable buffers so that Reach performs no allocation;
+// create one per goroutine.
+type QueryScratch struct {
+	in []int32 // cover ids of inNei(t), sorted (Case 4)
+}
+
+// NewQueryScratch returns scratch space for queries against any index.
+func NewQueryScratch() *QueryScratch { return &QueryScratch{} }
+
+// Reach reports whether s →k t, i.e. whether t is reachable from s within
+// the k the index was built for (any path length for n-reach). scratch may
+// be shared across calls from one goroutine; pass nil to allocate
+// internally.
+func (ix *Index) Reach(s, t graph.Vertex, scratch *QueryScratch) bool {
+	if s == t {
+		return true
+	}
+	if scratch == nil {
+		scratch = NewQueryScratch()
+	}
+	cs, ct := ix.coverID[s], ix.coverID[t]
+	switch {
+	case cs >= 0 && ct >= 0:
+		// Case 1: a single index edge lookup.
+		return ix.arcWeight(cs, ct) != notFound
+
+	case cs >= 0:
+		// Case 2: every in-neighbor of t is in the cover; s reaches t within
+		// k iff it reaches one of them within k-1.
+		for _, v := range ix.g.InNeighbors(t) {
+			if v == s {
+				// Direct edge (s,t): 1 hop.
+				if ix.k == Unbounded || ix.k >= 1 {
+					return true
+				}
+				continue
+			}
+			if w := ix.arcWeight(cs, ix.coverID[v]); w != notFound && w <= weightKm1 {
+				return true
+			}
+		}
+		return false
+
+	case ct >= 0:
+		// Case 3: mirror image of Case 2 through out-neighbors of s.
+		for _, u := range ix.g.OutNeighbors(s) {
+			if u == t {
+				if ix.k == Unbounded || ix.k >= 1 {
+					return true
+				}
+				continue
+			}
+			if w := ix.arcWeight(ix.coverID[u], ct); w != notFound && w <= weightKm1 {
+				return true
+			}
+		}
+		return false
+
+	default:
+		// Case 4: out-neighbors of s and in-neighbors of t are all cover
+		// vertices; s reaches t within k iff some pair (u,v) of them has
+		// dist(u,v) ≤ k-2 (the ≤k-2 weight bucket), including u = v with
+		// distance 0 (the path s→u→t).
+		in := scratch.in[:0]
+		for _, v := range ix.g.InNeighbors(t) {
+			in = append(in, ix.coverID[v])
+		}
+		scratch.in = in
+		if len(in) == 0 {
+			return false
+		}
+		sort.Slice(in, func(i, j int) bool { return in[i] < in[j] })
+		twoHopOK := ix.k == Unbounded || ix.k >= 2
+		for _, u := range ix.g.OutNeighbors(s) {
+			cu := ix.coverID[u]
+			if twoHopOK && containsInt32(in, cu) {
+				return true // s→u→t in 2 hops
+			}
+			// Intersect u's index adjacency with the in-neighbor cover ids:
+			// linear merge when the lists are comparable, binary probes of
+			// the long list when one side is much shorter (cover vertices on
+			// hub graphs have index adjacency orders of magnitude longer
+			// than a leaf's in-neighbor list).
+			adj := ix.outAdj[ix.outHead[cu]:ix.outHead[cu+1]]
+			base := int(ix.outHead[cu])
+			switch {
+			case len(in)*8 < len(adj):
+				for _, v := range in {
+					if p := searchInt32(adj, v); p >= 0 && ix.weights.get(base+p) == weightLEKm2 {
+						return true
+					}
+				}
+			case len(adj)*8 < len(in):
+				for p, v := range adj {
+					if ix.weights.get(base+p) == weightLEKm2 && containsInt32(in, v) {
+						return true
+					}
+				}
+			default:
+				i, j := 0, 0
+				for i < len(adj) && j < len(in) {
+					switch {
+					case adj[i] < in[j]:
+						i++
+					case adj[i] > in[j]:
+						j++
+					default:
+						if ix.weights.get(base+i) == weightLEKm2 {
+							return true
+						}
+						i++
+						j++
+					}
+				}
+			}
+		}
+		return false
+	}
+}
+
+func containsInt32(sorted []int32, v int32) bool {
+	lo, hi := 0, len(sorted)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if sorted[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(sorted) && sorted[lo] == v
+}

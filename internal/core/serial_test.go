@@ -1,0 +1,99 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"kreach/internal/core"
+	"kreach/internal/graph"
+	"kreach/internal/testgraph"
+)
+
+func TestIndexBinaryRoundTrip(t *testing.T) {
+	for _, k := range []int{2, 3, 6, core.Unbounded} {
+		g := testgraph.Random(60, 200, 99)
+		ix, err := core.Build(g, core.Options{K: k, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := ix.WriteBinary(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := core.ReadBinaryIndex(&buf, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.K() != ix.K() || back.NumIndexEdges() != ix.NumIndexEdges() {
+			t.Fatalf("k=%d: round trip changed shape", k)
+		}
+		// Query equivalence over every pair.
+		s1 := core.NewQueryScratch()
+		s2 := core.NewQueryScratch()
+		for s := 0; s < 60; s++ {
+			for tt := 0; tt < 60; tt += 3 {
+				a := ix.Reach(graph.Vertex(s), graph.Vertex(tt), s1)
+				b := back.Reach(graph.Vertex(s), graph.Vertex(tt), s2)
+				if a != b {
+					t.Fatalf("k=%d: loaded index disagrees on (%d,%d)", k, s, tt)
+				}
+			}
+		}
+	}
+}
+
+func TestIndexBinaryRejectsCorruption(t *testing.T) {
+	g := testgraph.PaperFigure1()
+	ix, err := core.Build(g, core.Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	flip := append([]byte(nil), data...)
+	flip[len(flip)-1] ^= 0x55
+	if _, err := core.ReadBinaryIndex(bytes.NewReader(flip), g); err == nil {
+		t.Error("corrupted payload accepted")
+	}
+	if _, err := core.ReadBinaryIndex(bytes.NewReader([]byte("NOPE00000000")), g); err == nil {
+		t.Error("foreign magic accepted")
+	}
+}
+
+func TestIndexBinaryRejectsWrongGraph(t *testing.T) {
+	g := testgraph.Random(40, 120, 5)
+	ix, err := core.Build(g, core.Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := testgraph.Random(41, 120, 5) // different vertex count
+	if _, err := core.ReadBinaryIndex(&buf, other); err == nil {
+		t.Error("index attached to a graph with a different vertex count")
+	}
+}
+
+func TestIndexBinaryEmpty(t *testing.T) {
+	g := graph.NewBuilder(4).Build()
+	ix, err := core.Build(g, core.Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := core.ReadBinaryIndex(&buf, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumIndexEdges() != 0 {
+		t.Errorf("edges = %d", back.NumIndexEdges())
+	}
+}

@@ -1,0 +1,55 @@
+package core
+
+// packedArray is a fixed-width bit-packed unsigned integer array. The paper
+// observes (Section 4.3) that k-reach edge weights take only three values
+// {k-2, k-1, k} and therefore need just 2 bits each; (h,k)-reach needs
+// ⌈lg(2h+1)⌉ bits for its 2h+1 weight values (Definition 2). Entries never
+// cross word boundaries, so Get is a shift and mask.
+type packedArray struct {
+	width   uint // bits per entry, 1..32
+	perWord uint // entries per 64-bit word
+	n       int
+	data    []uint64
+}
+
+// bitsFor returns the number of bits needed to store values 0..maxValue.
+func bitsFor(maxValue uint) uint {
+	bits := uint(1)
+	for maxValue >= 1<<bits {
+		bits++
+	}
+	return bits
+}
+
+func newPackedArray(n int, width uint) *packedArray {
+	if width == 0 || width > 32 {
+		panic("core: packed width out of range")
+	}
+	per := 64 / width
+	words := (n + int(per) - 1) / int(per)
+	if n == 0 {
+		words = 0
+	}
+	return &packedArray{width: width, perWord: per, n: n, data: make([]uint64, words)}
+}
+
+func (p *packedArray) len() int { return p.n }
+
+func (p *packedArray) get(i int) uint {
+	word := uint(i) / p.perWord
+	shift := (uint(i) % p.perWord) * p.width
+	return uint(p.data[word]>>shift) & ((1 << p.width) - 1)
+}
+
+func (p *packedArray) set(i int, v uint) {
+	if v >= 1<<p.width {
+		panic("core: packed value overflows width")
+	}
+	word := uint(i) / p.perWord
+	shift := (uint(i) % p.perWord) * p.width
+	mask := uint64((1<<p.width)-1) << shift
+	p.data[word] = p.data[word]&^mask | uint64(v)<<shift
+}
+
+// sizeBytes is the storage footprint of the packed payload.
+func (p *packedArray) sizeBytes() int { return len(p.data) * 8 }

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsFor(t *testing.T) {
+	cases := map[uint]uint{0: 1, 1: 1, 2: 2, 3: 2, 4: 3, 7: 3, 8: 4, 255: 8, 256: 9}
+	for max, want := range cases {
+		if got := bitsFor(max); got != want {
+			t.Errorf("bitsFor(%d) = %d, want %d", max, got, want)
+		}
+	}
+}
+
+func TestPackedArrayRoundTrip(t *testing.T) {
+	for _, width := range []uint{1, 2, 3, 4, 5, 8, 16, 32} {
+		n := 137
+		p := newPackedArray(n, width)
+		maxVal := uint(1)<<width - 1
+		for i := 0; i < n; i++ {
+			p.set(i, uint(i*7919)%(maxVal+1))
+		}
+		for i := 0; i < n; i++ {
+			want := uint(i*7919) % (maxVal + 1)
+			if got := p.get(i); got != want {
+				t.Fatalf("width %d: get(%d) = %d, want %d", width, i, got, want)
+			}
+		}
+	}
+}
+
+func TestPackedArrayOverwrite(t *testing.T) {
+	p := newPackedArray(10, 2)
+	for i := 0; i < 10; i++ {
+		p.set(i, 3)
+	}
+	p.set(5, 1)
+	if p.get(5) != 1 {
+		t.Fatalf("overwrite failed: %d", p.get(5))
+	}
+	for i := 0; i < 10; i++ {
+		if i != 5 && p.get(i) != 3 {
+			t.Fatalf("overwrite clobbered neighbor %d: %d", i, p.get(i))
+		}
+	}
+}
+
+func TestPackedArrayQuick(t *testing.T) {
+	p := newPackedArray(1000, 3)
+	shadow := make([]uint, 1000)
+	f := func(idx uint16, val uint8) bool {
+		i := int(idx) % 1000
+		v := uint(val) & 7
+		p.set(i, v)
+		shadow[i] = v
+		for _, probe := range []int{0, i, 999, (i + 500) % 1000} {
+			if p.get(probe) != shadow[probe] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackedArrayPanics(t *testing.T) {
+	p := newPackedArray(4, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for overflow value")
+		}
+	}()
+	p.set(0, 4)
+}
+
+func TestPackedArrayEmpty(t *testing.T) {
+	p := newPackedArray(0, 2)
+	if p.len() != 0 || p.sizeBytes() != 0 {
+		t.Fatalf("empty array: len=%d size=%d", p.len(), p.sizeBytes())
+	}
+}

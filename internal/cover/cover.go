@@ -1,0 +1,301 @@
+// Package cover implements the vertex-cover algorithms the k-reach index is
+// built on (Sections 4.1.1, 4.3 and 5.1.1 of the paper):
+//
+//   - the classic 2-approximate minimum vertex cover via random edge
+//     selection (maximal matching),
+//   - the degree-prioritized variant of Section 4.3 that pulls high-degree
+//     vertices ("Lady Gaga" vertices) into the cover first,
+//   - a pure greedy max-degree cover used as an ablation,
+//   - the (h+1)-approximate minimum h-hop vertex cover of Section 5.1.1,
+//   - exact branch-and-bound solvers for small graphs, used as test oracles
+//     for the approximation guarantees.
+//
+// Edge direction is ignored when computing covers, exactly as the paper
+// observes at the end of Section 4.1.1.
+package cover
+
+import (
+	"math/rand/v2"
+	"sort"
+
+	"kreach/internal/graph"
+)
+
+// Set is a vertex set with O(1) membership and a stable sorted list view.
+type Set struct {
+	member []bool
+	list   []graph.Vertex
+}
+
+// NewSet builds a Set over a graph with n vertices from the given members.
+func NewSet(n int, members []graph.Vertex) *Set {
+	s := &Set{member: make([]bool, n)}
+	for _, v := range members {
+		if !s.member[v] {
+			s.member[v] = true
+			s.list = append(s.list, v)
+		}
+	}
+	sort.Slice(s.list, func(i, j int) bool { return s.list[i] < s.list[j] })
+	return s
+}
+
+// Contains reports membership of v.
+func (s *Set) Contains(v graph.Vertex) bool { return s.member[v] }
+
+// Len returns the number of members.
+func (s *Set) Len() int { return len(s.list) }
+
+// List returns the members in ascending order. The slice aliases internal
+// storage and must not be modified.
+func (s *Set) List() []graph.Vertex { return s.list }
+
+// Strategy selects how the vertex cover is computed.
+type Strategy int
+
+const (
+	// RandomEdge is the paper's baseline 2-approximation (Section 4.1.1):
+	// repeatedly pick a random uncovered edge and take both endpoints.
+	RandomEdge Strategy = iota
+	// DegreePrioritized processes edges in decreasing order of their
+	// maximum endpoint degree (Section 4.3). Still a maximal matching, so
+	// the 2-approximation bound holds, but high-degree vertices enter the
+	// cover first, which both shrinks the cover in practice and moves
+	// celebrity queries into the cheap Case 1 of Algorithm 2.
+	DegreePrioritized
+	// GreedyVertex repeatedly takes the vertex covering the most uncovered
+	// edges. No constant-factor guarantee (ln n), but usually the smallest
+	// cover; provided as an ablation.
+	GreedyVertex
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case RandomEdge:
+		return "random-edge"
+	case DegreePrioritized:
+		return "degree-prioritized"
+	case GreedyVertex:
+		return "greedy-vertex"
+	}
+	return "unknown"
+}
+
+// VertexCover computes a vertex cover of g with the given strategy. seed
+// drives the random choices of the RandomEdge strategy (and tie-breaking
+// shuffles elsewhere); covers are deterministic for a fixed seed.
+func VertexCover(g *graph.Graph, strat Strategy, seed uint64) *Set {
+	switch strat {
+	case RandomEdge:
+		return matchingCover(g, shuffledEdges(g, seed))
+	case DegreePrioritized:
+		return matchingCover(g, degreeSortedEdges(g))
+	case GreedyVertex:
+		return greedyVertexCover(g)
+	default:
+		panic("cover: unknown strategy")
+	}
+}
+
+func shuffledEdges(g *graph.Graph, seed uint64) []graph.Edge {
+	edges := g.Edges()
+	rng := rand.New(rand.NewPCG(seed, 0xc0ffee))
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	return edges
+}
+
+func degreeSortedEdges(g *graph.Graph) []graph.Edge {
+	deg := make([]int, g.NumVertices())
+	for v := range deg {
+		deg[v] = g.Degree(graph.Vertex(v))
+	}
+	edges := g.Edges()
+	pri := func(e graph.Edge) (int, int) {
+		a, b := deg[e.Src], deg[e.Dst]
+		if a < b {
+			a, b = b, a
+		}
+		return a, b // (max, min) endpoint degree
+	}
+	sort.SliceStable(edges, func(i, j int) bool {
+		ai, bi := pri(edges[i])
+		aj, bj := pri(edges[j])
+		if ai != aj {
+			return ai > aj
+		}
+		return bi > bj
+	})
+	return edges
+}
+
+// matchingCover runs the maximal-matching 2-approximation over edges in the
+// given order: an edge whose endpoints are both uncovered contributes both
+// endpoints. Self-loops contribute their single vertex (a self-loop (v,v)
+// can only be covered by v).
+func matchingCover(g *graph.Graph, edges []graph.Edge) *Set {
+	in := make([]bool, g.NumVertices())
+	var list []graph.Vertex
+	add := func(v graph.Vertex) {
+		if !in[v] {
+			in[v] = true
+			list = append(list, v)
+		}
+	}
+	for _, e := range edges {
+		if e.Src == e.Dst {
+			add(e.Src)
+			continue
+		}
+		if !in[e.Src] && !in[e.Dst] {
+			add(e.Src)
+			add(e.Dst)
+		}
+	}
+	return NewSet(g.NumVertices(), list)
+}
+
+// greedyVertexCover repeatedly selects the vertex with the most uncovered
+// incident edges, using a lazy-deletion max-heap over degrees.
+func greedyVertexCover(g *graph.Graph) *Set {
+	n := g.NumVertices()
+	// Remaining undirected degree of each vertex (union of in/out neighbors
+	// not yet covered). We track covered vertices; an edge is uncovered iff
+	// neither endpoint is covered.
+	covered := make([]bool, n)
+	remaining := make([]int, n)
+	for v := 0; v < n; v++ {
+		remaining[v] = g.Degree(graph.Vertex(v))
+	}
+	// Lazy heap of (degree, vertex).
+	h := &degHeap{}
+	for v := 0; v < n; v++ {
+		if remaining[v] > 0 {
+			h.push(degEntry{remaining[v], graph.Vertex(v)})
+		}
+	}
+	var list []graph.Vertex
+	uncoveredNeighbors := func(v graph.Vertex) int {
+		cnt := 0
+		forEachNeighbor(g, v, func(u graph.Vertex) {
+			if !covered[u] {
+				cnt++
+			}
+		})
+		return cnt
+	}
+	for h.len() > 0 {
+		e := h.pop()
+		if covered[e.v] {
+			continue
+		}
+		cur := uncoveredNeighbors(e.v)
+		// Self-loops must force their vertex in even with no other neighbors.
+		if g.HasEdge(e.v, e.v) && !covered[e.v] {
+			cur++
+		}
+		if cur == 0 {
+			continue
+		}
+		if cur < e.deg {
+			// Stale priority: reinsert with the fresh value.
+			h.push(degEntry{cur, e.v})
+			continue
+		}
+		covered[e.v] = true
+		list = append(list, e.v)
+	}
+	return NewSet(n, list)
+}
+
+// forEachNeighbor visits the union of in- and out-neighbors of v (each once,
+// excluding v itself).
+func forEachNeighbor(g *graph.Graph, v graph.Vertex, fn func(graph.Vertex)) {
+	in, out := g.InNeighbors(v), g.OutNeighbors(v)
+	i, j := 0, 0
+	emit := func(u graph.Vertex) {
+		if u != v {
+			fn(u)
+		}
+	}
+	for i < len(in) && j < len(out) {
+		switch {
+		case in[i] < out[j]:
+			emit(in[i])
+			i++
+		case in[i] > out[j]:
+			emit(out[j])
+			j++
+		default:
+			emit(in[i])
+			i++
+			j++
+		}
+	}
+	for ; i < len(in); i++ {
+		emit(in[i])
+	}
+	for ; j < len(out); j++ {
+		emit(out[j])
+	}
+}
+
+// IsVertexCover reports whether s covers every edge of g (self-loop (v,v)
+// requires v ∈ s).
+func IsVertexCover(g *graph.Graph, s *Set) bool {
+	ok := true
+	g.ForEachEdge(func(u, v graph.Vertex) {
+		if !s.Contains(u) && !s.Contains(v) {
+			ok = false
+		}
+	})
+	return ok
+}
+
+type degEntry struct {
+	deg int
+	v   graph.Vertex
+}
+
+// degHeap is a simple binary max-heap; container/heap's interface would
+// force an interface value per operation, and this is on the construction
+// critical path for the GreedyVertex ablation.
+type degHeap struct{ a []degEntry }
+
+func (h *degHeap) len() int { return len(h.a) }
+
+func (h *degHeap) push(e degEntry) {
+	h.a = append(h.a, e)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.a[p].deg >= h.a[i].deg {
+			break
+		}
+		h.a[p], h.a[i] = h.a[i], h.a[p]
+		i = p
+	}
+}
+
+func (h *degHeap) pop() degEntry {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < last && h.a[l].deg > h.a[big].deg {
+			big = l
+		}
+		if r < last && h.a[r].deg > h.a[big].deg {
+			big = r
+		}
+		if big == i {
+			break
+		}
+		h.a[i], h.a[big] = h.a[big], h.a[i]
+		i = big
+	}
+	return top
+}

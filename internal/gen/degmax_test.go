@@ -1,0 +1,30 @@
+package gen_test
+
+import (
+	"testing"
+
+	"kreach/internal/gen"
+)
+
+// TestDegMaxFit verifies the zipf auto-fit: at full scale, each dataset's
+// measured maximum degree must land within 25% of its Table 2 target (the
+// fit trades the top-hub degree against the total edge budget).
+func TestDegMaxFit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale generation")
+	}
+	for _, name := range []string{"AgroCyc", "Human", "ArXiv", "YAGO"} {
+		spec, _ := gen.Dataset(name)
+		g := spec.Generate()
+		got := g.MaxDegree()
+		lo, hi := spec.DegMax*3/4, spec.DegMax*5/4
+		if got < lo || got > hi {
+			t.Errorf("%s: Degmax = %d, want within [%d, %d] (target %d)",
+				name, got, lo, hi, spec.DegMax)
+		}
+		// Edge budget: within 10% of Table 2.
+		if g.NumEdges() < spec.M*9/10 || g.NumEdges() > spec.M*11/10 {
+			t.Errorf("%s: |E| = %d, target %d", name, g.NumEdges(), spec.M)
+		}
+	}
+}

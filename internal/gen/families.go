@@ -1,0 +1,294 @@
+package gen
+
+import (
+	"math/rand/v2"
+
+	"kreach/internal/graph"
+)
+
+// genMetabolic produces the EcoCyc-style family: a bipartite-leaning graph
+// whose edges are (almost) all incident to a few hundred "reaction" hubs
+// with Zipf-skewed degrees. That keeps the vertex cover at a few hundred
+// vertices (the Table 9 profile) and the median path at 2 (compound → hub →
+// compound). A controlled number of leaves carries reciprocal hub edges to
+// create small SCCs; with core=true the hubs form a directed ring first, so
+// those reciprocal leaves coalesce into one giant SCC instead (the
+// aMaze/Kegg profile).
+func genMetabolic(s Spec, core bool) *graph.Graph {
+	rng := rand.New(rand.NewPCG(s.Seed, 0x6e7a1))
+	hubs := s.Hubs
+	if hubs <= 0 {
+		hubs = 200
+	}
+	es := newEdgeSet(s.N, s.M)
+	hubOf := func(i int) graph.Vertex { return graph.Vertex(i) }
+	leafLo, leafHi := hubs, s.N // leaves occupy [hubs, N)
+
+	if core {
+		// Strongly connect the hub cluster: a ring plus a dense clique
+		// among the top (highest-weight) hubs. Most leaf traffic flows
+		// through top hubs, so typical leaf-to-leaf distances stay at 2–3
+		// (the µ = 2 of aMaze/Kegg) while the ring gives the core moderate
+		// worst-case depth.
+		for i := 0; i < hubs; i++ {
+			es.addForced(hubOf(i), hubOf((i+1)%hubs))
+		}
+		top := min(hubs, 24)
+		for i := 0; i < top; i++ {
+			for j := 0; j < top; j++ {
+				if i != j {
+					es.addForced(hubOf(i), hubOf(j))
+				}
+			}
+		}
+	} else {
+		// Thin acyclic hub backbone: a single short chain of every tenth
+		// hub, capped at ~8 links, so a few deep paths exist (d ≈ 10) while
+		// the vast majority of reachable pairs stay at distance 2 through a
+		// single hub (µ = 2, the EcoCyc profile).
+		for i := 0; i+10 < hubs && i < 80; i += 10 {
+			es.addForced(hubOf(i), hubOf(i+10))
+		}
+	}
+
+	// SCC mass. With a strongly connected core, a leaf with one edge in
+	// each direction joins the giant SCC. Without one, a leaf carrying a
+	// reciprocal pair with a single hub forms a small SCC around that hub;
+	// spreading leaves round-robin keeps every SCC at a handful of
+	// vertices, matching the EcoCyc profile. Reciprocal leaves receive no
+	// other edges, so no larger cycles can thread through them.
+	sccLeaves := s.SCCExtra
+	if sccLeaves > leafHi-leafLo {
+		sccLeaves = leafHi - leafLo
+	}
+	for i := 0; i < sccLeaves; i++ {
+		leaf := graph.Vertex(leafLo + i)
+		if core {
+			es.addForced(leaf, hubOf(rng.IntN(hubs)))
+			es.addForced(hubOf(rng.IntN(hubs)), leaf)
+		} else {
+			h := hubOf(i % hubs)
+			es.addForced(leaf, h)
+			es.addForced(h, leaf)
+		}
+	}
+
+	// Remaining budget: hub↔leaf edges with Zipf-weighted hub selection.
+	// Regular leaves are polarized — even ids are sources (edges into
+	// hubs), odd ids are sinks (edges out of hubs) — so they can never sit
+	// on a cycle, and source→hub→sink pairs put the median path at 2.
+	regLo := leafLo + sccLeaves
+	if regLo >= leafHi {
+		regLo = leafHi - 1
+	}
+	starBudget := s.M - es.len()
+	weights := fitZipf(hubs, s.DegMax, starBudget)
+	sampler := newHubSampler(weights)
+	hubDeg := make([]int, hubs)
+	for tries := 0; es.len() < s.M && tries < 40*s.M; tries++ {
+		hi := sampler.pick(rng)
+		if hubDeg[hi] >= weights[hi]+4 {
+			continue // hold each hub near its fitted degree target
+		}
+		h := hubOf(hi)
+		leaf := graph.Vertex(regLo + rng.IntN(leafHi-regLo))
+		var ok bool
+		if leaf%2 == 0 {
+			ok = es.add(leaf, h)
+		} else {
+			ok = es.add(h, leaf)
+		}
+		if ok {
+			hubDeg[hi]++
+		}
+	}
+	return es.build()
+}
+
+// genCitation produces the citation-network family: a temporal DAG where
+// vertex v cites earlier vertices, mixing preferential attachment (Zipf
+// in-degree, capped at DegMax) with a recency window. Citations are
+// clustered into topic communities; cross-topic citations are rare. The
+// clustering is what keeps the transitive closure sparse — the property
+// behind the modest index sizes the paper reports for ArXiv/CiteSeer/PubMed
+// despite their edge density.
+func genCitation(s Spec) *graph.Graph {
+	rng := rand.New(rand.NewPCG(s.Seed, 0xc17a7))
+	es := newEdgeSet(s.N, s.M)
+	window := s.Window
+	if window <= 0 {
+		window = s.N / 10
+	}
+	const topicSize = 150
+	topics := (s.N + topicSize - 1) / topicSize
+	topicOf := func(v int) int { return v % topics } // interleaved in time
+	perVertex := s.M / s.N
+	notableFrac := s.Notable
+	if notableFrac <= 0 {
+		notableFrac = 0.3
+	}
+	notable := func(v int) bool {
+		// Deterministic per-vertex coin: a fixed hash keeps generation
+		// single-pass.
+		x := uint64(v)*0x9e3779b97f4a7c15 + s.Seed
+		x ^= x >> 33
+		return float64(x%1000)/1000 < notableFrac
+	}
+	inDeg := make([]int, s.N)
+	// Per-topic endpoint pools for preferential attachment (sampling a
+	// uniform prior in-edge target is degree-proportional sampling).
+	pools := make([][]graph.Vertex, topics)
+	// The first paper of each topic is its "seminal" paper; a fixed share
+	// of citations lands there, which produces the Degmax hubs of Table 2.
+	seminalP := float64(s.DegMax) / float64(topicSize*perVertex)
+	if seminalP > 0.45 {
+		seminalP = 0.45
+	}
+	for v := 1; v < s.N; v++ {
+		topic := topicOf(v)
+		cites := perVertex
+		// Heavier tails for a few vertices (survey papers).
+		if rng.Float64() < 0.05 {
+			cites *= 3
+		}
+		for c := 0; c < cites; c++ {
+			// A few attempts per citation absorb duplicate hits against the
+			// small pool/seminal target sets, keeping |E| near its target.
+			for attempt := 0; attempt < 4; attempt++ {
+				var t graph.Vertex
+				pool := pools[topic]
+				r := rng.Float64()
+				switch {
+				case r < 0.04:
+					// Cross-topic citation to one of a handful of ancient
+					// "survey sink" papers (they cite ~nothing, so topics do
+					// not knit into one giant transitive closure). The
+					// quartic skew concentrates mass on the very oldest,
+					// producing the Degmax hubs of Table 2.
+					u := rng.Float64()
+					t = graph.Vertex(int(u * u * u * u * float64(min(v, s.N/50+1))))
+				case r < 0.04+seminalP && topic < v:
+					t = graph.Vertex(topic) // the topic's seminal paper
+				case len(pool) > 0 && rng.Float64() < 0.65:
+					t = pool[rng.IntN(len(pool))]
+				default:
+					// Recent notable same-topic paper: scan back whole topic
+					// rounds for the first notable one.
+					steps := 1 + rng.IntN(max(window/topics, 1))
+					cand := v - steps*topics
+					for cand >= 0 && !notable(cand) {
+						cand -= topics
+					}
+					if cand < 0 {
+						continue
+					}
+					t = graph.Vertex(cand)
+				}
+				if int(t) >= v || inDeg[t] >= s.DegMax {
+					continue
+				}
+				if es.add(graph.Vertex(v), t) {
+					inDeg[t]++
+					if topicOf(int(t)) == topic {
+						pools[topic] = append(pools[topic], t)
+					}
+					break
+				}
+			}
+		}
+	}
+	return es.build()
+}
+
+// genHierarchy produces the XML/ontology family: a bushy ordered tree with
+// an explicit deep spine (Depth vertices), forward cross edges, and (for the
+// datasets whose originals contain cycles) a few back edges. Bushiness
+// (Branch) controls the leaf fraction and hence the vertex-cover share,
+// which spans 0.2n (Xmark) to 0.45n (GO) on the real datasets.
+func genHierarchy(s Spec) *graph.Graph {
+	rng := rand.New(rand.NewPCG(s.Seed, 0x41e2a))
+	es := newEdgeSet(s.N, s.M)
+	branch := s.Branch
+	if branch < 2 {
+		branch = 3
+	}
+	depth := s.Depth
+	if depth < 2 {
+		depth = 16
+	}
+	if depth >= s.N {
+		depth = s.N / 2
+	}
+	// Explicit spine 0→1→…→depth-1 guarantees deep paths.
+	for v := 1; v < depth; v++ {
+		es.addForced(graph.Vertex(v-1), graph.Vertex(v))
+	}
+	// Remaining vertices attach below the first ~v/branch vertices, so only
+	// ≈ 1/branch of vertices are internal and the rest are leaves.
+	for v := depth; v < s.N; v++ {
+		hi := v / branch
+		if hi < depth {
+			hi = depth
+		}
+		es.addForced(graph.Vertex(rng.IntN(hi)), graph.Vertex(v))
+	}
+	// Forward cross edges keep the graph a DAG; both endpoints biased to
+	// internal vertices (ontology cross-links connect concepts, not leaves).
+	for tries := 0; es.len() < es.budget-s.BackEdges && tries < 30*s.M; tries++ {
+		u := rng.IntN(max(s.N/branch, 2))
+		v := u + 1 + rng.IntN(s.N-1-u)
+		es.add(graph.Vertex(u), graph.Vertex(v))
+	}
+	// Back edges create the small SCCs of Nasa/Xmark.
+	for i := 0; i < s.BackEdges; i++ {
+		v := 1 + rng.IntN(s.N-1)
+		u := rng.IntN(v)
+		es.addForced(graph.Vertex(v), graph.Vertex(u))
+	}
+	return es.build()
+}
+
+// genSemantic produces the YAGO-style family: a union of medium hubs whose
+// star edges dominate, so most reachable pairs are direct (µ = 1), with a
+// thin layer of hub-to-hub edges for depth.
+func genSemantic(s Spec) *graph.Graph {
+	rng := rand.New(rand.NewPCG(s.Seed, 0x5e3a2))
+	hubs := s.Hubs
+	if hubs <= 0 {
+		hubs = 400
+	}
+	es := newEdgeSet(s.N, s.M)
+	weights := fitZipf(hubs, s.DegMax, s.M)
+	sampler := newHubSampler(weights)
+	hubDeg := make([]int, hubs)
+	// Sparse hub-to-hub chaining (~2% of edges, low→high index so the graph
+	// stays a DAG like the real YAGO) for a d around 9.
+	for i := 0; i < s.M/50; i++ {
+		a, b := sampler.pick(rng), sampler.pick(rng)
+		if a > b {
+			a, b = b, a
+		}
+		es.add(graph.Vertex(a), graph.Vertex(b))
+	}
+	// Star edges dominate; entities are polarized (even = subject with
+	// out-edges, odd = object with in-edges) so no cycles thread through
+	// them and most reachable pairs sit at distance 1–2 (µ = 1).
+	for tries := 0; es.len() < s.M && tries < 40*s.M; tries++ {
+		hi := sampler.pick(rng)
+		if hubDeg[hi] >= weights[hi]+4 {
+			continue
+		}
+		h := graph.Vertex(hi)
+		leaf := graph.Vertex(hubs + rng.IntN(s.N-hubs))
+		var ok bool
+		if leaf%2 == 0 {
+			ok = es.add(leaf, h)
+		} else {
+			ok = es.add(h, leaf)
+		}
+		if ok {
+			hubDeg[hi]++
+		}
+	}
+	return es.build()
+}

@@ -1,0 +1,163 @@
+package gen_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"kreach/internal/cover"
+	"kreach/internal/gen"
+	"kreach/internal/graph"
+	"kreach/internal/scc"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	names := gen.Names()
+	if len(names) != 15 {
+		t.Fatalf("registry has %d datasets, want 15", len(names))
+	}
+	want := map[string]bool{
+		"AgroCyc": true, "aMaze": true, "Anthra": true, "ArXiv": true,
+		"CiteSeer": true, "Ecoo": true, "GO": true, "Human": true,
+		"Kegg": true, "Mtbrv": true, "Nasa": true, "PubMed": true,
+		"Vchocyc": true, "Xmark": true, "YAGO": true,
+	}
+	for _, n := range names {
+		if !want[n] {
+			t.Errorf("unexpected dataset %q", n)
+		}
+		if _, ok := gen.Dataset(n); !ok {
+			t.Errorf("Dataset(%q) not found", n)
+		}
+	}
+	if _, ok := gen.Dataset("nope"); ok {
+		t.Error("Dataset(nope) found")
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	spec, _ := gen.Dataset("Nasa")
+	a := spec.Generate()
+	b := spec.Generate()
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		t.Fatal("same spec produced different shapes")
+	}
+	ea, eb := a.Edges(), b.Edges()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}
+
+// scaled produces a 1/scale copy of a spec for fast structural tests.
+func scaled(s gen.Spec, scale int) gen.Spec {
+	s.N /= scale
+	s.M /= scale
+	if s.Hubs > 0 {
+		s.Hubs /= scale
+		if s.Hubs < 4 {
+			s.Hubs = 4
+		}
+	}
+	if s.DegMax > s.N/2 {
+		s.DegMax = s.N / 2
+	} else if s.DegMax > 0 {
+		s.DegMax /= scale
+		if s.DegMax < 8 {
+			s.DegMax = 8
+		}
+	}
+	s.SCCExtra /= scale
+	if s.Window > 0 {
+		s.Window /= scale
+		if s.Window < 10 {
+			s.Window = 10
+		}
+	}
+	s.BackEdges /= scale
+	return s
+}
+
+func TestFamilyShapes(t *testing.T) {
+	// Structural sanity per family at 1/10 scale. Exact figures are checked
+	// against the paper in the Table 2 bench; here we assert the family
+	// invariants the index behavior depends on.
+	for _, name := range gen.Names() {
+		spec, _ := gen.Dataset(name)
+		s := scaled(spec, 10)
+		g := s.Generate()
+		if g.NumVertices() != s.N {
+			t.Fatalf("%s: n = %d, want %d", name, g.NumVertices(), s.N)
+		}
+		if g.NumEdges() < s.M*6/10 || g.NumEdges() > s.M*11/10 {
+			t.Errorf("%s: m = %d, target %d (out of tolerance)", name, g.NumEdges(), s.M)
+		}
+		cond := scc.Condense(g)
+		switch s.Family {
+		case gen.Citation:
+			if cond.DAG.NumVertices() != g.NumVertices() {
+				t.Errorf("%s: citation graph must be a DAG", name)
+			}
+		case gen.CyclicCore:
+			// A giant SCC must hold a large share of the vertices.
+			biggest := int32(0)
+			for _, sz := range cond.R.Size {
+				if sz > biggest {
+					biggest = sz
+				}
+			}
+			if int(biggest) < s.SCCExtra/2 {
+				t.Errorf("%s: giant SCC %d, want ≥ %d", name, biggest, s.SCCExtra/2)
+			}
+		case gen.Metabolic:
+			collapsed := g.NumVertices() - cond.DAG.NumVertices()
+			if collapsed < s.SCCExtra/3 {
+				t.Errorf("%s: only %d vertices collapsed, want ≥ %d", name, collapsed, s.SCCExtra/3)
+			}
+			// Giant SCCs must NOT form: the originals have many tiny ones.
+			for _, sz := range cond.R.Size {
+				if int(sz) > s.N/10 {
+					t.Errorf("%s: SCC of size %d too large for metabolic family", name, sz)
+				}
+			}
+		}
+		// Hub families must stay cover-friendly: the vertex cover is the
+		// index's whole premise (Table 9 reports covers of a few hundred on
+		// graphs of 10⁴ vertices).
+		if s.Family == gen.Metabolic || s.Family == gen.CyclicCore || s.Family == gen.Semantic {
+			vc := cover.VertexCover(g, cover.DegreePrioritized, 1)
+			if vc.Len() > g.NumVertices()/3 {
+				t.Errorf("%s: cover %d of %d vertices — hub structure lost",
+					name, vc.Len(), g.NumVertices())
+			}
+		}
+	}
+}
+
+func TestDegreeSkew(t *testing.T) {
+	spec, _ := gen.Dataset("AgroCyc")
+	s := scaled(spec, 10)
+	g := s.Generate()
+	max := g.MaxDegree()
+	if max < s.DegMax/3 {
+		t.Errorf("max degree %d, want near %d", max, s.DegMax)
+	}
+	// The mean degree must stay small (sparse graph) while max is huge.
+	mean := float64(2*g.NumEdges()) / float64(g.NumVertices())
+	if float64(max) < 10*mean {
+		t.Errorf("degree skew too flat: max %d, mean %.1f", max, mean)
+	}
+}
+
+func TestStatsOnScaledDataset(t *testing.T) {
+	spec, _ := gen.Dataset("CiteSeer")
+	g := scaled(spec, 10).Generate()
+	rng := rand.New(rand.NewPCG(1, 2))
+	st := graph.ComputeStats(g, 64, rng)
+	if st.MedianPath < 1 {
+		t.Errorf("µ = %d, want ≥ 1", st.MedianPath)
+	}
+	if st.Diameter < 3 {
+		t.Errorf("d = %d, want ≥ 3 for a citation graph", st.Diameter)
+	}
+}

@@ -1,0 +1,205 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Text edge-list format: one "src dst" pair per line, '#'-prefixed comment
+// lines ignored, vertex ids in [0, n). The first non-comment line may be a
+// header "n m" if writeHeader was used; ReadEdgeList auto-detects it by edge
+// count.
+//
+// Binary format (little endian):
+//
+//	magic "KRG1" | uint32 crc of payload | varint n | varint m |
+//	m edges as varint(src) varint(dstDelta)  (delta within runs of equal src)
+//
+// The binary form exists because the paper stores indexes and graphs on disk
+// (Section 4.1.3) and the experiment harness round-trips datasets.
+
+// WriteEdgeList writes g in text form with a "n m" header line.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# kreach edge list\n%d %d\n", g.NumVertices(), g.NumEdges())
+	var err error
+	g.ForEachEdge(func(u, v Vertex) {
+		if err == nil {
+			_, err = fmt.Fprintf(bw, "%d %d\n", u, v)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the text form produced by WriteEdgeList. It also
+// accepts header-less lists, in which case n is one more than the largest
+// vertex id seen.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var (
+		edges     []Edge
+		n         = -1
+		maxVertex = Vertex(-1)
+		sawHeader bool
+	)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("graph: malformed line %q", line)
+		}
+		a, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad vertex %q: %w", fields[0], err)
+		}
+		b, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad vertex %q: %w", fields[1], err)
+		}
+		if !sawHeader && n < 0 && len(edges) == 0 {
+			// Heuristic: treat the first pair as "n m" header. If it later
+			// turns out the id range exceeds n we fail; WriteEdgeList always
+			// emits the header so round-trips are exact.
+			n, sawHeader = int(a), true
+			continue
+		}
+		u, v := Vertex(a), Vertex(b)
+		edges = append(edges, Edge{u, v})
+		if u > maxVertex {
+			maxVertex = u
+		}
+		if v > maxVertex {
+			maxVertex = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		n = int(maxVertex) + 1
+	}
+	if int(maxVertex) >= n {
+		return nil, fmt.Errorf("graph: vertex %d out of declared range %d", maxVertex, n)
+	}
+	return FromEdges(n, edges), nil
+}
+
+var binaryMagic = [4]byte{'K', 'R', 'G', '1'}
+
+// ErrBadFormat reports a corrupt or foreign binary graph stream.
+var ErrBadFormat = errors.New("graph: bad binary format")
+
+// WriteBinary writes g in the compact binary form with a CRC32 integrity
+// check over the payload.
+func WriteBinary(w io.Writer, g *Graph) error {
+	payload := AppendBinary(nil, g)
+	var hdr [8]byte
+	copy(hdr[:4], binaryMagic[:])
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// AppendBinary appends the payload encoding of g (without magic/CRC header)
+// to buf and returns the extended buffer.
+func AppendBinary(buf []byte, g *Graph) []byte {
+	buf = binary.AppendUvarint(buf, uint64(g.NumVertices()))
+	buf = binary.AppendUvarint(buf, uint64(g.NumEdges()))
+	prevSrc := Vertex(-1)
+	prevDst := Vertex(0)
+	g.ForEachEdge(func(u, v Vertex) {
+		buf = binary.AppendUvarint(buf, uint64(u))
+		if u != prevSrc {
+			prevSrc, prevDst = u, 0
+		}
+		buf = binary.AppendUvarint(buf, uint64(v-prevDst))
+		prevDst = v
+	})
+	return buf
+}
+
+// ReadBinary reads a graph written by WriteBinary, verifying the checksum.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	if [4]byte(hdr[:4]) != binaryMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadFormat)
+	}
+	payload, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(hdr[4:]) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadFormat)
+	}
+	g, _, err := DecodeBinary(payload)
+	return g, err
+}
+
+// DecodeBinary decodes a payload produced by AppendBinary and returns the
+// graph plus the number of bytes consumed.
+func DecodeBinary(payload []byte) (*Graph, int, error) {
+	off := 0
+	readUvarint := func() (uint64, error) {
+		v, n := binary.Uvarint(payload[off:])
+		if n <= 0 {
+			return 0, fmt.Errorf("%w: truncated varint", ErrBadFormat)
+		}
+		off += n
+		return v, nil
+	}
+	n64, err := readUvarint()
+	if err != nil {
+		return nil, 0, err
+	}
+	m64, err := readUvarint()
+	if err != nil {
+		return nil, 0, err
+	}
+	if n64 > 1<<31 || m64 > 1<<40 {
+		return nil, 0, fmt.Errorf("%w: implausible sizes n=%d m=%d", ErrBadFormat, n64, m64)
+	}
+	n, m := int(n64), int(m64)
+	edges := make([]Edge, 0, m)
+	prevSrc := Vertex(-1)
+	prevDst := Vertex(0)
+	for i := 0; i < m; i++ {
+		s64, err := readUvarint()
+		if err != nil {
+			return nil, 0, err
+		}
+		d64, err := readUvarint()
+		if err != nil {
+			return nil, 0, err
+		}
+		u := Vertex(s64)
+		if u != prevSrc {
+			prevSrc, prevDst = u, 0
+		}
+		v := prevDst + Vertex(d64)
+		prevDst = v
+		if int(u) >= n || int(v) >= n || u < 0 || v < 0 {
+			return nil, 0, fmt.Errorf("%w: edge (%d,%d) out of range", ErrBadFormat, u, v)
+		}
+		edges = append(edges, Edge{u, v})
+	}
+	return FromSortedEdges(n, edges), off, nil
+}

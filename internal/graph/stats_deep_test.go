@@ -1,0 +1,54 @@
+package graph_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"kreach/internal/graph"
+)
+
+// TestDiameterFindsDeepSpine is a regression test for the diameter
+// estimator: on a bushy DAG whose only deep structure is a thin spine,
+// uniform forward sampling almost never starts on the spine (most vertices
+// are leaves), so the estimator must discover it through the backward
+// sweeps and the deep-root refinement.
+func TestDiameterFindsDeepSpine(t *testing.T) {
+	const spine, leaves = 30, 4000
+	b := graph.NewBuilder(spine + leaves)
+	for v := 1; v < spine; v++ {
+		b.AddEdge(graph.Vertex(v-1), graph.Vertex(v))
+	}
+	rng := rand.New(rand.NewPCG(5, 5))
+	for i := 0; i < leaves; i++ {
+		// Leaves hang off random spine vertices; they never extend depth.
+		b.AddEdge(graph.Vertex(rng.IntN(spine)), graph.Vertex(spine+i))
+	}
+	g := b.Build()
+	st := graph.ComputeStats(g, 64, rng) // 64 of 4030 samples: spine rarely hit
+	if st.Diameter < spine-1 {
+		t.Fatalf("diameter = %d, want ≥ %d (spine missed)", st.Diameter, spine-1)
+	}
+	if st.Diameter > spine {
+		t.Fatalf("diameter = %d overshoots spine+leaf depth %d", st.Diameter, spine)
+	}
+}
+
+// TestStatsExhaustiveMatchesSampled sanity-checks that sampling cannot
+// report a larger diameter than the exhaustive run, and both agree on a
+// small graph.
+func TestStatsExhaustiveMatchesSampled(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	b := graph.NewBuilder(80)
+	for i := 0; i < 200; i++ {
+		b.AddEdge(graph.Vertex(rng.IntN(80)), graph.Vertex(rng.IntN(80)))
+	}
+	g := b.Build()
+	exact := graph.ComputeStats(g, 80, rng)
+	sampled := graph.ComputeStats(g, 20, rng)
+	if sampled.Diameter > exact.Diameter {
+		t.Fatalf("sampled diameter %d exceeds exhaustive %d", sampled.Diameter, exact.Diameter)
+	}
+	if exact.N != 80 || exact.M != g.NumEdges() {
+		t.Fatal("exhaustive counts wrong")
+	}
+}

@@ -1,0 +1,146 @@
+// Package scc computes strongly connected components and the DAG
+// condensation of a directed graph.
+//
+// Section 3.1 of the paper explains why the DAG-based preprocessing used by
+// classic reachability indexes is *not* applicable to k-hop reachability
+// (condensing an SCC destroys hop counts). The k-reach index therefore works
+// on the original graph; this package exists for the comparison baselines
+// (PTree, 3-hop, GRAIL, PWAH), which all assume DAG input, and to compute
+// the |V_DAG|, |E_DAG| columns of Table 2.
+package scc
+
+import (
+	"kreach/internal/graph"
+)
+
+// Result describes the strongly connected components of a graph.
+type Result struct {
+	// Comp maps each vertex to its component id. Component ids are assigned
+	// in reverse topological order of the condensation (i.e., if comp(u) can
+	// reach comp(v) in the condensation and they differ, then
+	// Comp[u] > Comp[v]). This is the natural order produced by Tarjan's
+	// algorithm and is relied on by the baselines for topological sweeps.
+	Comp []int32
+	// Size[c] is the number of vertices in component c.
+	Size []int32
+}
+
+// NumComponents returns the number of strongly connected components.
+func (r *Result) NumComponents() int { return len(r.Size) }
+
+// Compute runs an iterative Tarjan strongly-connected-components algorithm
+// (explicit stack, no recursion, safe for million-vertex graphs).
+func Compute(g *graph.Graph) *Result {
+	n := g.NumVertices()
+	const undef = int32(-1)
+	index := make([]int32, n)
+	lowlink := make([]int32, n)
+	onStack := make([]bool, n)
+	comp := make([]int32, n)
+	for i := range index {
+		index[i] = undef
+		comp[i] = undef
+	}
+	var (
+		counter  int32
+		stack    []graph.Vertex // Tarjan stack
+		sizes    []int32
+		callVert []graph.Vertex // explicit DFS call stack: vertex
+		callIter []int32        // per-frame: next out-neighbor offset
+	)
+	for root := 0; root < n; root++ {
+		if index[root] != undef {
+			continue
+		}
+		callVert = append(callVert[:0], graph.Vertex(root))
+		callIter = append(callIter[:0], 0)
+		index[root] = counter
+		lowlink[root] = counter
+		counter++
+		stack = append(stack, graph.Vertex(root))
+		onStack[root] = true
+		for len(callVert) > 0 {
+			v := callVert[len(callVert)-1]
+			out := g.OutNeighbors(v)
+			advanced := false
+			for callIter[len(callIter)-1] < int32(len(out)) {
+				w := out[callIter[len(callIter)-1]]
+				callIter[len(callIter)-1]++
+				if index[w] == undef {
+					// Recurse into w.
+					index[w] = counter
+					lowlink[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					callVert = append(callVert, w)
+					callIter = append(callIter, 0)
+					advanced = true
+					break
+				} else if onStack[w] && index[w] < lowlink[v] {
+					lowlink[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// v is finished: pop frame, maybe emit a component.
+			callVert = callVert[:len(callVert)-1]
+			callIter = callIter[:len(callIter)-1]
+			if len(callVert) > 0 {
+				parent := callVert[len(callVert)-1]
+				if lowlink[v] < lowlink[parent] {
+					lowlink[parent] = lowlink[v]
+				}
+			}
+			if lowlink[v] == index[v] {
+				id := int32(len(sizes))
+				var size int32
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = id
+					size++
+					if w == v {
+						break
+					}
+				}
+				sizes = append(sizes, size)
+			}
+		}
+	}
+	return &Result{Comp: comp, Size: sizes}
+}
+
+// Condensation is the DAG obtained by contracting each SCC to one vertex.
+type Condensation struct {
+	// DAG is the condensed graph; vertex c corresponds to component c of R.
+	DAG *graph.Graph
+	// R is the underlying SCC result (vertex → component mapping).
+	R *Result
+	// Topo lists component ids in topological order (sources first). Because
+	// Tarjan assigns component ids in reverse topological order, this is
+	// simply n-1, n-2, …, 0, materialized for readability.
+	Topo []int32
+}
+
+// Condense computes the condensation DAG of g: one vertex per SCC, and a
+// directed edge (c1, c2) iff some original edge (u, v) has u ∈ c1, v ∈ c2,
+// c1 ≠ c2. Parallel condensed edges are collapsed.
+func Condense(g *graph.Graph) *Condensation {
+	r := Compute(g)
+	nc := r.NumComponents()
+	b := graph.NewBuilder(nc)
+	g.ForEachEdge(func(u, v graph.Vertex) {
+		cu, cv := r.Comp[u], r.Comp[v]
+		if cu != cv {
+			b.AddEdge(cu, cv)
+		}
+	})
+	topo := make([]int32, nc)
+	for i := range topo {
+		topo[i] = int32(nc - 1 - i)
+	}
+	return &Condensation{DAG: b.Build(), R: r, Topo: topo}
+}

@@ -1,0 +1,175 @@
+package scc_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"kreach/internal/graph"
+	"kreach/internal/scc"
+	"kreach/internal/testgraph"
+)
+
+func TestTwoCycles(t *testing.T) {
+	// 0→1→2→0 and 3→4→3 with a bridge 2→3.
+	b := graph.NewBuilder(5)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 3)
+	b.AddEdge(2, 3)
+	r := scc.Compute(b.Build())
+	if r.NumComponents() != 2 {
+		t.Fatalf("components = %d, want 2", r.NumComponents())
+	}
+	if r.Comp[0] != r.Comp[1] || r.Comp[1] != r.Comp[2] {
+		t.Errorf("first cycle split: %v", r.Comp)
+	}
+	if r.Comp[3] != r.Comp[4] {
+		t.Errorf("second cycle split: %v", r.Comp)
+	}
+	if r.Comp[0] == r.Comp[3] {
+		t.Errorf("cycles merged: %v", r.Comp)
+	}
+	// Reverse topological numbering: {0,1,2} reaches {3,4} so its id is larger.
+	if r.Comp[0] < r.Comp[3] {
+		t.Errorf("component ids not reverse-topological: %v", r.Comp)
+	}
+}
+
+func TestDAGIsAllSingletons(t *testing.T) {
+	g := testgraph.RandomDAG(60, 180, 11)
+	r := scc.Compute(g)
+	if r.NumComponents() != g.NumVertices() {
+		t.Fatalf("DAG should have n singleton components, got %d of %d",
+			r.NumComponents(), g.NumVertices())
+	}
+	for _, s := range r.Size {
+		if s != 1 {
+			t.Fatalf("non-singleton component in DAG: sizes %v", r.Size)
+		}
+	}
+}
+
+func TestSingleCycle(t *testing.T) {
+	g := testgraph.Cycle(17)
+	r := scc.Compute(g)
+	if r.NumComponents() != 1 || r.Size[0] != 17 {
+		t.Fatalf("cycle: components=%d sizes=%v", r.NumComponents(), r.Size)
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	if r := scc.Compute(graph.NewBuilder(0).Build()); r.NumComponents() != 0 {
+		t.Errorf("empty graph components = %d", r.NumComponents())
+	}
+	if r := scc.Compute(graph.NewBuilder(1).Build()); r.NumComponents() != 1 {
+		t.Errorf("singleton components = %d", r.NumComponents())
+	}
+	// Self loop is a single SCC of size 1.
+	b := graph.NewBuilder(1)
+	b.AddEdge(0, 0)
+	if r := scc.Compute(b.Build()); r.NumComponents() != 1 {
+		t.Errorf("self-loop components = %d", r.NumComponents())
+	}
+}
+
+// mutualReach is the brute-force SCC oracle: u,v in the same component iff
+// u→v and v→u.
+func mutualReach(g *graph.Graph) [][]bool {
+	n := g.NumVertices()
+	reach := make([][]bool, n)
+	for s := 0; s < n; s++ {
+		d := graph.BFSDistances(g, graph.Vertex(s), graph.Forward)
+		reach[s] = make([]bool, n)
+		for v := 0; v < n; v++ {
+			reach[s][v] = d[v] != graph.InfDist
+		}
+	}
+	return reach
+}
+
+func TestAgainstBruteForce(t *testing.T) {
+	for seed := uint64(0); seed < 12; seed++ {
+		rng := rand.New(rand.NewPCG(seed, 0))
+		n := 2 + rng.IntN(40)
+		g := testgraph.Random(n, rng.IntN(4*n), seed)
+		r := scc.Compute(g)
+		reach := mutualReach(g)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				same := r.Comp[u] == r.Comp[v]
+				want := reach[u][v] && reach[v][u]
+				if same != want {
+					t.Fatalf("seed %d: comp(%d)==comp(%d) is %v, mutual reach %v",
+						seed, u, v, same, want)
+				}
+			}
+		}
+		// Size bookkeeping.
+		total := int32(0)
+		for _, s := range r.Size {
+			total += s
+		}
+		if int(total) != n {
+			t.Fatalf("seed %d: component sizes sum to %d, want %d", seed, total, n)
+		}
+	}
+}
+
+func TestCondensationIsDAGAndPreservesReach(t *testing.T) {
+	for seed := uint64(20); seed < 28; seed++ {
+		g := testgraph.Random(30, 90, seed)
+		c := scc.Condense(g)
+		// The condensation must be acyclic.
+		inner := scc.Compute(c.DAG)
+		if inner.NumComponents() != c.DAG.NumVertices() {
+			t.Fatalf("seed %d: condensation has a cycle", seed)
+		}
+		// Reachability must be preserved: u→v in G iff comp(u)→comp(v) in DAG.
+		reach := mutualReach(g)
+		dagReach := mutualReach(c.DAG)
+		for u := 0; u < g.NumVertices(); u++ {
+			for v := 0; v < g.NumVertices(); v++ {
+				want := reach[u][v]
+				got := dagReach[c.R.Comp[u]][c.R.Comp[v]]
+				if got != want {
+					t.Fatalf("seed %d: reach(%d,%d)=%v but condensed %v", seed, u, v, want, got)
+				}
+			}
+		}
+	}
+}
+
+func TestCondensationTopoOrder(t *testing.T) {
+	g := testgraph.Random(40, 120, 5)
+	c := scc.Condense(g)
+	// Every condensed edge must go from a higher component id to a lower one
+	// (reverse topological ids), hence Topo (descending ids) is topological.
+	c.DAG.ForEachEdge(func(u, v graph.Vertex) {
+		if u <= v {
+			t.Fatalf("condensed edge (%d,%d) violates reverse-topological ids", u, v)
+		}
+	})
+	if len(c.Topo) != c.DAG.NumVertices() {
+		t.Fatalf("topo length %d != %d", len(c.Topo), c.DAG.NumVertices())
+	}
+	pos := make(map[int32]int, len(c.Topo))
+	for i, id := range c.Topo {
+		pos[id] = i
+	}
+	c.DAG.ForEachEdge(func(u, v graph.Vertex) {
+		if pos[int32(u)] >= pos[int32(v)] {
+			t.Fatalf("Topo does not order edge (%d,%d)", u, v)
+		}
+	})
+}
+
+func TestPaperDatasetShape(t *testing.T) {
+	// The paper's example graph is a DAG (Figure 1): condensation is identity.
+	g := testgraph.PaperFigure1()
+	c := scc.Condense(g)
+	if c.DAG.NumVertices() != g.NumVertices() || c.DAG.NumEdges() != g.NumEdges() {
+		t.Fatalf("figure 1 graph should condense to itself: %v", c.DAG)
+	}
+}

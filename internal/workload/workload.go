@@ -1,0 +1,116 @@
+// Package workload generates and classifies query workloads. Section 6.2
+// of the paper evaluates all indexes on 1 million uniformly random
+// (s, t) query pairs; Table 8 then breaks the same workload down by the
+// four cases of Algorithm 2, and Section 4.3 motivates a celebrity-biased
+// mix where high-degree vertices appear as endpoints more often.
+package workload
+
+import (
+	"math/rand/v2"
+	"sort"
+
+	"kreach/internal/core"
+	"kreach/internal/graph"
+)
+
+// Queries is a columnar batch of (source, target) query pairs.
+type Queries struct {
+	S, T []graph.Vertex
+}
+
+// Len returns the number of queries.
+func (q Queries) Len() int { return len(q.S) }
+
+// Uniform samples count pairs uniformly at random over [0, n)², the
+// workload of Tables 5, 7 and 8. Pairs with s = t are permitted, exactly as
+// sampling "randomly generated queries" would produce.
+func Uniform(n, count int, seed uint64) Queries {
+	rng := rand.New(rand.NewPCG(seed, 0x9a1e5))
+	q := Queries{S: make([]graph.Vertex, count), T: make([]graph.Vertex, count)}
+	for i := 0; i < count; i++ {
+		q.S[i] = graph.Vertex(rng.IntN(n))
+		q.T[i] = graph.Vertex(rng.IntN(n))
+	}
+	return q
+}
+
+// CelebrityBiased samples pairs where each endpoint independently is, with
+// probability bias, one of the top `celebrities` highest-degree vertices of
+// g ("statistically these high-degree vertices may indeed have a higher
+// probability to be picked as query vertices", Section 4.3).
+func CelebrityBiased(g *graph.Graph, count, celebrities int, bias float64, seed uint64) Queries {
+	n := g.NumVertices()
+	if celebrities > n {
+		celebrities = n
+	}
+	top := TopDegree(g, celebrities)
+	rng := rand.New(rand.NewPCG(seed, 0x5e1eb))
+	pick := func() graph.Vertex {
+		if len(top) > 0 && rng.Float64() < bias {
+			return top[rng.IntN(len(top))]
+		}
+		return graph.Vertex(rng.IntN(n))
+	}
+	q := Queries{S: make([]graph.Vertex, count), T: make([]graph.Vertex, count)}
+	for i := 0; i < count; i++ {
+		q.S[i] = pick()
+		q.T[i] = pick()
+	}
+	return q
+}
+
+// TopDegree returns the k vertices of largest degree (Deg = |in ∪ out|),
+// ties broken by vertex id.
+func TopDegree(g *graph.Graph, k int) []graph.Vertex {
+	n := g.NumVertices()
+	vs := make([]graph.Vertex, n)
+	for i := range vs {
+		vs[i] = graph.Vertex(i)
+	}
+	deg := make([]int, n)
+	for i := range deg {
+		deg[i] = g.Degree(graph.Vertex(i))
+	}
+	sort.SliceStable(vs, func(i, j int) bool { return deg[vs[i]] > deg[vs[j]] })
+	if k > n {
+		k = n
+	}
+	return vs[:k]
+}
+
+// CaseMix is the Table 8 breakdown: the fraction of queries falling into
+// each case of Algorithm 2 (CaseEqual excluded from the four percentages
+// but reported separately).
+type CaseMix struct {
+	Equal  float64
+	Case   [4]float64 // Case1..Case4 fractions
+	Counts [5]int     // raw counts: equal, case1..case4
+}
+
+// Classify tallies q against the cover membership of ix.
+func Classify(ix *core.Index, q Queries) CaseMix {
+	var mix CaseMix
+	for i := range q.S {
+		switch ix.Classify(q.S[i], q.T[i]) {
+		case core.CaseEqual:
+			mix.Counts[0]++
+		case core.Case1:
+			mix.Counts[1]++
+		case core.Case2:
+			mix.Counts[2]++
+		case core.Case3:
+			mix.Counts[3]++
+		case core.Case4:
+			mix.Counts[4]++
+		}
+	}
+	total := float64(q.Len())
+	if total == 0 {
+		return mix
+	}
+	mix.Equal = float64(mix.Counts[0]) / total
+	for c := 0; c < 4; c++ {
+		mix.Case[c] = float64(mix.Counts[c+1]) / total
+	}
+	return mix
+}

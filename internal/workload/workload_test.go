@@ -1,0 +1,110 @@
+package workload_test
+
+import (
+	"testing"
+
+	"kreach/internal/core"
+	"kreach/internal/graph"
+	"kreach/internal/testgraph"
+	"kreach/internal/workload"
+)
+
+func TestUniformDeterministicAndInRange(t *testing.T) {
+	a := workload.Uniform(100, 5000, 7)
+	b := workload.Uniform(100, 5000, 7)
+	if a.Len() != 5000 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.S[i] != b.S[i] || a.T[i] != b.T[i] {
+			t.Fatal("same seed, different workload")
+		}
+		if a.S[i] < 0 || int(a.S[i]) >= 100 || a.T[i] < 0 || int(a.T[i]) >= 100 {
+			t.Fatal("query vertex out of range")
+		}
+	}
+	c := workload.Uniform(100, 5000, 8)
+	same := 0
+	for i := 0; i < c.Len(); i++ {
+		if a.S[i] == c.S[i] && a.T[i] == c.T[i] {
+			same++
+		}
+	}
+	if same == c.Len() {
+		t.Error("different seeds produced identical workloads")
+	}
+}
+
+func TestTopDegree(t *testing.T) {
+	g := testgraph.Star(50, true)
+	top := workload.TopDegree(g, 3)
+	if top[0] != 0 {
+		t.Errorf("top degree vertex = %d, want hub 0", top[0])
+	}
+	if len(top) != 3 {
+		t.Errorf("len = %d", len(top))
+	}
+	if got := workload.TopDegree(g, 1000); len(got) != 50 {
+		t.Errorf("k clamp failed: %d", len(got))
+	}
+}
+
+func TestCelebrityBias(t *testing.T) {
+	g := testgraph.Star(1000, true)
+	q := workload.CelebrityBiased(g, 10000, 1, 0.5, 3)
+	hubHits := 0
+	for i := 0; i < q.Len(); i++ {
+		if q.S[i] == 0 {
+			hubHits++
+		}
+	}
+	// Expect about half the sources to be the hub; uniform would give ~10.
+	if hubHits < 3000 {
+		t.Errorf("hub sources = %d of 10000, bias not applied", hubHits)
+	}
+}
+
+func TestClassifyMatchesIndex(t *testing.T) {
+	g := testgraph.PaperFigure1()
+	ix, err := core.Build(g, core.Options{K: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := workload.Uniform(g.NumVertices(), 20000, 11)
+	mix := workload.Classify(ix, q)
+	total := 0
+	for _, c := range mix.Counts {
+		total += c
+	}
+	if total != q.Len() {
+		t.Fatalf("counts sum %d != %d", total, q.Len())
+	}
+	sum := mix.Equal
+	for _, f := range mix.Case {
+		sum += f
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("fractions sum to %f", sum)
+	}
+	// Manual spot check.
+	want := map[core.QueryCase]int{}
+	for i := 0; i < q.Len(); i++ {
+		want[ix.Classify(q.S[i], q.T[i])]++
+	}
+	if want[core.Case4] != mix.Counts[4] || want[core.Case1] != mix.Counts[1] {
+		t.Error("classification counts disagree with direct classification")
+	}
+}
+
+func TestClassifyEmptyWorkload(t *testing.T) {
+	g := testgraph.Path(4)
+	ix, err := core.Build(g, core.Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := workload.Classify(ix, workload.Queries{})
+	if mix.Equal != 0 {
+		t.Error("empty workload produced nonzero fractions")
+	}
+	_ = graph.Vertex(0)
+}

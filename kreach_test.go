@@ -1,0 +1,249 @@
+package kreach_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"kreach"
+)
+
+// chain builds 0→1→…→n-1 through the public API.
+func chain(n int) *kreach.Graph {
+	b := kreach.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1)
+	}
+	return b.Build()
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	b := kreach.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	g := b.Build()
+	ix, err := kreach.BuildIndex(g, kreach.IndexOptions{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ix.Reach(0, 2) {
+		t.Error("0 should 2-reach 2")
+	}
+	if ix.Reach(0, 3) {
+		t.Error("0 should not 2-reach 3")
+	}
+	if !ix.Reach(2, 2) {
+		t.Error("self reach")
+	}
+}
+
+func TestGraphAccessors(t *testing.T) {
+	g := chain(5)
+	if g.NumVertices() != 5 || g.NumEdges() != 4 {
+		t.Fatalf("shape: %d %d", g.NumVertices(), g.NumEdges())
+	}
+	if !g.HasEdge(1, 2) || g.HasEdge(2, 1) {
+		t.Error("HasEdge wrong")
+	}
+	if got := g.OutNeighbors(1); len(got) != 1 || got[0] != 2 {
+		t.Errorf("OutNeighbors(1) = %v", got)
+	}
+	if got := g.InNeighbors(1); len(got) != 1 || got[0] != 0 {
+		t.Errorf("InNeighbors(1) = %v", got)
+	}
+	if g.Degree(1) != 2 {
+		t.Errorf("Degree(1) = %d", g.Degree(1))
+	}
+}
+
+func TestVertexRangePanics(t *testing.T) {
+	g := chain(3)
+	ix, err := kreach.BuildIndex(g, kreach.IndexOptions{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []func(){
+		func() { g.HasEdge(-1, 0) },
+		func() { g.OutNeighbors(3) },
+		func() { ix.Reach(0, 99) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for out-of-range vertex")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	g := chain(200)
+	ix, err := kreach.BuildIndex(g, kreach.IndexOptions{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for s := 0; s < 150; s++ {
+				want := true
+				if !ix.Reach(s, s+10*(w%2)) == want {
+					errs <- "wrong answer under concurrency"
+					return
+				}
+				if ix.Reach(s, s+49) { // 49 > 10 hops away
+					errs <- "false positive under concurrency"
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+func TestEdgeListRoundTripPublic(t *testing.T) {
+	g := chain(6)
+	var buf bytes.Buffer
+	if err := g.SaveEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := kreach.LoadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != 6 || g2.NumEdges() != 5 {
+		t.Fatal("round trip changed shape")
+	}
+}
+
+func TestBinaryAndIndexPersistence(t *testing.T) {
+	g := chain(50)
+	var gbuf bytes.Buffer
+	if err := g.SaveBinary(&gbuf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := kreach.LoadBinary(&gbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := kreach.BuildIndex(g2, kreach.IndexOptions{K: 5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ibuf bytes.Buffer
+	if err := ix.Save(&ibuf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := kreach.LoadIndex(&ibuf, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 50; s += 5 {
+		for d := 0; d < 12; d++ {
+			if s+d < 50 && back.Reach(s, s+d) != (d <= 5) {
+				t.Fatalf("loaded index wrong at (%d,%d)", s, s+d)
+			}
+		}
+	}
+}
+
+func TestUnboundedIndex(t *testing.T) {
+	g := chain(30)
+	ix, err := kreach.BuildIndex(g, kreach.IndexOptions{K: kreach.Unbounded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ix.Reach(0, 29) {
+		t.Error("classic reachability missed the chain end")
+	}
+	if ix.Reach(29, 0) {
+		t.Error("reverse reach on a chain")
+	}
+	if ix.K() != kreach.Unbounded {
+		t.Errorf("K = %d", ix.K())
+	}
+}
+
+func TestCoverStrategies(t *testing.T) {
+	b := kreach.NewBuilder(30)
+	for i := 1; i < 30; i++ {
+		b.AddEdge(0, i)
+	}
+	g := b.Build()
+	for _, s := range []kreach.CoverStrategy{
+		kreach.RandomEdgeCover, kreach.DegreePrioritizedCover, kreach.GreedyCover,
+	} {
+		ix, err := kreach.BuildIndex(g, kreach.IndexOptions{K: 2, Cover: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ix.Reach(0, 15) {
+			t.Errorf("strategy %d: hub cannot reach spoke", s)
+		}
+		if ix.CoverSize() <= 0 || ix.SizeBytes() <= 0 {
+			t.Errorf("strategy %d: degenerate accounting", s)
+		}
+	}
+	// The greedy and degree-prioritized covers must include the hub.
+	ix, _ := kreach.BuildIndex(g, kreach.IndexOptions{K: 2, Cover: kreach.GreedyCover})
+	if !ix.InCover(0) {
+		t.Error("greedy cover misses hub")
+	}
+}
+
+func TestHKIndexPublic(t *testing.T) {
+	g := chain(40)
+	ix, err := kreach.BuildHKIndex(g, kreach.HKOptions{H: 2, K: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ix.Reach(0, 6) || ix.Reach(0, 7) {
+		t.Error("HK reach wrong on chain")
+	}
+	if ix.H() != 2 || ix.K() != 6 {
+		t.Error("HK accessors")
+	}
+	if _, err := kreach.BuildHKIndex(g, kreach.HKOptions{H: 3, K: 6}); err == nil {
+		t.Error("invalid (h,k) accepted")
+	}
+}
+
+func TestMultiIndexPublic(t *testing.T) {
+	g := chain(40)
+	ix, err := kreach.BuildMultiIndex(g, kreach.MultiOptions{
+		Rungs: kreach.ExactRungs(40),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := ix.Reach(0, 7, 7); v != kreach.Yes {
+		t.Errorf("exact rung verdict = %v", v)
+	}
+	if v, _ := ix.Reach(0, 8, 7); v != kreach.No {
+		t.Errorf("verdict = %v, want No", v)
+	}
+	if v, _ := ix.Reach(0, 39, -1); v != kreach.Yes {
+		t.Errorf("classic verdict = %v", v)
+	}
+	// Power-of-two ladder gives one-sided answers between rungs.
+	p2, err := kreach.BuildMultiIndex(g, kreach.MultiOptions{
+		Rungs: kreach.PowerOfTwoRungs(40),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, within := p2.Reach(0, 6, 5) // dist 6: not ≤5, but ≤8 → YesWithin 8
+	if v != kreach.YesWithin || within != 8 {
+		t.Errorf("approximate verdict = %v within %d, want YesWithin 8", v, within)
+	}
+}
