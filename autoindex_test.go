@@ -1,0 +1,52 @@
+package kreach_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"kreach"
+)
+
+func TestLoadAutoIndex(t *testing.T) {
+	g := chain(8)
+	plain, err := kreach.BuildIndex(g, kreach.IndexOptions{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hk, err := kreach.BuildHKIndex(g, kreach.HKOptions{H: 1, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pbuf, hbuf bytes.Buffer
+	if err := plain.Save(&pbuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := hk.Save(&hbuf); err != nil {
+		t.Fatal(err)
+	}
+	ix, hkLoaded, err := kreach.LoadAutoIndex(&pbuf, g)
+	if err != nil || ix == nil || hkLoaded != nil {
+		t.Fatalf("plain auto-load: ix=%v hk=%v err=%v", ix, hkLoaded, err)
+	}
+	if !ix.Reach(0, 3) || ix.Reach(0, 4) {
+		t.Error("auto-loaded plain index answers wrong")
+	}
+	ix, hkLoaded, err = kreach.LoadAutoIndex(&hbuf, g)
+	if err != nil || ix != nil || hkLoaded == nil {
+		t.Fatalf("hk auto-load: ix=%v hk=%v err=%v", ix, hkLoaded, err)
+	}
+	if !hkLoaded.Reach(0, 3) || hkLoaded.Reach(0, 4) {
+		t.Error("auto-loaded (h,k) index answers wrong")
+	}
+	// Garbage is rejected from the magic alone, naming it.
+	_, _, err = kreach.LoadAutoIndex(strings.NewReader("garbage"), g)
+	if err == nil || !strings.Contains(err.Error(), "neither") {
+		t.Errorf("garbage auto-load error = %v", err)
+	}
+	// A truncated stream still errors cleanly.
+	_, _, err = kreach.LoadAutoIndex(strings.NewReader("KR"), g)
+	if err == nil {
+		t.Errorf("2-byte stream accepted")
+	}
+}

@@ -1,0 +1,114 @@
+package kreach_test
+
+import (
+	"sync"
+	"testing"
+
+	"kreach"
+)
+
+func TestPublicReachBatch(t *testing.T) {
+	g := chain(12)
+	ix, err := kreach.BuildIndex(g, kreach.IndexOptions{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pairs []kreach.Pair
+	for s := 0; s < 12; s++ {
+		for tt := 0; tt < 12; tt++ {
+			pairs = append(pairs, kreach.Pair{S: s, T: tt})
+		}
+	}
+	for _, par := range []int{0, 1, 4} {
+		got := ix.ReachBatch(pairs, par)
+		for i, p := range pairs {
+			if want := ix.Reach(p.S, p.T); got[i] != want {
+				t.Fatalf("parallelism %d: pair %+v = %v, want %v", par, p, got[i], want)
+			}
+		}
+	}
+}
+
+func TestPublicReachBatchPanicsOutOfRange(t *testing.T) {
+	g := chain(4)
+	ix, err := kreach.BuildIndex(g, kreach.IndexOptions{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range pair did not panic")
+		}
+	}()
+	ix.ReachBatch([]kreach.Pair{{S: 0, T: 4}}, 1)
+}
+
+func TestPublicHKAndMultiReachBatch(t *testing.T) {
+	g := chain(10)
+	hk, err := kreach.BuildHKIndex(g, kreach.HKOptions{H: 1, K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := kreach.BuildMultiIndex(g, kreach.MultiOptions{Rungs: kreach.PowerOfTwoRungs(8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pairs []kreach.Pair
+	for s := 0; s < 10; s++ {
+		for tt := 0; tt < 10; tt++ {
+			pairs = append(pairs, kreach.Pair{S: s, T: tt})
+		}
+	}
+	hkGot := hk.ReachBatch(pairs, 3)
+	for i, p := range pairs {
+		if want := hk.Reach(p.S, p.T); hkGot[i] != want {
+			t.Fatalf("hk pair %+v = %v, want %v", p, hkGot[i], want)
+		}
+	}
+	for _, k := range []int{1, 3, -1} {
+		got := multi.ReachBatch(pairs, k, 3)
+		for i, p := range pairs {
+			verdict, effK := multi.Reach(p.S, p.T, k)
+			if got[i].Verdict != verdict || got[i].EffectiveK != effK {
+				t.Fatalf("multi k=%d pair %+v = %+v, want (%v,%d)", k, p, got[i], verdict, effK)
+			}
+		}
+	}
+}
+
+// TestPublicReachBatchConcurrent runs overlapping batches through one index
+// from many goroutines; meaningful under -race.
+func TestPublicReachBatchConcurrent(t *testing.T) {
+	g := chain(50)
+	ix, err := kreach.BuildIndex(g, kreach.IndexOptions{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pairs []kreach.Pair
+	for s := 0; s < 50; s++ {
+		for tt := 0; tt < 50; tt += 2 {
+			pairs = append(pairs, kreach.Pair{S: s, T: tt})
+		}
+	}
+	want := ix.ReachBatch(pairs, 1)
+	var wg sync.WaitGroup
+	fail := make(chan struct{}, 8)
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(par int) {
+			defer wg.Done()
+			got := ix.ReachBatch(pairs, par)
+			for i := range got {
+				if got[i] != want[i] {
+					fail <- struct{}{}
+					return
+				}
+			}
+		}(c%4 + 1)
+	}
+	wg.Wait()
+	close(fail)
+	if _, bad := <-fail; bad {
+		t.Fatal("concurrent batches diverged")
+	}
+}

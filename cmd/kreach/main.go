@@ -14,7 +14,6 @@ package main
 
 import (
 	"bufio"
-	"bytes"
 	"flag"
 	"fmt"
 	"math/rand/v2"
@@ -149,18 +148,23 @@ func cmdQuery(args []string) {
 		fatal(fmt.Errorf("query: -graph and -index are required"))
 	}
 	g := loadGraph(*graphPath)
-	data, err := os.ReadFile(*indexPath)
+	f, err := os.Open(*indexPath)
 	if err != nil {
 		fatal(err)
 	}
-	// Auto-detect plain vs (h,k)-reach index files by magic.
+	// LoadAutoIndex dispatches on the file's magic, so an (h,k) file's real
+	// load error surfaces directly instead of being hidden behind a failed
+	// plain-index parse.
+	ix, hk, err := kreach.LoadAutoIndex(f, g)
+	f.Close()
+	if err != nil {
+		fatal(fmt.Errorf("query: %s: %w", *indexPath, err))
+	}
 	var reach func(s, t int) bool
-	if ix, err := kreach.LoadIndex(bytes.NewReader(data), g); err == nil {
+	if ix != nil {
 		reach = ix.Reach
-	} else if hk, err2 := kreach.LoadHKIndex(bytes.NewReader(data), g); err2 == nil {
-		reach = hk.Reach
 	} else {
-		fatal(err)
+		reach = hk.Reach
 	}
 	if *s >= 0 && *t >= 0 {
 		fmt.Println(reach(*s, *t))

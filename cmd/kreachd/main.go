@@ -1,0 +1,258 @@
+// Command kreachd is the k-reach query-serving daemon: it loads one or more
+// named graph+index datasets at startup and serves k-hop reachability over
+// an HTTP/JSON API (see kreach/internal/server for the endpoints).
+//
+// Usage:
+//
+//	kreachd -listen :7325 \
+//	    -dataset 'social,graph=soc.txt,index=soc.kri' \
+//	    -dataset 'cite,graph=cite.krg,k=8,cover=degree,seed=7' \
+//	    -dataset 'ladder,graph=g.txt,rungs=2+4+8'
+//
+// Each -dataset flag is "name,key=value,...". Keys:
+//
+//	graph=PATH   edge list or .krg binary (required)
+//	index=PATH   prebuilt index from `kreach build` (plain or (h,k),
+//	             auto-detected); exclusive with k/h/rungs
+//	k=K          build a k-reach index at startup (-1 = classic reachability;
+//	             default when no index options are given)
+//	h=H          with k: build the (h,k)-reach variant instead
+//	rungs=A+B+C  build a multi-rung ladder for per-query k
+//	cover=S      degree (default), random or greedy
+//	seed=N       cover seed (default 1)
+//
+// The first dataset is the default for requests that omit "graph". The
+// daemon drains in-flight requests on SIGINT/SIGTERM before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"kreach"
+	"kreach/internal/server"
+)
+
+func main() {
+	var (
+		listen      = flag.String("listen", ":7325", "address to serve HTTP on")
+		parallelism = flag.Int("parallelism", 0, "batch worker pool size (0 = GOMAXPROCS)")
+		maxBatch    = flag.Int("maxbatch", server.DefaultMaxBatch, "maximum pairs per /v1/batch request")
+		specs       []string
+	)
+	flag.Func("dataset", "dataset spec 'name,graph=PATH[,index=PATH][,k=K][,h=H][,rungs=A+B+C][,cover=S][,seed=N]' (repeatable)", func(s string) error {
+		specs = append(specs, s)
+		return nil
+	})
+	flag.Parse()
+	if len(specs) == 0 {
+		fmt.Fprintln(os.Stderr, "kreachd: at least one -dataset is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	reg := server.NewRegistry()
+	for _, spec := range specs {
+		d, err := loadDataset(spec)
+		if err != nil {
+			fatal(err)
+		}
+		if err := reg.Add(d); err != nil {
+			fatal(err)
+		}
+		logDataset(d)
+	}
+
+	srv := &http.Server{
+		Addr:              *listen,
+		Handler:           server.New(reg, server.Config{Parallelism: *parallelism, MaxBatch: *maxBatch}),
+		ReadHeaderTimeout: 10 * time.Second,
+		// ReadTimeout bounds the whole request read so a client trickling a
+		// large /v1/batch body cannot pin a goroutine indefinitely.
+		ReadTimeout: time.Minute,
+		IdleTimeout: 2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "kreachd: serving %d dataset(s) on %s\n", len(reg.Names()), *listen)
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "kreachd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fatal(err)
+	}
+}
+
+// datasetSpec is one parsed -dataset flag.
+type datasetSpec struct {
+	name      string
+	graphPath string
+	indexPath string
+	k         int
+	haveK     bool
+	h         int
+	rungs     []int
+	cover     kreach.CoverStrategy
+	seed      uint64
+}
+
+func parseSpec(raw string) (datasetSpec, error) {
+	sp := datasetSpec{cover: kreach.DegreePrioritizedCover, seed: 1}
+	parts := strings.Split(raw, ",")
+	sp.name = strings.TrimSpace(parts[0])
+	if sp.name == "" || strings.Contains(sp.name, "=") {
+		return sp, fmt.Errorf("dataset %q: first field must be the name", raw)
+	}
+	for _, part := range parts[1:] {
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return sp, fmt.Errorf("dataset %q: bad field %q (want key=value)", sp.name, part)
+		}
+		var err error
+		switch key {
+		case "graph":
+			sp.graphPath = val
+		case "index":
+			sp.indexPath = val
+		case "k":
+			sp.k, err = strconv.Atoi(val)
+			sp.haveK = true
+		case "h":
+			if sp.h, err = strconv.Atoi(val); err == nil && sp.h < 1 {
+				err = fmt.Errorf("h must be >= 1")
+			}
+		case "rungs":
+			for _, r := range strings.Split(val, "+") {
+				var k int
+				if k, err = strconv.Atoi(r); err != nil {
+					break
+				}
+				sp.rungs = append(sp.rungs, k)
+			}
+		case "cover":
+			switch val {
+			case "degree":
+				sp.cover = kreach.DegreePrioritizedCover
+			case "random":
+				sp.cover = kreach.RandomEdgeCover
+			case "greedy":
+				sp.cover = kreach.GreedyCover
+			default:
+				err = fmt.Errorf("unknown cover strategy %q", val)
+			}
+		case "seed":
+			sp.seed, err = strconv.ParseUint(val, 10, 64)
+		default:
+			err = fmt.Errorf("unknown key %q", key)
+		}
+		if err != nil {
+			return sp, fmt.Errorf("dataset %q: %s: %v", sp.name, part, err)
+		}
+	}
+	if sp.graphPath == "" {
+		return sp, fmt.Errorf("dataset %q: graph=PATH is required", sp.name)
+	}
+	if sp.indexPath != "" && (sp.haveK || sp.h > 0 || len(sp.rungs) > 0) {
+		return sp, fmt.Errorf("dataset %q: index=PATH excludes k/h/rungs", sp.name)
+	}
+	if len(sp.rungs) > 0 && (sp.haveK || sp.h > 0) {
+		return sp, fmt.Errorf("dataset %q: rungs excludes k/h", sp.name)
+	}
+	if sp.h > 0 && !sp.haveK {
+		return sp, fmt.Errorf("dataset %q: h requires k (> 2h)", sp.name)
+	}
+	return sp, nil
+}
+
+func loadDataset(raw string) (*server.Dataset, error) {
+	sp, err := parseSpec(raw)
+	if err != nil {
+		return nil, err
+	}
+	g, err := loadGraph(sp.graphPath)
+	if err != nil {
+		return nil, fmt.Errorf("dataset %q: %w", sp.name, err)
+	}
+	d := &server.Dataset{Name: sp.name, Graph: g}
+	switch {
+	case sp.indexPath != "":
+		f, err := os.Open(sp.indexPath)
+		if err != nil {
+			return nil, fmt.Errorf("dataset %q: %w", sp.name, err)
+		}
+		ix, hk, err := kreach.LoadAutoIndex(f, g)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("dataset %q: %s: %w", sp.name, sp.indexPath, err)
+		}
+		d.Plain, d.HK = ix, hk
+	case len(sp.rungs) > 0:
+		m, err := kreach.BuildMultiIndex(g, kreach.MultiOptions{
+			Rungs: sp.rungs, Cover: sp.cover, Seed: sp.seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("dataset %q: %w", sp.name, err)
+		}
+		d.Multi = m
+	case sp.h > 0:
+		hk, err := kreach.BuildHKIndex(g, kreach.HKOptions{H: sp.h, K: sp.k})
+		if err != nil {
+			return nil, fmt.Errorf("dataset %q: %w", sp.name, err)
+		}
+		d.HK = hk
+	default:
+		k := kreach.Unbounded
+		if sp.haveK {
+			k = sp.k
+		}
+		ix, err := kreach.BuildIndex(g, kreach.IndexOptions{K: k, Cover: sp.cover, Seed: sp.seed})
+		if err != nil {
+			return nil, fmt.Errorf("dataset %q: %w", sp.name, err)
+		}
+		d.Plain = ix
+	}
+	return d, nil
+}
+
+func loadGraph(path string) (*kreach.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".krg") {
+		return kreach.LoadBinary(f)
+	}
+	return kreach.LoadEdgeList(f)
+}
+
+func logDataset(d *server.Dataset) {
+	fmt.Fprintf(os.Stderr, "kreachd: loaded %q kind=%s |V|=%d |E|=%d\n",
+		d.Name, d.Kind(), d.Graph.NumVertices(), d.Graph.NumEdges())
+}
+
+func fatal(err error) {
+	if errors.Is(err, http.ErrServerClosed) {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "kreachd:", err)
+	os.Exit(1)
+}

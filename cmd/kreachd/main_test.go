@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"kreach/internal/server"
+)
+
+func TestParseSpec(t *testing.T) {
+	sp, err := parseSpec("social,graph=g.txt,index=g.kri")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.name != "social" || sp.graphPath != "g.txt" || sp.indexPath != "g.kri" {
+		t.Errorf("parsed %+v", sp)
+	}
+	sp, err = parseSpec("l,graph=g.txt,rungs=2+4+8,cover=greedy,seed=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.rungs) != 3 || sp.rungs[2] != 8 || sp.seed != 9 {
+		t.Errorf("parsed %+v", sp)
+	}
+	for _, bad := range []string{
+		"",                          // no name
+		"graph=g.txt",               // name looks like key=value
+		"x",                         // missing graph
+		"x,graph=g.txt,k=notanint",  // bad int
+		"x,graph=g.txt,cover=bogus", // bad cover
+		"x,graph=g.txt,index=i,k=3", // index excludes k
+		"x,graph=g.txt,rungs=2,k=3", // rungs excludes k
+		"x,graph=g.txt,h=2",         // h without k
+		"x,graph=g.txt,k=5,h=0",     // h below 1
+		"x,graph=g.txt,junk=1",      // unknown key
+	} {
+		if _, err := parseSpec(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestLoadDatasetBuildsEachKind(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	// Header-less edge list: a 6-cycle.
+	if err := os.WriteFile(path, []byte("0 1\n1 2\n2 3\n3 4\n4 5\n5 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for spec, kind := range map[string]server.Kind{
+		"a,graph=" + path:                server.KindPlain,
+		"b,graph=" + path + ",k=3":       server.KindPlain,
+		"c,graph=" + path + ",k=5,h=2":   server.KindHK,
+		"d,graph=" + path + ",rungs=2+4": server.KindMulti,
+	} {
+		d, err := loadDataset(spec)
+		if err != nil {
+			t.Fatalf("spec %q: %v", spec, err)
+		}
+		if d.Kind() != kind {
+			t.Errorf("spec %q built kind %s, want %s", spec, d.Kind(), kind)
+		}
+		if d.Graph.NumVertices() != 6 || d.Graph.NumEdges() != 6 {
+			t.Errorf("spec %q graph is %d/%d, want 6/6", spec, d.Graph.NumVertices(), d.Graph.NumEdges())
+		}
+	}
+	if _, err := loadDataset("x,graph=" + filepath.Join(dir, "missing.txt")); err == nil {
+		t.Error("missing graph file accepted")
+	}
+}

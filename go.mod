@@ -1,0 +1,3 @@
+module kreach
+
+go 1.24

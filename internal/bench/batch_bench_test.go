@@ -1,0 +1,53 @@
+package bench_test
+
+import (
+	"fmt"
+	"testing"
+
+	"kreach/internal/core"
+	"kreach/internal/cover"
+	"kreach/internal/gen"
+	"kreach/internal/workload"
+)
+
+// BenchmarkReachBatch measures the batch query path against the sequential
+// single-query loop on a generated citation graph — the acceptance check
+// that ReachBatch throughput scales with parallelism. Run with e.g.
+//
+//	go test ./internal/bench -bench ReachBatch -benchtime 2x
+func BenchmarkReachBatch(b *testing.B) {
+	g := gen.Spec{Family: gen.Citation, N: 30000, M: 120000, Seed: 3, Window: 3000}.Generate()
+	ix, err := core.Build(g, core.Options{
+		K:        core.Unbounded,
+		Strategy: cover.DegreePrioritized,
+		Seed:     1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := workload.Uniform(g.NumVertices(), 200_000, 9)
+	pairs := make([]core.Pair, q.Len())
+	for i := range pairs {
+		pairs[i] = core.Pair{S: q.S[i], T: q.T[i]}
+	}
+	qps := func(b *testing.B) {
+		b.ReportMetric(float64(len(pairs))*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+	}
+	b.Run("seq", func(b *testing.B) {
+		scratch := core.NewQueryScratch()
+		for n := 0; n < b.N; n++ {
+			for i := range pairs {
+				ix.Reach(pairs[i].S, pairs[i].T, scratch)
+			}
+		}
+		qps(b)
+	})
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("batch-%d", par), func(b *testing.B) {
+			for n := 0; n < b.N; n++ {
+				ix.ReachBatch(pairs, par)
+			}
+			qps(b)
+		})
+	}
+}

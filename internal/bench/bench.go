@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand/v2"
+	"runtime"
 	"sort"
 	"text/tabwriter"
 	"time"
@@ -425,16 +426,70 @@ func (r *Runner) Table9() error {
 	return w.Flush()
 }
 
-// Run executes the requested tables ("2".."9" or "all") in order.
+// TableBatch prints ReachBatch throughput (thousand queries per second) at
+// worker counts 1, 2, 4, …, GOMAXPROCS against the sequential single-query
+// loop, on the n-reach index. It is not a paper table — it measures the
+// serving-layer hot path that kreachd's /v1/batch endpoint rides.
+func (r *Runner) TableBatch() error {
+	fmt.Fprintf(r.cfg.Out, "Batch: ReachBatch throughput for %d queries (kq/s)\n", r.cfg.Queries)
+	var pars []int
+	for p := 1; p <= runtime.GOMAXPROCS(0); p *= 2 {
+		pars = append(pars, p)
+	}
+	w := r.tab()
+	fmt.Fprint(w, "\tseq")
+	for _, p := range pars {
+		fmt.Fprintf(w, "\tbatch-%d", p)
+	}
+	fmt.Fprintln(w, "\t")
+	for _, name := range r.cfg.Datasets {
+		d, err := r.dataset(name)
+		if err != nil {
+			return err
+		}
+		ix, err := core.Build(d.g, core.Options{
+			K:        core.Unbounded,
+			Strategy: cover.DegreePrioritized,
+			Seed:     r.cfg.Seed,
+		})
+		if err != nil {
+			return err
+		}
+		pairs := make([]core.Pair, d.q.Len())
+		for i := range pairs {
+			pairs[i] = core.Pair{S: d.q.S[i], T: d.q.T[i]}
+		}
+		kqps := func(elapsed time.Duration) string {
+			return fmt.Sprintf("%.0f", float64(d.q.Len())/elapsed.Seconds()/1000)
+		}
+		fmt.Fprintf(w, "%s", name)
+		scratch := core.NewQueryScratch()
+		t0 := time.Now()
+		for i := 0; i < d.q.Len(); i++ {
+			ix.Reach(d.q.S[i], d.q.T[i], scratch)
+		}
+		fmt.Fprintf(w, "\t%s", kqps(time.Since(t0)))
+		for _, p := range pars {
+			t0 = time.Now()
+			ix.ReachBatch(pairs, p)
+			fmt.Fprintf(w, "\t%s", kqps(time.Since(t0)))
+		}
+		fmt.Fprintln(w, "\t")
+	}
+	return w.Flush()
+}
+
+// Run executes the requested tables ("2".."9", "batch" or "all") in order.
 func (r *Runner) Run(tables []string) error {
 	fns := map[string]func() error{
 		"2": r.Table2, "3": r.Table3, "4": r.Table4, "5": r.Table5,
 		"6": r.Table6, "7": r.Table7, "8": r.Table8, "9": r.Table9,
+		"batch": r.TableBatch,
 	}
 	var order []string
 	for _, t := range tables {
 		if t == "all" {
-			order = []string{"2", "3", "4", "5", "6", "7", "8", "9"}
+			order = []string{"2", "3", "4", "5", "6", "7", "8", "9", "batch"}
 			break
 		}
 		order = append(order, t)

@@ -83,3 +83,13 @@ func TestCaseMixSumsTo100(t *testing.T) {
 		t.Errorf("case mix sums to %.2f", sum)
 	}
 }
+
+func TestTableBatch(t *testing.T) {
+	out := runTables(t, []string{"batch"}, []string{"Nasa"})
+	if !strings.Contains(out, "seq") || !strings.Contains(out, "batch-1") {
+		t.Errorf("batch table missing columns:\n%s", out)
+	}
+	if !strings.Contains(out, "Nasa") {
+		t.Errorf("batch table missing dataset row:\n%s", out)
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"kreach/internal/graph"
+)
+
+// This file adds the batch query path shared by the kreachd server, the
+// public library and the bench harness: a worker pool that answers many
+// (s, t) queries at once, reusing one QueryScratch per worker so the hot
+// loop stays allocation-free no matter how large the batch is.
+
+// Pair is one (s, t) query of a batch.
+type Pair struct {
+	S, T graph.Vertex
+}
+
+// batchChunk is the number of pairs a worker claims per cursor bump. Large
+// enough to amortize the atomic add, small enough that skewed per-query
+// costs (Case 1 lookups vs Case 4 intersections) still balance.
+const batchChunk = 256
+
+// batchWorkers resolves a parallelism request like Options.Parallelism:
+// 0 means GOMAXPROCS, 1 means sequential; never more workers than jobs.
+func batchWorkers(parallelism, jobs int) int {
+	w := parallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if chunks := (jobs + batchChunk - 1) / batchChunk; w > chunks {
+		w = chunks
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// batchEval runs evalRange over a partition of [0, n): workers claim
+// contiguous chunks off an atomic cursor until the range is drained. Each
+// worker gets its own scratch from newScratch, so evalRange may mutate it
+// freely. Ranges (not single indexes) keep the indirect call off the
+// per-query hot path.
+func batchEval[S any](n, parallelism int, newScratch func() S, evalRange func(lo, hi int, sc S)) {
+	workers := batchWorkers(parallelism, n)
+	if workers == 1 {
+		evalRange(0, n, newScratch())
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := newScratch()
+			for {
+				hi := int(cursor.Add(batchChunk))
+				lo := hi - batchChunk
+				if lo >= n {
+					return
+				}
+				if hi > n {
+					hi = n
+				}
+				evalRange(lo, hi, sc)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ReachBatch answers every pair with the index, using `parallelism` workers
+// (0 = GOMAXPROCS, 1 = sequential). Results are positionally aligned with
+// pairs. Safe for concurrent use, including concurrently with Reach.
+func (ix *Index) ReachBatch(pairs []Pair, parallelism int) []bool {
+	out := make([]bool, len(pairs))
+	batchEval(len(pairs), parallelism, NewQueryScratch, func(lo, hi int, sc *QueryScratch) {
+		for i := lo; i < hi; i++ {
+			out[i] = ix.Reach(pairs[i].S, pairs[i].T, sc)
+		}
+	})
+	return out
+}
+
+// ReachBatch answers every pair with the (h,k)-reach index, using
+// `parallelism` workers (0 = GOMAXPROCS, 1 = sequential).
+func (ix *HKIndex) ReachBatch(pairs []Pair, parallelism int) []bool {
+	out := make([]bool, len(pairs))
+	batchEval(len(pairs), parallelism, func() *HKQueryScratch { return NewHKQueryScratch(ix) },
+		func(lo, hi int, sc *HKQueryScratch) {
+			for i := lo; i < hi; i++ {
+				out[i] = ix.Reach(pairs[i].S, pairs[i].T, sc)
+			}
+		})
+	return out
+}
+
+// ReachBatch answers every pair for hop bound k with the ladder, using
+// `parallelism` workers (0 = GOMAXPROCS, 1 = sequential).
+func (m *MultiIndex) ReachBatch(pairs []Pair, k, parallelism int) []MultiResult {
+	out := make([]MultiResult, len(pairs))
+	batchEval(len(pairs), parallelism, NewQueryScratch, func(lo, hi int, sc *QueryScratch) {
+		for i := lo; i < hi; i++ {
+			out[i] = m.Reach(pairs[i].S, pairs[i].T, k, sc)
+		}
+	})
+	return out
+}

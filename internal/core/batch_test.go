@@ -1,0 +1,161 @@
+package core_test
+
+import (
+	"sync"
+	"testing"
+
+	"kreach/internal/core"
+	"kreach/internal/graph"
+	"kreach/internal/testgraph"
+)
+
+// allPairs enumerates every (s, t) of an n-vertex graph.
+func allPairs(n int) []core.Pair {
+	pairs := make([]core.Pair, 0, n*n)
+	for s := 0; s < n; s++ {
+		for t := 0; t < n; t++ {
+			pairs = append(pairs, core.Pair{S: graph.Vertex(s), T: graph.Vertex(t)})
+		}
+	}
+	return pairs
+}
+
+func TestReachBatchMatchesSequential(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+		k    int
+	}{
+		{"random-k3", testgraph.Random(40, 150, 11), 3},
+		{"random-unbounded", testgraph.Random(40, 150, 12), core.Unbounded},
+		{"dag-k5", testgraph.RandomDAG(50, 200, 13), 5},
+		{"path-k2", testgraph.Path(30), 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ix, err := core.Build(tc.g, core.Options{K: tc.k, Seed: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pairs := allPairs(tc.g.NumVertices())
+			scratch := core.NewQueryScratch()
+			want := make([]bool, len(pairs))
+			for i, p := range pairs {
+				want[i] = ix.Reach(p.S, p.T, scratch)
+			}
+			for _, par := range []int{0, 1, 2, 7} {
+				got := ix.ReachBatch(pairs, par)
+				if len(got) != len(want) {
+					t.Fatalf("parallelism %d: %d results for %d pairs", par, len(got), len(pairs))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("parallelism %d: pair %v = %v, want %v", par, pairs[i], got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestHKReachBatchMatchesSequential(t *testing.T) {
+	g := testgraph.Random(40, 150, 21)
+	ix, err := core.BuildHK(g, core.HKOptions{H: 2, K: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := allPairs(g.NumVertices())
+	scratch := core.NewHKQueryScratch(ix)
+	want := make([]bool, len(pairs))
+	for i, p := range pairs {
+		want[i] = ix.Reach(p.S, p.T, scratch)
+	}
+	for _, par := range []int{0, 1, 3} {
+		got := ix.ReachBatch(pairs, par)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("parallelism %d: pair %v = %v, want %v", par, pairs[i], got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMultiReachBatchMatchesSequential(t *testing.T) {
+	g := testgraph.Random(35, 120, 31)
+	m, err := core.BuildMulti(g, core.PowerOfTwoKs(8), core.Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := allPairs(g.NumVertices())
+	for _, k := range []int{1, 2, 3, 5, 8, -1} {
+		scratch := core.NewQueryScratch()
+		want := make([]core.MultiResult, len(pairs))
+		for i, p := range pairs {
+			want[i] = m.Reach(p.S, p.T, k, scratch)
+		}
+		got := m.ReachBatch(pairs, k, 4)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("k=%d pair %v = %+v, want %+v", k, pairs[i], got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestReachBatchConcurrentCallers exercises the batch path from many
+// goroutines at once (meaningful under -race): batches share one index and
+// run concurrently with plain Reach calls.
+func TestReachBatchConcurrentCallers(t *testing.T) {
+	g := testgraph.Random(60, 300, 41)
+	ix, err := core.Build(g, core.Options{K: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := allPairs(g.NumVertices())
+	scratch := core.NewQueryScratch()
+	want := make([]bool, len(pairs))
+	for i, p := range pairs {
+		want[i] = ix.Reach(p.S, p.T, scratch)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(par int) {
+			defer wg.Done()
+			got := ix.ReachBatch(pairs, par)
+			for i := range got {
+				if got[i] != want[i] {
+					errs <- "batch result diverged under concurrency"
+					return
+				}
+			}
+			sc := core.NewQueryScratch()
+			for i := 0; i < 100; i++ {
+				if ix.Reach(pairs[i].S, pairs[i].T, sc) != want[i] {
+					errs <- "single query diverged under concurrency"
+					return
+				}
+			}
+		}(c%4 + 1)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}
+
+func TestReachBatchEmptyAndTiny(t *testing.T) {
+	g := testgraph.Path(5)
+	ix, err := core.Build(g, core.Options{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.ReachBatch(nil, 8); len(got) != 0 {
+		t.Fatalf("empty batch returned %d results", len(got))
+	}
+	got := ix.ReachBatch([]core.Pair{{S: 0, T: 2}, {S: 0, T: 4}}, 8)
+	if !got[0] || got[1] {
+		t.Fatalf("tiny batch = %v, want [true false]", got)
+	}
+}

@@ -154,6 +154,13 @@ func (m *MultiIndex) Reach(s, t graph.Vertex, k int, scratch *QueryScratch) Mult
 	if k == 0 {
 		return MultiResult{Verdict: No}
 	}
+	if k == 1 {
+		// k = 1 is exactly the edge test; no ladder rung needed.
+		if m.g.HasEdge(s, t) {
+			return MultiResult{Verdict: Yes}
+		}
+		return MultiResult{Verdict: No}
+	}
 	if ix, ok := m.byK[k]; ok {
 		if ix.Reach(s, t, scratch) {
 			return MultiResult{Verdict: Yes}
@@ -172,10 +179,8 @@ func (m *MultiIndex) Reach(s, t graph.Vertex, k int, scratch *QueryScratch) Mult
 		upper = m.unbnd
 	}
 	if !upper.Reach(s, t, scratch) {
-		if upperK == 0 {
-			// Not reachable at all, so certainly not within k.
-			return MultiResult{Verdict: No}
-		}
+		// A miss on the upper rung (or on the unbounded rung: not reachable
+		// at all) is exact: certainly not reachable within k.
 		return MultiResult{Verdict: No}
 	}
 	// Lower rung: last rung < k, if any; a positive there is exact.

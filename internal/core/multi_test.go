@@ -128,3 +128,39 @@ func TestLadderRungDedup(t *testing.T) {
 		t.Error("SizeBytes not positive")
 	}
 }
+
+// Regression: k = 1 is exactly the edge test, so the ladder must never
+// answer it approximately (it used to return YesWithin(2) off the rung-2
+// index for pairs joined by a 2-hop path but no edge).
+func TestLadderK1Exact(t *testing.T) {
+	path := testgraph.Path(4) // 0→1→2→3
+	m, err := core.BuildMulti(path, []int{2, 4}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := m.Reach(0, 1, 1, nil); r.Verdict != core.Yes {
+		t.Errorf("edge (0,1) at k=1 = %v, want yes", r.Verdict)
+	}
+	if r := m.Reach(0, 2, 1, nil); r.Verdict != core.No {
+		t.Errorf("2-hop pair (0,2) at k=1 = %v, want no", r.Verdict)
+	}
+
+	g := testgraph.Random(30, 100, 77)
+	m, err = core.BuildMulti(g, core.PowerOfTwoKs(8), core.Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := core.NewQueryScratch()
+	for s := 0; s < 30; s++ {
+		for tt := 0; tt < 30; tt++ {
+			r := m.Reach(graph.Vertex(s), graph.Vertex(tt), 1, scratch)
+			want := s == tt || g.HasEdge(graph.Vertex(s), graph.Vertex(tt))
+			if r.Verdict == core.YesWithin {
+				t.Fatalf("k=1 query (%d,%d) answered approximately", s, tt)
+			}
+			if (r.Verdict == core.Yes) != want {
+				t.Fatalf("k=1 query (%d,%d) = %v, want %v", s, tt, r.Verdict, want)
+			}
+		}
+	}
+}

@@ -193,3 +193,16 @@ func (d *decoder) u64() uint64 {
 	d.off += 8
 	return v
 }
+
+// SniffIndexMagic classifies a serialized index stream by its leading
+// 4 bytes: "kreach" for a plain Index, "hkreach" for an HKIndex, "" for
+// neither. Used by auto-detecting loaders to dispatch without parsing.
+func SniffIndexMagic(magic [4]byte) string {
+	switch magic {
+	case indexMagic:
+		return "kreach"
+	case hkMagic:
+		return "hkreach"
+	}
+	return ""
+}

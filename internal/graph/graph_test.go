@@ -231,19 +231,21 @@ func TestEdgeListRoundTrip(t *testing.T) {
 	}
 }
 
-func TestReadEdgeListHeaderless(t *testing.T) {
-	// Headerless lists cannot be told apart from a header pair, so the first
-	// pair is interpreted as "n m". Documented behavior: WriteEdgeList always
-	// emits the header. Verify explicit malformed input errors.
+func TestReadEdgeListMalformed(t *testing.T) {
 	if _, err := graph.ReadEdgeList(bytes.NewBufferString("1 2 3\n")); err == nil {
 		t.Error("expected error for 3-field line")
 	}
 	if _, err := graph.ReadEdgeList(bytes.NewBufferString("x y\n")); err == nil {
 		t.Error("expected error for non-numeric line")
 	}
-	// Vertex id beyond declared n must fail.
-	if _, err := graph.ReadEdgeList(bytes.NewBufferString("2 1\n0 5\n")); err == nil {
-		t.Error("expected error for out-of-range vertex")
+	// A first pair whose id range is exceeded later is not a header: it is
+	// reparsed as an edge (see io_test.go for the full detection matrix).
+	g, err := graph.ReadEdgeList(bytes.NewBufferString("2 1\n0 5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 6 || g.NumEdges() != 2 || !g.HasEdge(2, 1) {
+		t.Fatalf("got n=%d m=%d, want the edges (2,1) and (0,5)", g.NumVertices(), g.NumEdges())
 	}
 }
 

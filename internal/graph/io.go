@@ -43,14 +43,27 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 // ReadEdgeList parses the text form produced by WriteEdgeList. It also
 // accepts header-less lists, in which case n is one more than the largest
 // vertex id seen.
+//
+// Header detection is deferred until the whole stream is read: the first
+// non-comment pair (a, b) is a header only if every subsequent id fits in
+// [0, a) and b equals the number of remaining lines — exactly what
+// WriteEdgeList emits. Otherwise the first pair is an edge like any other,
+// so header-less lists keep their first edge. The formats are inherently
+// ambiguous at the margin, and ties break toward the header so that
+// WriteEdgeList round-trips are always exact: a header-less list whose
+// first edge both dominates every other id and has dst equal to the
+// remaining line count (e.g. "2 1\n0 1\n") is read as a headered graph,
+// and a corrupt header that fails the test (say a truncated file whose
+// declared m exceeds the surviving lines) is kept as an edge rather than
+// diagnosed.
 func ReadEdgeList(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	var (
 		edges     []Edge
-		n         = -1
+		first     Edge
+		sawFirst  bool
 		maxVertex = Vertex(-1)
-		sawHeader bool
 	)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -69,11 +82,11 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		if err != nil {
 			return nil, fmt.Errorf("graph: bad vertex %q: %w", fields[1], err)
 		}
-		if !sawHeader && n < 0 && len(edges) == 0 {
-			// Heuristic: treat the first pair as "n m" header. If it later
-			// turns out the id range exceeds n we fail; WriteEdgeList always
-			// emits the header so round-trips are exact.
-			n, sawHeader = int(a), true
+		if a < 0 || b < 0 {
+			return nil, fmt.Errorf("graph: negative vertex in line %q", line)
+		}
+		if !sawFirst {
+			first, sawFirst = Edge{Src: Vertex(a), Dst: Vertex(b)}, true
 			continue
 		}
 		u, v := Vertex(a), Vertex(b)
@@ -88,13 +101,22 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	if n < 0 {
-		n = int(maxVertex) + 1
+	if !sawFirst {
+		return FromEdges(0, nil), nil
 	}
-	if int(maxVertex) >= n {
-		return nil, fmt.Errorf("graph: vertex %d out of declared range %d", maxVertex, n)
+	if int(maxVertex) < int(first.Src) && int(first.Dst) == len(edges) {
+		// The first pair is an "n m" header.
+		return FromEdges(int(first.Src), edges), nil
 	}
-	return FromEdges(n, edges), nil
+	// Header-less list: the first pair is an edge.
+	if first.Src > maxVertex {
+		maxVertex = first.Src
+	}
+	if first.Dst > maxVertex {
+		maxVertex = first.Dst
+	}
+	edges = append(edges, first)
+	return FromEdges(int(maxVertex)+1, edges), nil
 }
 
 var binaryMagic = [4]byte{'K', 'R', 'G', '1'}

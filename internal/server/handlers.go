@@ -1,0 +1,243 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+
+	"kreach"
+)
+
+// reachRequest is the /v1/reach body. K is a pointer so "absent" can be
+// told apart from 0; absent means "the dataset's own k" (multi: classic
+// reachability).
+type reachRequest struct {
+	Graph string `json:"graph"`
+	S     int    `json:"s"`
+	T     int    `json:"t"`
+	K     *int   `json:"k"`
+}
+
+// reachResponse answers one query. Reachable is true for both exact Yes and
+// the ladder's one-sided YesWithin; Verdict and EffectiveK carry the
+// distinction for multi-rung datasets.
+type reachResponse struct {
+	Graph      string `json:"graph"`
+	S          int    `json:"s"`
+	T          int    `json:"t"`
+	Reachable  bool   `json:"reachable"`
+	Verdict    string `json:"verdict"`
+	EffectiveK int    `json:"effective_k,omitempty"`
+}
+
+// resolveFixedK rejects a request k that contradicts a fixed-k dataset.
+func resolveFixedK(d *Dataset, k *int) error {
+	if k == nil {
+		return nil
+	}
+	var have int
+	switch d.Kind() {
+	case KindPlain:
+		have = d.Plain.K()
+	case KindHK:
+		have = d.HK.K()
+	default:
+		return nil
+	}
+	if *k != have {
+		return errFixedK(d, have, *k)
+	}
+	return nil
+}
+
+func errFixedK(d *Dataset, have, want int) error {
+	if have == kreach.Unbounded {
+		return fmt.Errorf("graph %q serves classic reachability (k unbounded), cannot answer k=%d", d.Name, want)
+	}
+	return fmt.Errorf("graph %q serves fixed k=%d, cannot answer k=%d", d.Name, have, want)
+}
+
+func (s *Server) handleReach(w http.ResponseWriter, r *http.Request) {
+	var req reachRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	d, err := s.reg.Lookup(req.Graph)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	if err := checkVertex(d, "source", req.S); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := checkVertex(d, "target", req.T); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := resolveFixedK(d, req.K); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := reachResponse{Graph: d.Name, S: req.S, T: req.T}
+	switch d.Kind() {
+	case KindPlain:
+		resp.Reachable = d.Plain.Reach(req.S, req.T)
+	case KindHK:
+		resp.Reachable = d.HK.Reach(req.S, req.T)
+	case KindMulti:
+		k := kreach.Unbounded
+		if req.K != nil {
+			k = *req.K
+		}
+		verdict, effK := d.Multi.Reach(req.S, req.T, k)
+		resp.Reachable = verdict != kreach.No
+		resp.Verdict = verdict.String()
+		if verdict == kreach.YesWithin {
+			resp.EffectiveK = effK
+		}
+	}
+	if resp.Verdict == "" {
+		if resp.Reachable {
+			resp.Verdict = kreach.Yes.String()
+		} else {
+			resp.Verdict = kreach.No.String()
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// batchRequest is the /v1/batch body; Pairs holds [s, t] arrays.
+type batchRequest struct {
+	Graph string   `json:"graph"`
+	Pairs [][2]int `json:"pairs"`
+	K     *int     `json:"k"`
+}
+
+// batchResponse is positionally aligned with the request's pairs. Results
+// is reachable-or-not for every pair; Verdicts and EffectiveK are present
+// only for multi-rung datasets (EffectiveK is 0 except for yes-within).
+type batchResponse struct {
+	Graph      string   `json:"graph"`
+	Count      int      `json:"count"`
+	Results    []bool   `json:"results"`
+	Verdicts   []string `json:"verdicts,omitempty"`
+	EffectiveK []int    `json:"effective_k,omitempty"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	d, err := s.reg.Lookup(req.Graph)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	if len(req.Pairs) > s.cfg.MaxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"batch of %d pairs exceeds limit %d", len(req.Pairs), s.cfg.MaxBatch)
+		return
+	}
+	pairs := make([]kreach.Pair, len(req.Pairs))
+	for i, p := range req.Pairs {
+		if err := checkVertex(d, "source", p[0]); err != nil {
+			writeError(w, http.StatusBadRequest, "pair %d: %v", i, err)
+			return
+		}
+		if err := checkVertex(d, "target", p[1]); err != nil {
+			writeError(w, http.StatusBadRequest, "pair %d: %v", i, err)
+			return
+		}
+		pairs[i] = kreach.Pair{S: p[0], T: p[1]}
+	}
+	if err := resolveFixedK(d, req.K); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := batchResponse{Graph: d.Name, Count: len(pairs)}
+	switch d.Kind() {
+	case KindPlain:
+		resp.Results = d.Plain.ReachBatch(pairs, s.cfg.Parallelism)
+	case KindHK:
+		resp.Results = d.HK.ReachBatch(pairs, s.cfg.Parallelism)
+	case KindMulti:
+		k := kreach.Unbounded
+		if req.K != nil {
+			k = *req.K
+		}
+		verdicts := d.Multi.ReachBatch(pairs, k, s.cfg.Parallelism)
+		resp.Results = make([]bool, len(verdicts))
+		resp.Verdicts = make([]string, len(verdicts))
+		resp.EffectiveK = make([]int, len(verdicts))
+		for i, v := range verdicts {
+			resp.Results[i] = v.Verdict != kreach.No
+			resp.Verdicts[i] = v.Verdict.String()
+			if v.Verdict == kreach.YesWithin {
+				resp.EffectiveK[i] = v.EffectiveK
+			}
+		}
+	}
+	if resp.Results == nil {
+		resp.Results = []bool{}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// datasetInfo is one /v1/stats entry.
+type datasetInfo struct {
+	Name       string `json:"name"`
+	Kind       Kind   `json:"kind"`
+	Vertices   int    `json:"vertices"`
+	Edges      int    `json:"edges"`
+	K          *int   `json:"k,omitempty"`
+	H          *int   `json:"h,omitempty"`
+	Rungs      []int  `json:"rungs,omitempty"`
+	CoverSize  *int   `json:"cover_size,omitempty"`
+	IndexEdges *int   `json:"index_edges,omitempty"`
+	SizeBytes  int    `json:"size_bytes"`
+}
+
+type statsResponse struct {
+	Default  string        `json:"default"`
+	Datasets []datasetInfo `json:"datasets"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	names := s.reg.Names()
+	resp := statsResponse{Datasets: make([]datasetInfo, 0, len(names))}
+	if len(names) > 0 {
+		resp.Default = names[0]
+	}
+	for _, name := range names {
+		d, err := s.reg.Lookup(name)
+		if err != nil {
+			continue
+		}
+		info := datasetInfo{
+			Name:     d.Name,
+			Kind:     d.Kind(),
+			Vertices: d.Graph.NumVertices(),
+			Edges:    d.Graph.NumEdges(),
+		}
+		switch d.Kind() {
+		case KindPlain:
+			info.K = intPtr(d.Plain.K())
+			info.CoverSize = intPtr(d.Plain.CoverSize())
+			info.IndexEdges = intPtr(d.Plain.IndexEdges())
+			info.SizeBytes = d.Plain.SizeBytes()
+		case KindHK:
+			info.K = intPtr(d.HK.K())
+			info.H = intPtr(d.HK.H())
+			info.CoverSize = intPtr(d.HK.CoverSize())
+			info.SizeBytes = d.HK.SizeBytes()
+		case KindMulti:
+			info.Rungs = d.Multi.Rungs()
+			info.SizeBytes = d.Multi.SizeBytes()
+		}
+		resp.Datasets = append(resp.Datasets, info)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func intPtr(v int) *int { return &v }

@@ -1,0 +1,208 @@
+// Package server implements the kreachd query-serving layer: an HTTP/JSON
+// API over a registry of named graph+index pairs. It is the first step
+// toward the ROADMAP's production serving architecture — every handler is
+// safe for concurrent use because the underlying kreach query methods are,
+// and /v1/batch rides the library's ReachBatch worker pool so a single
+// request saturates the machine.
+//
+// Endpoints:
+//
+//	POST /v1/reach   {"graph":"name","s":0,"t":5,"k":3}        single query
+//	POST /v1/batch   {"graph":"name","pairs":[[0,5],[1,2]]}    many queries
+//	GET  /v1/stats                                             registry metadata
+//	GET  /healthz                                              liveness probe
+//
+// "graph" may be omitted when the registry holds a default dataset. "k" is
+// only meaningful for multi-rung datasets (omitted = classic reachability);
+// plain and (h,k) datasets answer for the k they were built with.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"kreach"
+)
+
+// Kind labels the index variant a dataset serves.
+type Kind string
+
+// Dataset kinds.
+const (
+	KindPlain Kind = "kreach"  // fixed-k Index (or n-reach when k = Unbounded)
+	KindHK    Kind = "hkreach" // (h,k)-reach HKIndex
+	KindMulti Kind = "multi"   // MultiIndex ladder, per-query k
+)
+
+// Dataset is one named graph plus exactly one of the three index variants.
+// All fields are read-only after registration.
+type Dataset struct {
+	Name  string
+	Graph *kreach.Graph
+	Plain *kreach.Index
+	HK    *kreach.HKIndex
+	Multi *kreach.MultiIndex
+}
+
+// Kind reports which index variant the dataset holds.
+func (d *Dataset) Kind() Kind {
+	switch {
+	case d.Multi != nil:
+		return KindMulti
+	case d.HK != nil:
+		return KindHK
+	default:
+		return KindPlain
+	}
+}
+
+func (d *Dataset) valid() error {
+	if d.Name == "" {
+		return fmt.Errorf("server: dataset has no name")
+	}
+	if d.Graph == nil {
+		return fmt.Errorf("server: dataset %q has no graph", d.Name)
+	}
+	count := 0
+	if d.Plain != nil {
+		count++
+	}
+	if d.HK != nil {
+		count++
+	}
+	if d.Multi != nil {
+		count++
+	}
+	if count != 1 {
+		return fmt.Errorf("server: dataset %q must hold exactly one index, has %d", d.Name, count)
+	}
+	return nil
+}
+
+// Registry holds the named datasets a server answers for. It is populated
+// at startup and immutable afterwards, so lookups need no locking.
+type Registry struct {
+	byName map[string]*Dataset
+	order  []string // registration order; order[0] is the default
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*Dataset)}
+}
+
+// Add registers a dataset. The first dataset added becomes the default for
+// requests that omit "graph".
+func (r *Registry) Add(d *Dataset) error {
+	if err := d.valid(); err != nil {
+		return err
+	}
+	if _, dup := r.byName[d.Name]; dup {
+		return fmt.Errorf("server: duplicate dataset %q", d.Name)
+	}
+	r.byName[d.Name] = d
+	r.order = append(r.order, d.Name)
+	return nil
+}
+
+// Names returns the dataset names in registration order.
+func (r *Registry) Names() []string { return append([]string(nil), r.order...) }
+
+// Lookup resolves a dataset by name; the empty name means the default
+// (first-registered) dataset.
+func (r *Registry) Lookup(name string) (*Dataset, error) {
+	if name == "" {
+		if len(r.order) == 0 {
+			return nil, fmt.Errorf("server: no datasets loaded")
+		}
+		return r.byName[r.order[0]], nil
+	}
+	d, ok := r.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("server: unknown graph %q", name)
+	}
+	return d, nil
+}
+
+// Config tunes a Server.
+type Config struct {
+	// Parallelism is the ReachBatch worker count for /v1/batch
+	// (0 = GOMAXPROCS).
+	Parallelism int
+	// MaxBatch caps the pairs accepted by one /v1/batch request
+	// (0 = DefaultMaxBatch).
+	MaxBatch int
+}
+
+// DefaultMaxBatch is the /v1/batch pair cap when Config.MaxBatch is 0.
+const DefaultMaxBatch = 1 << 20
+
+// Server answers reachability queries for a registry of datasets. Create
+// one with New; it is an http.Handler.
+type Server struct {
+	reg     *Registry
+	cfg     Config
+	maxBody int64 // request body cap, derived from MaxBatch
+	mux     *http.ServeMux
+}
+
+// New builds a Server over reg.
+func New(reg *Registry, cfg Config) *Server {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	s := &Server{reg: reg, cfg: cfg, mux: http.NewServeMux()}
+	// A [s,t] pair of 32-bit ids serializes to at most ~24 bytes; 64 leaves
+	// whitespace headroom. Bodies beyond the cap are rejected before the
+	// decoder buffers them, so MaxBatch bounds memory, not just pair count.
+	s.maxBody = 4096 + 64*int64(cfg.MaxBatch)
+	s.mux.HandleFunc("POST /v1/reach", s.handleReach)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, into any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooLarge.Limit)
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// checkVertex validates one endpoint against the dataset's graph.
+func checkVertex(d *Dataset, label string, v int) error {
+	if n := d.Graph.NumVertices(); v < 0 || v >= n {
+		return fmt.Errorf("%s vertex %d out of range [0,%d)", label, v, n)
+	}
+	return nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

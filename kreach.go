@@ -35,6 +35,7 @@
 package kreach
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"sync"
@@ -219,6 +220,22 @@ func newIndex(ix *core.Index, g *Graph) *Index {
 	return idx
 }
 
+// Pair is one (S, T) query of a batch. See the ReachBatch methods.
+type Pair struct {
+	S, T int
+}
+
+// checkPairs validates every pair against g and converts to core pairs.
+func checkPairs(g *Graph, pairs []Pair) []core.Pair {
+	out := make([]core.Pair, len(pairs))
+	for i, p := range pairs {
+		g.check(p.S)
+		g.check(p.T)
+		out[i] = core.Pair{S: graph.Vertex(p.S), T: graph.Vertex(p.T)}
+	}
+	return out
+}
+
 // Reach reports whether t is reachable from s within the index's k hops
 // (Algorithm 2 of the paper). Safe for concurrent use.
 func (ix *Index) Reach(s, t int) bool {
@@ -228,6 +245,15 @@ func (ix *Index) Reach(s, t int) bool {
 	ok := ix.ix.Reach(graph.Vertex(s), graph.Vertex(t), sc)
 	ix.scratch.Put(sc)
 	return ok
+}
+
+// ReachBatch answers every (S, T) pair at once with a worker pool that
+// reuses per-worker query scratch, the hot path shared by kreachd and the
+// bench harness. parallelism bounds the workers (0 = GOMAXPROCS, 1 =
+// sequential). The result is positionally aligned with pairs. Safe for
+// concurrent use, including concurrently with Reach.
+func (ix *Index) ReachBatch(pairs []Pair, parallelism int) []bool {
+	return ix.ix.ReachBatch(checkPairs(ix.g, pairs), parallelism)
 }
 
 // K returns the hop bound (Unbounded for classic reachability).
@@ -303,6 +329,12 @@ func (ix *HKIndex) Reach(s, t int) bool {
 	return ok
 }
 
+// ReachBatch answers every (S, T) pair at once with a worker pool; see
+// Index.ReachBatch. parallelism: 0 = GOMAXPROCS, 1 = sequential.
+func (ix *HKIndex) ReachBatch(pairs []Pair, parallelism int) []bool {
+	return ix.ix.ReachBatch(checkPairs(ix.g, pairs), parallelism)
+}
+
 // H returns the hop-cover radius.
 func (ix *HKIndex) H() int { return ix.ix.H() }
 
@@ -317,6 +349,27 @@ func (ix *HKIndex) SizeBytes() int { return ix.ix.SizeBytes() }
 
 // Save serializes the index (without its graph).
 func (ix *HKIndex) Save(w io.Writer) error { return ix.ix.WriteBinary(w) }
+
+// LoadAutoIndex reads an index written by Index.Save or HKIndex.Save,
+// detecting the variant by a 4-byte magic peek, and attaches it to g.
+// Exactly one of the returned indexes is non-nil on success; a stream with
+// neither magic errors without being parsed.
+func LoadAutoIndex(r io.Reader, g *Graph) (*Index, *HKIndex, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(4)
+	if err != nil {
+		return nil, nil, fmt.Errorf("kreach: reading index magic: %w", err)
+	}
+	switch core.SniffIndexMagic([4]byte(head)) {
+	case "kreach":
+		ix, err := LoadIndex(br, g)
+		return ix, nil, err
+	case "hkreach":
+		hk, err := LoadHKIndex(br, g)
+		return nil, hk, err
+	}
+	return nil, nil, fmt.Errorf("kreach: magic %q is neither a plain nor an (h,k) index", head)
+}
 
 // LoadHKIndex reads an index written by HKIndex.Save and attaches it to g,
 // which must be the graph it was built from.
@@ -400,6 +453,25 @@ func (ix *MultiIndex) Reach(s, t, k int) (Verdict, int) {
 	res := ix.m.Reach(graph.Vertex(s), graph.Vertex(t), k, sc)
 	ix.scratch.Put(sc)
 	return res.Verdict, res.EffectiveK
+}
+
+// BatchVerdict is one MultiIndex.ReachBatch answer: a verdict plus, for
+// YesWithin, the rung the positive answer is certain for.
+type BatchVerdict struct {
+	Verdict    Verdict
+	EffectiveK int
+}
+
+// ReachBatch answers every (S, T) pair for hop bound k (k < 0 means classic
+// reachability) with a worker pool; see Index.ReachBatch. parallelism:
+// 0 = GOMAXPROCS, 1 = sequential.
+func (ix *MultiIndex) ReachBatch(pairs []Pair, k, parallelism int) []BatchVerdict {
+	res := ix.m.ReachBatch(checkPairs(ix.g, pairs), k, parallelism)
+	out := make([]BatchVerdict, len(res))
+	for i, r := range res {
+		out[i] = BatchVerdict{Verdict: r.Verdict, EffectiveK: r.EffectiveK}
+	}
+	return out
 }
 
 // Rungs returns the ladder's k values in ascending order.
