@@ -1,0 +1,49 @@
+# Development entry points. CI runs `make lint` and the race tests; the
+# bench targets regenerate the numbers the docs cite so they stay
+# reproducible (docs/BENCH.md records the exact command used).
+
+GO ?= go
+
+# Small-scale bench parameters: 1/20-size datasets, 10k queries. Big enough
+# for stable relative numbers, small enough to finish in about a minute.
+BENCH_SCALE   ?= 20
+BENCH_QUERIES ?= 10000
+
+.PHONY: all build test race lint bench-tables bench-cache
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# lint mirrors the fast CI job: gofmt must produce no diff, vet must pass.
+lint:
+	@fmt="$$(gofmt -l .)"; if [ -n "$$fmt" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt"; exit 1; fi
+	$(GO) vet ./...
+
+# bench-tables regenerates docs/BENCH.md (Tables 2-9 + batch + cache).
+bench-tables:
+	@{ \
+		set -e; \
+		echo "# Benchmark tables"; \
+		echo; \
+		echo "Regenerated with \`make bench-tables\` (scale $(BENCH_SCALE),"; \
+		echo "$(BENCH_QUERIES) queries — relative numbers, not paper scale;"; \
+		echo "use \`kbench -scale 1 -queries 1000000\` for the full run)."; \
+		echo; \
+		echo '```'; \
+		$(GO) run ./cmd/kbench -table all -scale $(BENCH_SCALE) -queries $(BENCH_QUERIES); \
+		echo '```'; \
+	} > docs/BENCH.md
+	@echo "wrote docs/BENCH.md"
+
+# bench-cache runs the cached-vs-uncached acceptance benchmark.
+bench-cache:
+	$(GO) test ./internal/bench -bench 'ReachCached|ReachUncached' -benchtime 2s -run XXX

@@ -23,6 +23,13 @@
 //
 // The first dataset is the default for requests that omit "graph". The
 // daemon drains in-flight requests on SIGINT/SIGTERM before exiting.
+//
+// Query results are cached in a sharded LRU keyed by (epoch, s, t, k);
+// -cache sizes it (negative disables) and -cacheshards overrides the shard
+// count. POST /v1/datasets/{name}/reload re-reads a dataset's files and
+// atomically swaps the new snapshot in: in-flight queries finish against
+// the old snapshot, and the epoch bump makes its cache entries
+// unreachable (LRU churn then evicts them).
 package main
 
 import (
@@ -47,6 +54,8 @@ func main() {
 		listen      = flag.String("listen", ":7325", "address to serve HTTP on")
 		parallelism = flag.Int("parallelism", 0, "batch worker pool size (0 = GOMAXPROCS)")
 		maxBatch    = flag.Int("maxbatch", server.DefaultMaxBatch, "maximum pairs per /v1/batch request")
+		cacheSize   = flag.Int("cache", 0, "result cache entries, rounded to powers of two (0 = default, negative = disabled)")
+		cacheShards = flag.Int("cacheshards", 0, "result cache shard count (0 = derived from GOMAXPROCS)")
 		specs       []string
 	)
 	flag.Func("dataset", "dataset spec 'name,graph=PATH[,index=PATH][,k=K][,h=H][,rungs=A+B+C][,cover=S][,seed=N]' (repeatable)", func(s string) error {
@@ -73,8 +82,13 @@ func main() {
 	}
 
 	srv := &http.Server{
-		Addr:              *listen,
-		Handler:           server.New(reg, server.Config{Parallelism: *parallelism, MaxBatch: *maxBatch}),
+		Addr: *listen,
+		Handler: server.New(reg, server.Config{
+			Parallelism:  *parallelism,
+			MaxBatch:     *maxBatch,
+			CacheEntries: *cacheSize,
+			CacheShards:  *cacheShards,
+		}),
 		ReadHeaderTimeout: 10 * time.Second,
 		// ReadTimeout bounds the whole request read so a client trickling a
 		// large /v1/batch body cannot pin a goroutine indefinitely.
@@ -191,7 +205,11 @@ func loadDataset(raw string) (*server.Dataset, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dataset %q: %w", sp.name, err)
 	}
-	d := &server.Dataset{Name: sp.name, Graph: g}
+	// The loader replays this spec from scratch — graph and index files are
+	// re-read, built indexes rebuilt — so POST /v1/datasets/{name}/reload
+	// picks up whatever snapshot is on disk at reload time.
+	d := &server.Dataset{Name: sp.name, Graph: g,
+		Loader: func() (*server.Dataset, error) { return loadDataset(raw) }}
 	switch {
 	case sp.indexPath != "":
 		f, err := os.Open(sp.indexPath)

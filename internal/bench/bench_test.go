@@ -35,14 +35,51 @@ func TestAllTablesSmall(t *testing.T) {
 		"AgroCyc", "aMaze", "ArXiv", "Nasa",
 		"n-reach", "PTree", "3-hop", "GRAIL", "PWAH",
 		"µ-BFS", "µ-dist", "2-hop VC",
+		"Cache:", "celeb hit%", "uniform hit%", "speedup",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q", want)
 		}
 	}
-	// Each dataset appears in tables 2,3,4,5,7,8,9 → at least 7 times.
-	if n := strings.Count(out, "AgroCyc"); n < 7 {
-		t.Errorf("AgroCyc appears %d times, want ≥ 7", n)
+	// Each dataset appears in tables 2,3,4,5,7,8,9, batch and cache → at
+	// least 9 times.
+	if n := strings.Count(out, "AgroCyc"); n < 9 {
+		t.Errorf("AgroCyc appears %d times, want ≥ 9", n)
+	}
+}
+
+func TestTableCache(t *testing.T) {
+	// More queries than the cache-table capacity (8192), so the uniform
+	// workload cannot fully fit and the skew difference is observable.
+	var buf bytes.Buffer
+	r := bench.NewRunner(bench.Config{
+		Datasets: []string{"AgroCyc"},
+		Queries:  20000,
+		Scale:    20,
+		Seed:     1,
+		Out:      &buf,
+	})
+	if err := r.Run([]string{"cache"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "AgroCyc") || !strings.Contains(out, "speedup") {
+		t.Errorf("cache table malformed:\n%s", out)
+	}
+	// The steady-state celebrity hit rate must beat the uniform one: the
+	// cache exists precisely because of workload skew.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	fields := strings.Fields(lines[len(lines)-1])
+	if len(fields) != 6 {
+		t.Fatalf("unexpected row %q", lines[len(lines)-1])
+	}
+	celeb, err1 := strconv.ParseFloat(fields[1], 64)
+	uniform, err2 := strconv.ParseFloat(fields[2], 64)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("unparsable hit rates in %q", lines[len(lines)-1])
+	}
+	if celeb <= uniform {
+		t.Errorf("celebrity hit rate %.1f%% not above uniform %.1f%%", celeb, uniform)
 	}
 }
 

@@ -1,0 +1,252 @@
+package cache
+
+import (
+	"errors"
+	"hash/maphash"
+	"runtime"
+	"sync"
+)
+
+// Config tunes a Cache.
+type Config struct {
+	// Capacity is the total number of entries the cache retains across all
+	// shards. It is rounded up so that every shard holds a power-of-two
+	// number of entries (0 = DefaultCapacity).
+	Capacity int
+	// Shards is the number of independently locked segments; rounded up to
+	// a power of two (0 = smallest power of two ≥ 4×GOMAXPROCS, so that
+	// under full parallelism two workers rarely contend on one lock).
+	Shards int
+}
+
+// DefaultCapacity is the per-cache entry budget when Config.Capacity is 0.
+const DefaultCapacity = 1 << 16
+
+// Stats is a point-in-time counter snapshot; see Cache.Stats.
+type Stats struct {
+	Hits      uint64 // Get/Do served from a resident entry
+	Misses    uint64 // Do invocations that ran the probe (or Get absences)
+	Evictions uint64 // entries displaced by capacity pressure
+	Collapsed uint64 // Do callers that piggybacked on an in-flight probe
+	Entries   int    // resident entries right now
+	Capacity  int    // total entry budget after rounding
+}
+
+// Cache is a sharded LRU map with request collapsing, built for the
+// serving hot path: Get/Put for batch lookups and Do for singleflight
+// fill-through. The zero value is not usable; construct with New. All
+// methods are safe for concurrent use.
+type Cache[K comparable, V any] struct {
+	seed   maphash.Seed
+	shards []shard[K, V]
+	mask   uint64 // len(shards)-1; len is a power of two
+}
+
+// entry is one resident key/value pair, threaded on its shard's intrusive
+// LRU list (most recent at head.next).
+type entry[K comparable, V any] struct {
+	key        K
+	val        V
+	prev, next *entry[K, V]
+}
+
+// call is one in-flight probe; latecomers block on done and read val/err.
+type call[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+type shard[K comparable, V any] struct {
+	mu       sync.Mutex
+	entries  map[K]*entry[K, V]
+	head     entry[K, V] // sentinel of the circular LRU list
+	capacity int
+	inflight map[K]*call[V]
+
+	hits, misses, evictions, collapsed uint64
+
+	_ [24]byte // pad toward a cache line to keep shard locks from false sharing
+}
+
+// New builds a cache sized by cfg.
+func New[K comparable, V any](cfg Config) *Cache[K, V] {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = DefaultCapacity
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 4 * runtime.GOMAXPROCS(0)
+	}
+	shards := ceilPow2(cfg.Shards)
+	perShard := ceilPow2((cfg.Capacity + shards - 1) / shards)
+	c := &Cache[K, V]{
+		seed:   maphash.MakeSeed(),
+		shards: make([]shard[K, V], shards),
+		mask:   uint64(shards - 1),
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.entries = make(map[K]*entry[K, V], perShard)
+		s.inflight = make(map[K]*call[V])
+		s.capacity = perShard
+		s.head.prev, s.head.next = &s.head, &s.head
+	}
+	return c
+}
+
+// ceilPow2 returns the smallest power of two ≥ n (and ≥ 1).
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func (c *Cache[K, V]) shardFor(key K) *shard[K, V] {
+	return &c.shards[maphash.Comparable(c.seed, key)&c.mask]
+}
+
+// Get returns the cached value for key, marking it most recently used. The
+// miss is counted, so interleaving Get and Put keeps hit-rate stats honest.
+func (c *Cache[K, V]) Get(key K) (V, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[key]; ok {
+		s.hits++
+		s.moveToFront(e)
+		return e.val, true
+	}
+	s.misses++
+	var zero V
+	return zero, false
+}
+
+// Put inserts or refreshes key, evicting the least recently used entry of
+// its shard if the shard is full.
+func (c *Cache[K, V]) Put(key K, val V) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.put(key, val)
+}
+
+// ErrProbePanicked is what collapsed callers receive when the probe they
+// were waiting on panicked instead of returning. The panic itself
+// propagates out of the leader's Do.
+var ErrProbePanicked = errors.New("cache: probe panicked")
+
+// Do returns the cached value for key, or runs probe to compute it. If
+// another Do for the same key is already running the probe, the call blocks
+// and shares that probe's result instead of issuing its own — a stampede of
+// identical queries performs exactly one probe. Errors are returned to
+// every collapsed caller and are not cached. A panicking probe propagates
+// from the leader's Do, hands ErrProbePanicked to the collapsed callers,
+// and leaves the key usable (the next Do probes again).
+func (c *Cache[K, V]) Do(key K, probe func() (V, error)) (V, error) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		s.hits++
+		s.moveToFront(e)
+		val := e.val
+		s.mu.Unlock()
+		return val, nil
+	}
+	if cl, ok := s.inflight[key]; ok {
+		s.collapsed++
+		s.mu.Unlock()
+		<-cl.done
+		return cl.val, cl.err
+	}
+	cl := &call[V]{done: make(chan struct{})}
+	s.inflight[key] = cl
+	s.misses++
+	s.mu.Unlock()
+
+	// The cleanup is deferred so a panicking probe cannot wedge the key:
+	// without it the inflight entry would never be deleted and done never
+	// closed, deadlocking every present and future caller for this key.
+	finished := false
+	defer func() {
+		s.mu.Lock()
+		delete(s.inflight, key)
+		if !finished {
+			cl.err = ErrProbePanicked
+		} else if cl.err == nil {
+			s.put(key, cl.val)
+		}
+		s.mu.Unlock()
+		close(cl.done)
+	}()
+	cl.val, cl.err = probe()
+	finished = true
+	return cl.val, cl.err
+}
+
+// Len returns the number of resident entries.
+func (c *Cache[K, V]) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats sums the per-shard counters into one snapshot. Shards are read one
+// at a time, so the totals are approximate under concurrent load (each
+// shard's contribution is internally consistent).
+func (c *Cache[K, V]) Stats() Stats {
+	var st Stats
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.Evictions += s.evictions
+		st.Collapsed += s.collapsed
+		st.Entries += len(s.entries)
+		st.Capacity += s.capacity
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// put inserts or refreshes key; the caller holds s.mu.
+func (s *shard[K, V]) put(key K, val V) {
+	if e, ok := s.entries[key]; ok {
+		e.val = val
+		s.moveToFront(e)
+		return
+	}
+	if len(s.entries) >= s.capacity {
+		lru := s.head.prev
+		s.unlink(lru)
+		delete(s.entries, lru.key)
+		s.evictions++
+	}
+	e := &entry[K, V]{key: key, val: val}
+	s.entries[key] = e
+	s.linkFront(e)
+}
+
+func (s *shard[K, V]) moveToFront(e *entry[K, V]) {
+	s.unlink(e)
+	s.linkFront(e)
+}
+
+func (s *shard[K, V]) unlink(e *entry[K, V]) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+}
+
+func (s *shard[K, V]) linkFront(e *entry[K, V]) {
+	e.next = s.head.next
+	e.prev = &s.head
+	e.next.prev = e
+	s.head.next = e
+}

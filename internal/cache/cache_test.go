@@ -1,0 +1,240 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGetPutLRU(t *testing.T) {
+	c := New[int, string](Config{Capacity: 4, Shards: 1})
+	if st := c.Stats(); st.Capacity != 4 {
+		t.Fatalf("capacity = %d, want 4", st.Capacity)
+	}
+	for i := 0; i < 4; i++ {
+		c.Put(i, fmt.Sprint(i))
+	}
+	// Touch 0 so it is most recent; inserting 4 must evict 1 (the LRU).
+	if v, ok := c.Get(0); !ok || v != "0" {
+		t.Fatalf("Get(0) = %q, %v", v, ok)
+	}
+	c.Put(4, "4")
+	if _, ok := c.Get(1); ok {
+		t.Fatal("expected 1 to be evicted")
+	}
+	for _, k := range []int{0, 2, 3, 4} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("expected %d to be resident", k)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.Entries != 4 {
+		t.Errorf("entries = %d, want 4", st.Entries)
+	}
+}
+
+func TestPutRefreshesExisting(t *testing.T) {
+	c := New[string, int](Config{Capacity: 2, Shards: 1})
+	c.Put("a", 1)
+	c.Put("a", 2)
+	if v, _ := c.Get("a"); v != 2 {
+		t.Fatalf("refreshed value = %d, want 2", v)
+	}
+	if st := c.Stats(); st.Entries != 1 || st.Evictions != 0 {
+		t.Fatalf("entries=%d evictions=%d, want 1, 0", st.Entries, st.Evictions)
+	}
+}
+
+func TestPowerOfTwoSizing(t *testing.T) {
+	c := New[int, int](Config{Capacity: 100, Shards: 3})
+	if got := len(c.shards); got != 4 {
+		t.Errorf("shards = %d, want 4 (power of two)", got)
+	}
+	// ceil(100/4) = 25 → per-shard 32 → total 128.
+	if st := c.Stats(); st.Capacity != 128 {
+		t.Errorf("capacity = %d, want 128", st.Capacity)
+	}
+	if got := ceilPow2(0); got != 1 {
+		t.Errorf("ceilPow2(0) = %d, want 1", got)
+	}
+}
+
+func TestDoCachesAndCounts(t *testing.T) {
+	c := New[int, int](Config{Capacity: 8, Shards: 1})
+	probes := 0
+	probe := func() (int, error) { probes++; return 42, nil }
+	for i := 0; i < 5; i++ {
+		v, err := c.Do(7, probe)
+		if err != nil || v != 42 {
+			t.Fatalf("Do = %d, %v", v, err)
+		}
+	}
+	if probes != 1 {
+		t.Fatalf("probes = %d, want 1", probes)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 4 {
+		t.Fatalf("misses=%d hits=%d, want 1, 4", st.Misses, st.Hits)
+	}
+}
+
+func TestDoErrorNotCached(t *testing.T) {
+	c := New[int, int](Config{Capacity: 8, Shards: 1})
+	boom := errors.New("boom")
+	if _, err := c.Do(1, func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, ok := c.Get(1); ok {
+		t.Fatal("error result must not be cached")
+	}
+	v, err := c.Do(1, func() (int, error) { return 9, nil })
+	if err != nil || v != 9 {
+		t.Fatalf("retry Do = %d, %v", v, err)
+	}
+}
+
+// TestSingleflightCollapse proves the stampede guarantee: N concurrent Do
+// calls for one absent key run exactly one probe. The probe blocks until
+// every other caller has registered as collapsed, so the test cannot pass
+// by accident of scheduling.
+func TestSingleflightCollapse(t *testing.T) {
+	const n = 16
+	c := New[string, int](Config{Capacity: 8, Shards: 1})
+	var probes atomic.Int32
+	release := make(chan struct{})
+	probe := func() (int, error) {
+		probes.Add(1)
+		<-release
+		return 99, nil
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := c.Do("hot", probe)
+			if err != nil || v != 99 {
+				t.Errorf("Do = %d, %v", v, err)
+			}
+		}()
+	}
+	// Wait until all n-1 latecomers are blocked on the in-flight call, then
+	// let the leader finish.
+	deadline := time.Now().Add(10 * time.Second)
+	for c.Stats().Collapsed != n-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("collapsed = %d, want %d", c.Stats().Collapsed, n-1)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	close(release)
+	wg.Wait()
+	if got := probes.Load(); got != 1 {
+		t.Fatalf("probes = %d, want 1", got)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Collapsed != n-1 {
+		t.Fatalf("misses=%d collapsed=%d, want 1, %d", st.Misses, st.Collapsed, n-1)
+	}
+}
+
+// TestDoPanicDoesNotWedgeKey checks that a panicking probe propagates to
+// the leader, hands ErrProbePanicked to collapsed waiters, and leaves the
+// key probe-able again — rather than deadlocking it forever.
+func TestDoPanicDoesNotWedgeKey(t *testing.T) {
+	c := New[string, int](Config{Capacity: 8, Shards: 1})
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	leaderDone := make(chan any, 1)
+	go func() {
+		defer func() { leaderDone <- recover() }()
+		c.Do("k", func() (int, error) {
+			close(entered)
+			<-release
+			panic("probe exploded")
+		})
+	}()
+	<-entered
+
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, err := c.Do("k", func() (int, error) { return 0, nil })
+		waiterErr <- err
+	}()
+	// Wait until the second Do is registered as collapsed, then unleash the
+	// panicking leader.
+	deadline := time.Now().Add(10 * time.Second)
+	for c.Stats().Collapsed != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never collapsed onto the in-flight probe")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	close(release)
+
+	if r := <-leaderDone; r == nil {
+		t.Fatal("probe panic did not propagate out of the leader's Do")
+	}
+	if err := <-waiterErr; !errors.Is(err, ErrProbePanicked) {
+		t.Fatalf("waiter err = %v, want ErrProbePanicked", err)
+	}
+	// The key must not be wedged: a fresh Do probes again and succeeds.
+	v, err := c.Do("k", func() (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("post-panic Do = %d, %v", v, err)
+	}
+}
+
+// TestConcurrentMixed hammers every entry point from many goroutines; run
+// with -race it is the package's memory-safety check.
+func TestConcurrentMixed(t *testing.T) {
+	c := New[int, int](Config{Capacity: 64, Shards: 4})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := (seed*31 + i) % 200
+				switch i % 3 {
+				case 0:
+					c.Put(k, k)
+				case 1:
+					if v, ok := c.Get(k); ok && v != k {
+						t.Errorf("Get(%d) = %d", k, v)
+					}
+				default:
+					if v, err := c.Do(k, func() (int, error) { return k, nil }); err != nil || v != k {
+						t.Errorf("Do(%d) = %d, %v", k, v, err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Len(); got > 4*64 {
+		t.Fatalf("len = %d exceeds capacity", got)
+	}
+	st := c.Stats()
+	if st.Entries != c.Len() {
+		t.Fatalf("stats entries %d != len %d", st.Entries, c.Len())
+	}
+}
+
+func BenchmarkDoHit(b *testing.B) {
+	c := New[uint64, bool](Config{})
+	c.Put(1, true)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Do(1, func() (bool, error) { return true, nil })
+		}
+	})
+}

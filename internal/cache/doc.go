@@ -1,0 +1,25 @@
+// Package cache provides the serve-time result cache of the kreachd query
+// path: a sharded, power-of-two-sized LRU map with singleflight-style
+// request collapsing.
+//
+// The design targets the workload shape of Section 4.3 of the K-Reach
+// paper — query endpoints are heavily skewed toward a small set of
+// "celebrity" vertices — where a tiny cache absorbs most of the traffic
+// that would otherwise hit the index:
+//
+//   - Sharding: keys are split across power-of-two many independently
+//     locked segments by a seeded maphash, so concurrent batch workers
+//     rarely contend on one mutex. Each shard owns an intrusive LRU list
+//     and its slice of the capacity (also rounded to a power of two).
+//   - Singleflight: Cache.Do collapses a stampede of identical in-flight
+//     lookups into one probe; latecomers block on the leader's result.
+//     Errors propagate to all collapsed callers and are never cached.
+//   - Epoch keying: the cache itself knows nothing about invalidation.
+//     Callers embed an epoch (see the Generation methods in
+//     kreach/internal/core) in the key, so swapping a dataset snapshot
+//     makes old entries unreachable; LRU pressure then reclaims them.
+//
+// The cache is generic over key and value so tests and benchmarks can use
+// it directly; kreach/internal/server instantiates it with an
+// (epoch, s, t, k) key per query.
+package cache

@@ -1,0 +1,36 @@
+// Package core implements the paper's contribution: the k-reach index for
+// k-hop reachability queries (Definition 1, Algorithms 1–2), the
+// (h,k)-reach variant built on an h-hop vertex cover (Definition 2,
+// Algorithm 3), and the multi-resolution ladder of Section 4.4 for queries
+// with a general k.
+//
+// # Layout
+//
+//   - kreach.go — Index construction (Algorithm 1): vertex cover, per-cover
+//     k-hop BFS, CSR index graph with 2-bit bucketed weights.
+//   - query.go — Index queries (Algorithm 2): the four cover-membership
+//     cases, each at most one adjacency-list intersection. QueryCase and
+//     Classify expose the case split for the Table 8 experiment.
+//   - hk.go — HKIndex, the (h,k)-reach variant: smaller index over an
+//     h-hop cover, queries expand h-hop neighborhoods (Algorithm 3).
+//   - multi.go — MultiIndex, the Section 4.4 ladder: one rung per k plus
+//     an unbounded rung, exact on rungs and one-sided (YesWithin) between
+//     power-of-two rungs.
+//   - batch.go — ReachBatch worker pools: the shared batch path that
+//     answers many pairs at once with per-worker scratch, used by the
+//     public library, kreachd's /v1/batch and the bench harness.
+//   - serial.go, hkserial.go — binary index serialization ("KRI1"/"KRH1"
+//     magics, CRC-checked varint payloads); SniffIndexMagic dispatches
+//     auto-detecting loaders.
+//   - epoch.go — process-unique generation numbers for every built or
+//     loaded index, the cache-epoch mechanism behind kreachd's
+//     hot-swappable datasets.
+//   - weights.go — the packed 2-bit (and ⌈lg(2h+1)⌉-bit) weight arrays.
+//
+// # Concurrency
+//
+// All query methods are safe for concurrent use provided each goroutine
+// owns its QueryScratch/HKQueryScratch; construction parallelizes across
+// cover vertices (Section 4.1.3). Indexes are immutable once built, which
+// is what lets the serving layer swap them atomically under load.
+package core

@@ -1,0 +1,31 @@
+package core
+
+import "sync/atomic"
+
+// Every index instance — built, loaded from disk, or a ladder of rungs —
+// carries a process-unique generation number. The serving layer uses it as
+// the cache epoch: result-cache keys embed the generation of the index that
+// produced them, so replacing a dataset's index (an RCU-style snapshot swap
+// in kreach/internal/server) implicitly invalidates every cached answer
+// without touching the cache. Generations are never reused within a process
+// and say nothing about index contents; two loads of the same file get two
+// distinct generations.
+
+var generationCounter atomic.Uint64
+
+// nextGeneration issues a process-unique index generation (never 0, so the
+// zero value of a generation field is detectably "unassigned").
+func nextGeneration() uint64 { return generationCounter.Add(1) }
+
+// Generation returns the index's process-unique generation number, assigned
+// when the index was built or loaded. Serving layers key result caches on
+// it so that swapping in a new index invalidates stale answers.
+func (ix *Index) Generation() uint64 { return ix.gen }
+
+// Generation returns the index's process-unique generation number; see
+// Index.Generation.
+func (ix *HKIndex) Generation() uint64 { return ix.gen }
+
+// Generation returns the ladder's process-unique generation number; the
+// rungs share it, since a ladder is swapped in and out as one unit.
+func (m *MultiIndex) Generation() uint64 { return m.gen }

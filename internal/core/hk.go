@@ -48,6 +48,7 @@ var ErrBadHK = errors.New("core: (h,k)-reach requires h >= 1 and k > 2h")
 type HKIndex struct {
 	g    *graph.Graph
 	h, k int
+	gen  uint64 // process-unique generation, see epoch.go
 
 	coverSet *cover.Set
 	coverID  []int32
@@ -80,7 +81,7 @@ func BuildHKWithCover(g *graph.Graph, opts HKOptions, s *cover.Set) (*HKIndex, e
 
 func buildHKWithCover(g *graph.Graph, opts HKOptions, s *cover.Set) (*HKIndex, error) {
 	n := g.NumVertices()
-	ix := &HKIndex{g: g, h: opts.H, k: opts.K, coverSet: s, coverID: make([]int32, n)}
+	ix := &HKIndex{g: g, h: opts.H, k: opts.K, gen: nextGeneration(), coverSet: s, coverID: make([]int32, n)}
 	for i := range ix.coverID {
 		ix.coverID[i] = -1
 	}

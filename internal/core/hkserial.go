@@ -103,6 +103,7 @@ func ReadBinaryHKIndex(r io.Reader, g *graph.Graph) (*HKIndex, error) {
 		g:        g,
 		h:        h,
 		k:        k,
+		gen:      nextGeneration(),
 		coverSet: cover.NewSet(n, list),
 		coverID:  make([]int32, n),
 		outHead:  make([]int32, coverLen+1),

@@ -1,8 +1,3 @@
-// Package core implements the paper's contribution: the k-reach index for
-// k-hop reachability queries (Definition 1, Algorithms 1–2), the
-// (h,k)-reach variant built on an h-hop vertex cover (Definition 2,
-// Algorithm 3), and the multi-resolution ladder of Section 4.4 for queries
-// with a general k.
 package core
 
 import (
@@ -59,8 +54,9 @@ func (o Options) workers() int {
 // reference to the indexed graph, which queries consult for the adjacency
 // of non-cover endpoints (Cases 2–4 of Algorithm 2).
 type Index struct {
-	g *graph.Graph
-	k int // Unbounded for n-reach
+	g   *graph.Graph
+	k   int    // Unbounded for n-reach
+	gen uint64 // process-unique generation, see epoch.go
 
 	coverSet *cover.Set
 	coverID  []int32 // graph vertex → dense cover id, -1 if not in cover
@@ -100,7 +96,7 @@ func BuildWithCover(g *graph.Graph, opts Options, s *cover.Set) (*Index, error) 
 
 func buildWithCover(g *graph.Graph, opts Options, s *cover.Set) (*Index, error) {
 	n := g.NumVertices()
-	ix := &Index{g: g, k: opts.K, coverSet: s, coverID: make([]int32, n)}
+	ix := &Index{g: g, k: opts.K, gen: nextGeneration(), coverSet: s, coverID: make([]int32, n)}
 	for i := range ix.coverID {
 		ix.coverID[i] = -1
 	}

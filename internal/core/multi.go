@@ -57,7 +57,8 @@ type MultiResult struct {
 // MultiIndex is a ladder of k-reach indexes for general-k queries.
 type MultiIndex struct {
 	g     *graph.Graph
-	ks    []int // ascending rungs
+	gen   uint64 // process-unique generation, see epoch.go
+	ks    []int  // ascending rungs
 	byK   map[int]*Index
 	unbnd *Index // n-reach rung for k beyond the top (classic reachability)
 }
@@ -104,7 +105,7 @@ func BuildMulti(g *graph.Graph, ks []int, opts Options) (*MultiIndex, error) {
 	}
 	rungs = uniq
 	s := cover.VertexCover(g, opts.Strategy, opts.Seed)
-	m := &MultiIndex{g: g, ks: rungs, byK: make(map[int]*Index, len(rungs))}
+	m := &MultiIndex{g: g, gen: nextGeneration(), ks: rungs, byK: make(map[int]*Index, len(rungs))}
 	for _, k := range rungs {
 		o := opts
 		o.K = k

@@ -107,6 +107,7 @@ func ReadBinaryIndex(r io.Reader, g *graph.Graph) (*Index, error) {
 	ix := &Index{
 		g:        g,
 		k:        k,
+		gen:      nextGeneration(),
 		coverSet: cover.NewSet(n, list),
 		coverID:  make([]int32, n),
 		outHead:  make([]int32, coverLen+1),

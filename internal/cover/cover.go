@@ -1,17 +1,3 @@
-// Package cover implements the vertex-cover algorithms the k-reach index is
-// built on (Sections 4.1.1, 4.3 and 5.1.1 of the paper):
-//
-//   - the classic 2-approximate minimum vertex cover via random edge
-//     selection (maximal matching),
-//   - the degree-prioritized variant of Section 4.3 that pulls high-degree
-//     vertices ("Lady Gaga" vertices) into the cover first,
-//   - a pure greedy max-degree cover used as an ablation,
-//   - the (h+1)-approximate minimum h-hop vertex cover of Section 5.1.1,
-//   - exact branch-and-bound solvers for small graphs, used as test oracles
-//     for the approximation guarantees.
-//
-// Edge direction is ignored when computing covers, exactly as the paper
-// observes at the end of Section 4.1.1.
 package cover
 
 import (

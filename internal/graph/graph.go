@@ -1,13 +1,3 @@
-// Package graph provides the directed-graph substrate used throughout the
-// k-reach reproduction: a compact immutable CSR representation with both
-// forward and reverse adjacency, a mutable builder, breadth-first search
-// utilities (including the k-hop BFS that Algorithm 1 of the paper relies
-// on), text and binary I/O, and structural statistics.
-//
-// Vertices are dense integers in [0, NumVertices()). The representation is
-// deliberately close to the paper's cost model: adjacency lists are sorted,
-// so edge-existence tests are O(log deg) exactly as assumed in the
-// complexity analysis of Section 4.2.2.
 package graph
 
 import (

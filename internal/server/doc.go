@@ -1,0 +1,40 @@
+// Package server implements the kreachd query-serving layer: an HTTP/JSON
+// API over a registry of named graph+index datasets, with a serve-time
+// result cache and hot-swappable dataset snapshots.
+//
+// # Endpoints
+//
+//	POST /v1/reach                    {"graph":"name","s":0,"t":5,"k":3}   single query
+//	POST /v1/batch                    {"graph":"name","pairs":[[0,5],[1,2]]} many queries
+//	POST /v1/datasets/{name}/reload   rebuild + atomically swap a dataset
+//	GET  /v1/stats                    registry metadata + cache counters
+//	GET  /healthz                     liveness probe
+//
+// "graph" may be omitted when the registry holds a default dataset. "k" is
+// only meaningful for multi-rung datasets (omitted = classic reachability);
+// plain and (h,k) datasets answer for the k they were built with. See
+// docs/API.md for the full request/response reference.
+//
+// # Caching
+//
+// Query results are cached in a sharded LRU (kreach/internal/cache) keyed
+// by (epoch, s, t, k). /v1/reach resolves through singleflight Do — a
+// stampede on one hot pair performs a single index probe — while /v1/batch
+// looks pairs up individually and sends only the misses through the
+// ReachBatch worker pool. Hit/miss/evict/collapse counters are surfaced in
+// /v1/stats.
+//
+// # Snapshot swapping
+//
+// A Dataset is an immutable snapshot behind an atomically swappable pointer
+// (RCU style). Handlers resolve the snapshot once per request, so a reload
+// never mixes two snapshots within one response: in-flight requests finish
+// against the snapshot they started with, new requests see the replacement.
+// Each snapshot's index carries a process-unique epoch, and because cache
+// keys embed it, a swap implicitly invalidates every cached answer for the
+// dataset — no cache flush, no locking on the hot path.
+//
+// Every handler is safe for concurrent use because the underlying kreach
+// query methods are; /v1/batch rides the library's ReachBatch worker pool
+// so a single request saturates the machine.
+package server

@@ -1,11 +1,100 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"net/http"
 
 	"kreach"
 )
+
+// queryKey identifies one cached answer: the snapshot epoch plus the query
+// triple. Epochs are process-unique per index (see Dataset.Epoch), so keys
+// never collide across datasets or across reloads of one dataset. For
+// fixed-k datasets (plain and (h,k)) the k the index answers for is implied
+// by the epoch and the field is left 0; only multi-rung datasets vary k per
+// query (-1 encodes classic reachability).
+type queryKey struct {
+	epoch uint64
+	s, t  int32
+	k     int32
+}
+
+// cachedAnswer is one cached query result, uniform across the three index
+// kinds: plain and (h,k) answers carry Yes/No, the ladder's one-sided
+// answers carry YesWithin plus the rung the answer is certain for.
+type cachedAnswer struct {
+	verdict    kreach.Verdict
+	effectiveK int
+}
+
+func (a cachedAnswer) reachable() bool { return a.verdict != kreach.No }
+
+// effectiveK normalizes a multi-rung request k to the value both the cache
+// key and the probe use, so the two can never disagree. Negative or absent
+// k means classic reachability; any k ≥ n−1 is normalized to it too, since
+// shortest paths are simple — reachability within n−1 hops IS classic
+// reachability (and the unbounded rung answers it exactly instead of
+// one-sided). The normalized value always fits the key's int32, so two
+// distinct request ks can never collide on one cache entry.
+func effectiveK(d *Dataset, reqK *int) int {
+	k := kreach.Unbounded
+	if reqK != nil {
+		k = *reqK
+	}
+	if k < 0 || k >= d.Graph.NumVertices()-1 {
+		return kreach.Unbounded
+	}
+	return k
+}
+
+// keyFor builds the cache key for a query against snapshot d. reqK is the
+// request's optional k, already validated by resolveFixedK.
+func keyFor(d *Dataset, s, t int, reqK *int) queryKey {
+	key := queryKey{epoch: d.Epoch(), s: int32(s), t: int32(t)}
+	if d.Kind() == KindMulti {
+		key.k = int32(effectiveK(d, reqK))
+	}
+	return key
+}
+
+// probe runs the actual index lookup for one query against snapshot d.
+func probe(d *Dataset, s, t int, reqK *int) cachedAnswer {
+	switch d.Kind() {
+	case KindPlain:
+		return boolAnswer(d.Plain.Reach(s, t))
+	case KindHK:
+		return boolAnswer(d.HK.Reach(s, t))
+	default:
+		verdict, effK := d.Multi.Reach(s, t, effectiveK(d, reqK))
+		ans := cachedAnswer{verdict: verdict}
+		if verdict == kreach.YesWithin {
+			ans.effectiveK = effK
+		}
+		return ans
+	}
+}
+
+func boolAnswer(reachable bool) cachedAnswer {
+	if reachable {
+		return cachedAnswer{verdict: kreach.Yes}
+	}
+	return cachedAnswer{verdict: kreach.No}
+}
+
+// answer resolves one query through the cache (singleflight: a stampede on
+// one hot key does a single index probe), or straight through to the index
+// when caching is disabled. The only possible error is ErrProbePanicked on
+// a collapsed caller whose leader's probe panicked; it must not be served
+// as a normal answer.
+func (s *Server) answer(d *Dataset, src, dst int, reqK *int) (cachedAnswer, error) {
+	if s.cache == nil {
+		return probe(d, src, dst, reqK), nil
+	}
+	return s.cache.Do(keyFor(d, src, dst, reqK), func() (cachedAnswer, error) {
+		return probe(d, src, dst, reqK), nil
+	})
+}
 
 // reachRequest is the /v1/reach body. K is a pointer so "absent" can be
 // told apart from 0; absent means "the dataset's own k" (multi: classic
@@ -78,30 +167,20 @@ func (s *Server) handleReach(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	resp := reachResponse{Graph: d.Name, S: req.S, T: req.T}
-	switch d.Kind() {
-	case KindPlain:
-		resp.Reachable = d.Plain.Reach(req.S, req.T)
-	case KindHK:
-		resp.Reachable = d.HK.Reach(req.S, req.T)
-	case KindMulti:
-		k := kreach.Unbounded
-		if req.K != nil {
-			k = *req.K
-		}
-		verdict, effK := d.Multi.Reach(req.S, req.T, k)
-		resp.Reachable = verdict != kreach.No
-		resp.Verdict = verdict.String()
-		if verdict == kreach.YesWithin {
-			resp.EffectiveK = effK
-		}
+	ans, err := s.answer(d, req.S, req.T, req.K)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
 	}
-	if resp.Verdict == "" {
-		if resp.Reachable {
-			resp.Verdict = kreach.Yes.String()
-		} else {
-			resp.Verdict = kreach.No.String()
-		}
+	resp := reachResponse{
+		Graph:     d.Name,
+		S:         req.S,
+		T:         req.T,
+		Reachable: ans.reachable(),
+		Verdict:   ans.verdict.String(),
+	}
+	if ans.verdict == kreach.YesWithin {
+		resp.EffectiveK = ans.effectiveK
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -122,6 +201,77 @@ type batchResponse struct {
 	Results    []bool   `json:"results"`
 	Verdicts   []string `json:"verdicts,omitempty"`
 	EffectiveK []int    `json:"effective_k,omitempty"`
+}
+
+// answerBatch resolves a batch against snapshot d: cached pairs are served
+// from the cache, the misses go through the index's ReachBatch worker pool
+// in one go, and fresh answers are written back. Every answer comes from d
+// (directly or via d's epoch-tagged cache entries), so one response never
+// mixes snapshots even if a reload lands mid-request.
+//
+// Unlike /v1/reach, misses here are NOT singleflight-collapsed (neither
+// across concurrent batches nor within one batch): funneling every miss
+// through Cache.Do would serialize it onto per-key channels and forfeit
+// ReachBatch's worker-pool parallelism, a bad trade for the large,
+// mostly-distinct pair sets batches carry. Duplicate hot keys may be
+// probed more than once; the results are identical and the later Put wins.
+func (s *Server) answerBatch(d *Dataset, pairs []kreach.Pair, reqK *int) []cachedAnswer {
+	// probeBatch answers a pair slice straight through the index's worker
+	// pool, scattering results via toAnswer.
+	probeBatch := func(miss []kreach.Pair, toAnswer func(j int, ans cachedAnswer)) {
+		switch d.Kind() {
+		case KindPlain:
+			for j, ok := range d.Plain.ReachBatch(miss, s.cfg.Parallelism) {
+				toAnswer(j, boolAnswer(ok))
+			}
+		case KindHK:
+			for j, ok := range d.HK.ReachBatch(miss, s.cfg.Parallelism) {
+				toAnswer(j, boolAnswer(ok))
+			}
+		case KindMulti:
+			for j, v := range d.Multi.ReachBatch(miss, effectiveK(d, reqK), s.cfg.Parallelism) {
+				ans := cachedAnswer{verdict: v.Verdict}
+				if v.Verdict == kreach.YesWithin {
+					ans.effectiveK = v.EffectiveK
+				}
+				toAnswer(j, ans)
+			}
+		}
+	}
+	answers := make([]cachedAnswer, len(pairs))
+	if s.cache == nil {
+		// No cache: skip the miss bookkeeping entirely.
+		probeBatch(pairs, func(j int, ans cachedAnswer) { answers[j] = ans })
+		return answers
+	}
+	// Epoch, kind and normalized k are constant across the batch; hoist the
+	// key prefix so the per-pair loops only fill in the endpoints.
+	key := queryKey{epoch: d.Epoch()}
+	if d.Kind() == KindMulti {
+		key.k = int32(effectiveK(d, reqK))
+	}
+	missIdx := make([]int, 0, len(pairs))
+	for i, p := range pairs {
+		key.s, key.t = int32(p.S), int32(p.T)
+		if ans, ok := s.cache.Get(key); ok {
+			answers[i] = ans
+		} else {
+			missIdx = append(missIdx, i)
+		}
+	}
+	if len(missIdx) == 0 {
+		return answers
+	}
+	miss := make([]kreach.Pair, len(missIdx))
+	for j, i := range missIdx {
+		miss[j] = pairs[i]
+	}
+	probeBatch(miss, func(j int, ans cachedAnswer) { answers[missIdx[j]] = ans })
+	for _, i := range missIdx {
+		key.s, key.t = int32(pairs[i].S), int32(pairs[i].T)
+		s.cache.Put(key, answers[i])
+	}
+	return answers
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -155,39 +305,62 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	resp := batchResponse{Graph: d.Name, Count: len(pairs)}
-	switch d.Kind() {
-	case KindPlain:
-		resp.Results = d.Plain.ReachBatch(pairs, s.cfg.Parallelism)
-	case KindHK:
-		resp.Results = d.HK.ReachBatch(pairs, s.cfg.Parallelism)
-	case KindMulti:
-		k := kreach.Unbounded
-		if req.K != nil {
-			k = *req.K
-		}
-		verdicts := d.Multi.ReachBatch(pairs, k, s.cfg.Parallelism)
-		resp.Results = make([]bool, len(verdicts))
-		resp.Verdicts = make([]string, len(verdicts))
-		resp.EffectiveK = make([]int, len(verdicts))
-		for i, v := range verdicts {
-			resp.Results[i] = v.Verdict != kreach.No
-			resp.Verdicts[i] = v.Verdict.String()
-			if v.Verdict == kreach.YesWithin {
-				resp.EffectiveK[i] = v.EffectiveK
+	answers := s.answerBatch(d, pairs, req.K)
+	resp := batchResponse{Graph: d.Name, Count: len(pairs), Results: make([]bool, len(answers))}
+	for i, a := range answers {
+		resp.Results[i] = a.reachable()
+	}
+	if d.Kind() == KindMulti {
+		resp.Verdicts = make([]string, len(answers))
+		resp.EffectiveK = make([]int, len(answers))
+		for i, a := range answers {
+			resp.Verdicts[i] = a.verdict.String()
+			if a.verdict == kreach.YesWithin {
+				resp.EffectiveK[i] = a.effectiveK
 			}
 		}
 	}
-	if resp.Results == nil {
-		resp.Results = []bool{}
-	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// reloadResponse answers POST /v1/datasets/{name}/reload.
+type reloadResponse struct {
+	Graph    string `json:"graph"`
+	Kind     Kind   `json:"kind"`
+	Epoch    uint64 `json:"epoch"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	d, err := s.reg.Reload(name)
+	if err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, ErrNotReloadable):
+			status = http.StatusConflict
+		case errors.Is(err, ErrUnknownDataset):
+			status = http.StatusNotFound
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, reloadResponse{
+		Graph:    d.Name,
+		Kind:     d.Kind(),
+		Epoch:    d.Epoch(),
+		Vertices: d.Graph.NumVertices(),
+		Edges:    d.Graph.NumEdges(),
+	})
 }
 
 // datasetInfo is one /v1/stats entry.
 type datasetInfo struct {
 	Name       string `json:"name"`
 	Kind       Kind   `json:"kind"`
+	Epoch      uint64 `json:"epoch"`
+	Reloadable bool   `json:"reloadable"`
 	Vertices   int    `json:"vertices"`
 	Edges      int    `json:"edges"`
 	K          *int   `json:"k,omitempty"`
@@ -198,9 +371,21 @@ type datasetInfo struct {
 	SizeBytes  int    `json:"size_bytes"`
 }
 
+// cacheInfo is the /v1/stats cache section.
+type cacheInfo struct {
+	Enabled   bool   `json:"enabled"`
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Collapsed uint64 `json:"collapsed"`
+}
+
 type statsResponse struct {
 	Default  string        `json:"default"`
 	Datasets []datasetInfo `json:"datasets"`
+	Cache    cacheInfo     `json:"cache"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -215,10 +400,12 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			continue
 		}
 		info := datasetInfo{
-			Name:     d.Name,
-			Kind:     d.Kind(),
-			Vertices: d.Graph.NumVertices(),
-			Edges:    d.Graph.NumEdges(),
+			Name:       d.Name,
+			Kind:       d.Kind(),
+			Epoch:      d.Epoch(),
+			Reloadable: d.Loader != nil,
+			Vertices:   d.Graph.NumVertices(),
+			Edges:      d.Graph.NumEdges(),
 		}
 		switch d.Kind() {
 		case KindPlain:
@@ -236,6 +423,18 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			info.SizeBytes = d.Multi.SizeBytes()
 		}
 		resp.Datasets = append(resp.Datasets, info)
+	}
+	if s.cache != nil {
+		st := s.cache.Stats()
+		resp.Cache = cacheInfo{
+			Enabled:   true,
+			Entries:   st.Entries,
+			Capacity:  st.Capacity,
+			Hits:      st.Hits,
+			Misses:    st.Misses,
+			Evictions: st.Evictions,
+			Collapsed: st.Collapsed,
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

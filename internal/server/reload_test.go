@@ -1,0 +1,576 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kreach"
+	"kreach/internal/gen"
+	"kreach/internal/server"
+)
+
+// genDenseGraph generates a hub-heavy metabolic-family graph whose k=4
+// reachability is rich enough that two seeds disagree on many pairs — the
+// property the snapshot-mixing race test depends on.
+func genDenseGraph(t *testing.T, seed uint64) *kreach.Graph {
+	t.Helper()
+	g := gen.Spec{Family: gen.Metabolic, N: 300, M: 900, Hubs: 12, DegMax: 60, SCCExtra: 30, Seed: seed}.Generate()
+	return kreach.WrapInternal(g)
+}
+
+// buildPlainDataset builds a k=4 plain-index dataset over g.
+func buildPlainDataset(t *testing.T, name string, g *kreach.Graph) *server.Dataset {
+	t.Helper()
+	ix, err := kreach.BuildIndex(g, kreach.IndexOptions{K: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &server.Dataset{Name: name, Graph: g, Plain: ix}
+}
+
+func TestRegistrySwap(t *testing.T) {
+	gA, _ := genGraph(t, 7)
+	gB, _ := genGraph(t, 8)
+	reg := server.NewRegistry()
+	a := buildPlainDataset(t, "d", gA)
+	a.Loader = func() (*server.Dataset, error) { return buildPlainDataset(t, "d", gA), nil }
+	if err := reg.Add(a); err != nil {
+		t.Fatal(err)
+	}
+	epochA := a.Epoch()
+	preSwap := a.Plain.Reach(0, 1)
+
+	b := buildPlainDataset(t, "d", gB)
+	old, err := reg.Swap(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old != a {
+		t.Error("Swap did not return the displaced snapshot")
+	}
+	cur, err := reg.Lookup("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur != b {
+		t.Error("Lookup did not observe the swapped snapshot")
+	}
+	if cur.Epoch() == epochA {
+		t.Error("swapped snapshot kept the old epoch")
+	}
+	if cur.Loader == nil {
+		t.Error("swapped snapshot did not inherit the loader")
+	}
+	// The old snapshot stays fully usable: in-flight requests that resolved
+	// it before the swap keep answering against it, exactly as before.
+	if got := old.Plain.Reach(0, 1); got != preSwap {
+		t.Errorf("old snapshot answer changed across the swap: %v != %v", got, preSwap)
+	}
+	if _, err := reg.Swap(buildPlainDataset(t, "nope", gA)); err == nil {
+		t.Error("Swap grew the name set")
+	}
+}
+
+// TestSwapSerializesWithReload pins the lost-update guarantee: a Swap
+// issued while a Reload's loader is still running must wait and land after
+// the reload, so the swapped-in snapshot is what the registry ends up
+// serving (an unserialized swap would be clobbered by the reload's result).
+func TestSwapSerializesWithReload(t *testing.T) {
+	g, _ := genGraph(t, 7)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	d := buildPlainDataset(t, "d", g)
+	d.Loader = func() (*server.Dataset, error) {
+		close(entered)
+		<-release
+		return buildPlainDataset(t, "d", g), nil
+	}
+	reg := server.NewRegistry()
+	if err := reg.Add(d); err != nil {
+		t.Fatal(err)
+	}
+
+	reloaded := make(chan error, 1)
+	go func() {
+		_, err := reg.Reload("d")
+		reloaded <- err
+	}()
+	<-entered // loader is now in flight
+
+	swapped := make(chan *server.Dataset, 1)
+	want := buildPlainDataset(t, "d", g)
+	go func() {
+		if _, err := reg.Swap(want); err != nil {
+			t.Errorf("Swap: %v", err)
+		}
+		cur, _ := reg.Lookup("d")
+		swapped <- cur
+	}()
+
+	// The swap must block behind the in-flight reload.
+	select {
+	case <-swapped:
+		t.Fatal("Swap completed while a Reload was still rebuilding")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	if err := <-reloaded; err != nil {
+		t.Fatal(err)
+	}
+	if cur := <-swapped; cur != want {
+		t.Error("swapped snapshot was clobbered by the concurrent reload")
+	}
+	if cur, _ := reg.Lookup("d"); cur != want {
+		t.Error("registry does not serve the last-landed snapshot")
+	}
+}
+
+func TestReloadEndpoint(t *testing.T) {
+	g, _ := genGraph(t, 7)
+	reloads := 0
+	d := buildPlainDataset(t, "d", g)
+	d.Loader = func() (*server.Dataset, error) {
+		reloads++
+		return buildPlainDataset(t, "d", g), nil
+	}
+	fixed := buildPlainDataset(t, "fixed", g) // no loader
+	reg := server.NewRegistry()
+	for _, ds := range []*server.Dataset{d, fixed} {
+		if err := reg.Add(ds); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(server.New(reg, server.Config{}))
+	t.Cleanup(ts.Close)
+
+	epoch0 := d.Epoch()
+	status, body := post(t, ts.URL+"/v1/datasets/d/reload", map[string]any{})
+	if status != http.StatusOK {
+		t.Fatalf("reload status %d: %v", status, body)
+	}
+	if reloads != 1 {
+		t.Fatalf("loader ran %d times, want 1", reloads)
+	}
+	if got := field[uint64](t, body, "epoch"); got == epoch0 {
+		t.Errorf("reload kept epoch %d", got)
+	}
+	if got := field[string](t, body, "graph"); got != "d" {
+		t.Errorf("reload answered for %q", got)
+	}
+
+	// A dataset without a loader is not reloadable; unknown names are 404.
+	if status, _ := post(t, ts.URL+"/v1/datasets/fixed/reload", map[string]any{}); status != http.StatusConflict {
+		t.Errorf("no-loader reload status %d, want 409", status)
+	}
+	if status, _ := post(t, ts.URL+"/v1/datasets/nope/reload", map[string]any{}); status != http.StatusNotFound {
+		t.Errorf("unknown reload status %d, want 404", status)
+	}
+
+	// /v1/stats reports epochs and reloadability.
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Datasets []struct {
+			Name       string `json:"name"`
+			Epoch      uint64 `json:"epoch"`
+			Reloadable bool   `json:"reloadable"`
+		} `json:"datasets"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	for _, ds := range stats.Datasets {
+		if ds.Epoch == 0 {
+			t.Errorf("dataset %s has zero epoch", ds.Name)
+		}
+		if want := ds.Name == "d"; ds.Reloadable != want {
+			t.Errorf("dataset %s reloadable = %v, want %v", ds.Name, ds.Reloadable, want)
+		}
+	}
+}
+
+// TestReloadNeverMixesSnapshots is the acceptance race test: clients hammer
+// /v1/batch and /v1/reach while the dataset is concurrently reloaded back
+// and forth between two different graphs. Every request must succeed, and
+// every batch response must be answered entirely by one snapshot — a mixed
+// response would prove a request observed two snapshots (or that stale
+// cache entries leaked across the epoch bump).
+func TestReloadNeverMixesSnapshots(t *testing.T) {
+	gA := genDenseGraph(t, 7)
+	gB := genDenseGraph(t, 8)
+
+	var flip atomic.Int64
+	loader := func() (*server.Dataset, error) {
+		if flip.Add(1)%2 == 1 {
+			return buildPlainDataset(t, "d", gB), nil
+		}
+		return buildPlainDataset(t, "d", gA), nil
+	}
+	d := buildPlainDataset(t, "d", gA)
+	d.Loader = loader
+	reg := server.NewRegistry()
+	if err := reg.Add(d); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(reg, server.Config{Parallelism: 2}))
+	t.Cleanup(ts.Close)
+
+	// Ground truth per snapshot. Answers depend only on the graph (queries
+	// are exact), so every rebuild of one graph gives identical answers.
+	ixA, err := kreach.BuildIndex(gA, kreach.IndexOptions{K: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ixB, err := kreach.BuildIndex(gB, kreach.IndexOptions{K: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := gA.NumVertices()
+	var pairs [][2]int
+	wantA := make(map[[2]int]bool)
+	wantB := make(map[[2]int]bool)
+	differ := 0
+	for s := 0; s < n; s += 5 {
+		for tt := 1; tt < n; tt += 7 {
+			p := [2]int{s, tt}
+			pairs = append(pairs, p)
+			wantA[p] = ixA.Reach(s, tt)
+			wantB[p] = ixB.Reach(s, tt)
+			if wantA[p] != wantB[p] {
+				differ++
+			}
+		}
+	}
+	if differ == 0 {
+		t.Fatal("test graphs agree on every sampled pair; pick different seeds")
+	}
+
+	postJSON := func(url string, reqBody any) (int, []byte, error) {
+		buf, err := json.Marshal(reqBody)
+		if err != nil {
+			return 0, nil, err
+		}
+		resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		var out bytes.Buffer
+		if _, err := out.ReadFrom(resp.Body); err != nil {
+			return 0, nil, err
+		}
+		return resp.StatusCode, out.Bytes(), nil
+	}
+
+	const (
+		clients = 6
+		rounds  = 8
+		reloads = 30
+	)
+	errs := make(chan error, clients+1)
+	var wg sync.WaitGroup
+
+	// Reloader: swap the dataset back and forth while queries are in flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < reloads; i++ {
+			status, body, err := postJSON(ts.URL+"/v1/datasets/d/reload", map[string]any{})
+			if err != nil {
+				errs <- fmt.Errorf("reload %d: %v", i, err)
+				return
+			}
+			if status != http.StatusOK {
+				errs <- fmt.Errorf("reload %d: status %d: %s", i, status, body)
+				return
+			}
+		}
+	}()
+
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(client int) {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				if client%2 == 0 {
+					status, raw, err := postJSON(ts.URL+"/v1/batch", map[string]any{"pairs": pairs})
+					if err != nil || status != http.StatusOK {
+						errs <- fmt.Errorf("client %d: batch status %d err %v", client, status, err)
+						return
+					}
+					var body struct {
+						Results []bool `json:"results"`
+					}
+					if err := json.Unmarshal(raw, &body); err != nil {
+						errs <- fmt.Errorf("client %d: %v", client, err)
+						return
+					}
+					if err := matchesOneSnapshot(pairs, body.Results, wantA, wantB); err != nil {
+						errs <- fmt.Errorf("client %d round %d: %v", client, round, err)
+						return
+					}
+				} else {
+					p := pairs[(client*31+round*17)%len(pairs)]
+					status, raw, err := postJSON(ts.URL+"/v1/reach", map[string]any{"s": p[0], "t": p[1]})
+					if err != nil || status != http.StatusOK {
+						errs <- fmt.Errorf("client %d: reach status %d err %v", client, status, err)
+						return
+					}
+					var body struct {
+						Reachable bool `json:"reachable"`
+					}
+					if err := json.Unmarshal(raw, &body); err != nil {
+						errs <- fmt.Errorf("client %d: %v", client, err)
+						return
+					}
+					if body.Reachable != wantA[p] && body.Reachable != wantB[p] {
+						errs <- fmt.Errorf("client %d: reach(%v) = %v matches neither snapshot", client, p, body.Reachable)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// matchesOneSnapshot verifies a batch answer vector agrees entirely with
+// wantA or entirely with wantB.
+func matchesOneSnapshot(pairs [][2]int, results []bool, wantA, wantB map[[2]int]bool) error {
+	if len(results) != len(pairs) {
+		return fmt.Errorf("%d results for %d pairs", len(results), len(pairs))
+	}
+	okA, okB := true, true
+	for i, p := range pairs {
+		if results[i] != wantA[p] {
+			okA = false
+		}
+		if results[i] != wantB[p] {
+			okB = false
+		}
+		if !okA && !okB {
+			return fmt.Errorf("answers mix two snapshots (first conflict at pair %v)", p)
+		}
+	}
+	return nil
+}
+
+// TestSingleflightCollapsesProbes proves the stampede guarantee end to end:
+// N concurrent identical /v1/reach requests perform exactly one index probe
+// — the cache counts one miss (the probe) and N-1 hits or collapsed waits.
+func TestSingleflightCollapsesProbes(t *testing.T) {
+	g, _ := genGraph(t, 7)
+	reg := server.NewRegistry()
+	if err := reg.Add(buildPlainDataset(t, "d", g)); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(reg, server.Config{}))
+	t.Cleanup(ts.Close)
+
+	const n = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf, _ := json.Marshal(map[string]any{"s": 3, "t": 17})
+			resp, err := http.Post(ts.URL+"/v1/reach", "application/json", bytes.NewReader(buf))
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d", resp.StatusCode)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Cache struct {
+			Enabled   bool   `json:"enabled"`
+			Hits      uint64 `json:"hits"`
+			Misses    uint64 `json:"misses"`
+			Collapsed uint64 `json:"collapsed"`
+		} `json:"cache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	c := stats.Cache
+	if !c.Enabled {
+		t.Fatal("cache disabled by default config")
+	}
+	// Only the singleflight leader records a miss; every other caller is a
+	// hit (arrived after the fill) or collapsed (during the probe). This
+	// holds for any interleaving, so the assertion is timing-independent.
+	if c.Misses != 1 {
+		t.Errorf("misses = %d, want exactly 1 probe", c.Misses)
+	}
+	if c.Hits+c.Collapsed != n-1 {
+		t.Errorf("hits+collapsed = %d, want %d", c.Hits+c.Collapsed, n-1)
+	}
+}
+
+// TestCachedAnswersStayCorrect runs the same query grid twice — the second
+// pass is served from the cache — and checks both passes against the index,
+// for the plain and multi datasets (the latter with per-query k, including
+// the one-sided yes-within answers).
+func TestCachedAnswersStayCorrect(t *testing.T) {
+	ts, g := newTestServer(t, server.Config{})
+	plain, err := kreach.BuildIndex(g, kreach.IndexOptions{K: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := kreach.BuildMultiIndex(g, kreach.MultiOptions{Rungs: kreach.PowerOfTwoRungs(8), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < 2; pass++ {
+		for s := 0; s < 20; s++ {
+			for tt := 0; tt < 20; tt += 2 {
+				status, body := post(t, ts.URL+"/v1/reach", map[string]any{"s": s, "t": tt})
+				if status != http.StatusOK {
+					t.Fatalf("pass %d: status %d", pass, status)
+				}
+				if got, want := field[bool](t, body, "reachable"), plain.Reach(s, tt); got != want {
+					t.Fatalf("pass %d: reach(%d,%d) = %v, want %v", pass, s, tt, got, want)
+				}
+
+				status, body = post(t, ts.URL+"/v1/reach", map[string]any{"graph": "multi", "s": s, "t": tt, "k": 3})
+				if status != http.StatusOK {
+					t.Fatalf("pass %d: multi status %d", pass, status)
+				}
+				verdict, effK := multi.Reach(s, tt, 3)
+				if got := field[string](t, body, "verdict"); got != verdict.String() {
+					t.Fatalf("pass %d: multi verdict(%d,%d) = %q, want %q", pass, s, tt, got, verdict)
+				}
+				if verdict == kreach.YesWithin {
+					if got := field[int](t, body, "effective_k"); got != effK {
+						t.Fatalf("pass %d: effective_k(%d,%d) = %d, want %d", pass, s, tt, got, effK)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestHugeKNormalized checks that a multi-rung k beyond n−1 is answered as
+// classic reachability and, critically, cannot collide with a small k's
+// cache entry through int32 truncation (2^32+3 must not alias k=3).
+func TestHugeKNormalized(t *testing.T) {
+	// A hierarchy (tree + cross edges) has paths much longer than 3 hops,
+	// so k=3 and classic reachability genuinely disagree on some pairs.
+	g := kreach.WrapInternal(gen.Spec{Family: gen.Hierarchy, N: 300, M: 600, Seed: 7}.Generate())
+	multi, err := kreach.BuildMultiIndex(g, kreach.MultiOptions{Rungs: kreach.PowerOfTwoRungs(8), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := server.NewRegistry()
+	if err := reg.Add(&server.Dataset{Name: "multi", Graph: g, Multi: multi}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(reg, server.Config{}))
+	t.Cleanup(ts.Close)
+	// Find a pair whose k=3 verdict differs from its classic verdict, so an
+	// aliased cache hit would be observable.
+	s, tt := -1, -1
+	for a := 0; a < g.NumVertices() && s < 0; a++ {
+		for b := 0; b < g.NumVertices(); b++ {
+			v3, _ := multi.Reach(a, b, 3)
+			vInf, _ := multi.Reach(a, b, kreach.Unbounded)
+			if v3 == kreach.No && vInf == kreach.Yes {
+				s, tt = a, b
+				break
+			}
+		}
+	}
+	if s < 0 {
+		t.Skip("no pair distinguishes k=3 from classic reachability")
+	}
+	// Prime the cache with the k=3 answer, then query with 2^32+3.
+	status, body := post(t, ts.URL+"/v1/reach", map[string]any{"graph": "multi", "s": s, "t": tt, "k": 3})
+	if status != http.StatusOK || field[bool](t, body, "reachable") {
+		t.Fatalf("k=3 priming query: status=%d body=%v", status, body)
+	}
+	huge := 1<<32 + 3
+	status, body = post(t, ts.URL+"/v1/reach", map[string]any{"graph": "multi", "s": s, "t": tt, "k": huge})
+	if status != http.StatusOK {
+		t.Fatalf("huge-k status %d: %v", status, body)
+	}
+	if !field[bool](t, body, "reachable") || field[string](t, body, "verdict") != "yes" {
+		t.Errorf("k=2^32+3 answered %v, want exact classic-reachability yes", body)
+	}
+}
+
+// TestCacheDisabled checks that a negative CacheEntries turns caching off
+// without affecting answers.
+func TestCacheDisabled(t *testing.T) {
+	ts, g := genServerNoCache(t)
+	plain, err := kreach.BuildIndex(g, kreach.IndexOptions{K: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		status, body := post(t, ts.URL+"/v1/reach", map[string]any{"s": 1, "t": 9})
+		if status != http.StatusOK {
+			t.Fatalf("status %d", status)
+		}
+		if got, want := field[bool](t, body, "reachable"), plain.Reach(1, 9); got != want {
+			t.Fatalf("reach = %v, want %v", got, want)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Cache struct {
+			Enabled bool `json:"enabled"`
+		} `json:"cache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cache.Enabled {
+		t.Error("cache reported enabled with CacheEntries < 0")
+	}
+}
+
+func genServerNoCache(t *testing.T) (*httptest.Server, *kreach.Graph) {
+	t.Helper()
+	g, _ := genGraph(t, 7)
+	reg := server.NewRegistry()
+	if err := reg.Add(buildPlainDataset(t, "d", g)); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(reg, server.Config{CacheEntries: -1}))
+	t.Cleanup(ts.Close)
+	return ts, g
+}

@@ -1,20 +1,3 @@
-// Package server implements the kreachd query-serving layer: an HTTP/JSON
-// API over a registry of named graph+index pairs. It is the first step
-// toward the ROADMAP's production serving architecture — every handler is
-// safe for concurrent use because the underlying kreach query methods are,
-// and /v1/batch rides the library's ReachBatch worker pool so a single
-// request saturates the machine.
-//
-// Endpoints:
-//
-//	POST /v1/reach   {"graph":"name","s":0,"t":5,"k":3}        single query
-//	POST /v1/batch   {"graph":"name","pairs":[[0,5],[1,2]]}    many queries
-//	GET  /v1/stats                                             registry metadata
-//	GET  /healthz                                              liveness probe
-//
-// "graph" may be omitted when the registry holds a default dataset. "k" is
-// only meaningful for multi-rung datasets (omitted = classic reachability);
-// plain and (h,k) datasets answer for the k they were built with.
 package server
 
 import (
@@ -22,8 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync"
+	"sync/atomic"
 
 	"kreach"
+	"kreach/internal/cache"
 )
 
 // Kind labels the index variant a dataset serves.
@@ -37,13 +23,24 @@ const (
 )
 
 // Dataset is one named graph plus exactly one of the three index variants.
-// All fields are read-only after registration.
+// A Dataset is an immutable snapshot: all fields are read-only after
+// registration, and replacing a dataset means registering a whole new
+// Dataset via Registry.Swap or Registry.Reload. Handlers resolve the
+// snapshot once per request, so in-flight requests keep answering against
+// the snapshot they started with even while a swap lands.
 type Dataset struct {
 	Name  string
 	Graph *kreach.Graph
 	Plain *kreach.Index
 	HK    *kreach.HKIndex
 	Multi *kreach.MultiIndex
+
+	// Loader rebuilds this dataset from its source of truth (for kreachd,
+	// the -dataset spec: graph and index files are re-read, indexes
+	// rebuilt). A dataset with a nil Loader cannot be reloaded. When a
+	// swapped-in replacement has a nil Loader it inherits the old one, so a
+	// reloadable dataset stays reloadable.
+	Loader func() (*Dataset, error)
 }
 
 // Kind reports which index variant the dataset holds.
@@ -55,6 +52,21 @@ func (d *Dataset) Kind() Kind {
 		return KindHK
 	default:
 		return KindPlain
+	}
+}
+
+// Epoch returns the process-unique generation of the dataset's index. The
+// query cache embeds it in every key, so swapping in a new snapshot (whose
+// index necessarily has a fresh generation) invalidates all cached answers
+// for the dataset without touching the cache.
+func (d *Dataset) Epoch() uint64 {
+	switch d.Kind() {
+	case KindMulti:
+		return d.Multi.Epoch()
+	case KindHK:
+		return d.HK.Epoch()
+	default:
+		return d.Plain.Epoch()
 	}
 }
 
@@ -81,16 +93,28 @@ func (d *Dataset) valid() error {
 	return nil
 }
 
-// Registry holds the named datasets a server answers for. It is populated
-// at startup and immutable afterwards, so lookups need no locking.
+// slot is the mutable cell behind one dataset name: an atomically swappable
+// snapshot pointer (readers never block) plus a mutex that serializes
+// writers — reloads and swaps of this name — so a slow reload cannot
+// silently clobber a snapshot swapped in while its loader was running.
+type slot struct {
+	ptr      atomic.Pointer[Dataset]
+	reloadMu sync.Mutex
+}
+
+// Registry holds the named datasets a server answers for. The name set is
+// fixed after startup, but each name's snapshot is hot-swappable: Swap and
+// Reload publish a replacement Dataset with an RCU-style pointer store,
+// while Lookup returns whichever snapshot is current at that instant.
 type Registry struct {
-	byName map[string]*Dataset
+	mu     sync.RWMutex
+	byName map[string]*slot
 	order  []string // registration order; order[0] is the default
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{byName: make(map[string]*Dataset)}
+	return &Registry{byName: make(map[string]*slot)}
 }
 
 // Add registers a dataset. The first dataset added becomes the default for
@@ -99,30 +123,116 @@ func (r *Registry) Add(d *Dataset) error {
 	if err := d.valid(); err != nil {
 		return err
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if _, dup := r.byName[d.Name]; dup {
 		return fmt.Errorf("server: duplicate dataset %q", d.Name)
 	}
-	r.byName[d.Name] = d
+	sl := &slot{}
+	sl.ptr.Store(d)
+	r.byName[d.Name] = sl
 	r.order = append(r.order, d.Name)
 	return nil
 }
 
 // Names returns the dataset names in registration order.
-func (r *Registry) Names() []string { return append([]string(nil), r.order...) }
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.order...)
+}
 
-// Lookup resolves a dataset by name; the empty name means the default
-// (first-registered) dataset.
+// Lookup resolves the current snapshot of a dataset by name; the empty name
+// means the default (first-registered) dataset. The returned Dataset is
+// immutable — callers can keep using it across a concurrent Swap, which is
+// exactly how handlers guarantee one request never mixes two snapshots.
 func (r *Registry) Lookup(name string) (*Dataset, error) {
+	sl, err := r.slotFor(name)
+	if err != nil {
+		return nil, err
+	}
+	return sl.ptr.Load(), nil
+}
+
+// ErrUnknownDataset reports a lookup for a name the registry never held.
+var ErrUnknownDataset = errors.New("server: unknown graph")
+
+func (r *Registry) slotFor(name string) (*slot, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	if name == "" {
 		if len(r.order) == 0 {
 			return nil, fmt.Errorf("server: no datasets loaded")
 		}
 		return r.byName[r.order[0]], nil
 	}
-	d, ok := r.byName[name]
+	sl, ok := r.byName[name]
 	if !ok {
-		return nil, fmt.Errorf("server: unknown graph %q", name)
+		return nil, fmt.Errorf("%w %q", ErrUnknownDataset, name)
 	}
+	return sl, nil
+}
+
+// Swap atomically replaces the snapshot registered under d.Name and returns
+// the snapshot it displaced. The name must already be registered — Swap
+// replaces datasets, it does not grow the name set. If d.Loader is nil the
+// replacement inherits the old snapshot's loader. In-flight requests that
+// already resolved the old snapshot finish against it; requests arriving
+// after Swap returns see d. Swaps serialize with reloads of the same name:
+// a Swap issued while a Reload is rebuilding waits and then lands after it,
+// so the replacement cannot be silently clobbered by the reload's result.
+func (r *Registry) Swap(d *Dataset) (*Dataset, error) {
+	if err := d.valid(); err != nil {
+		return nil, err
+	}
+	sl, err := r.slotFor(d.Name)
+	if err != nil {
+		return nil, err
+	}
+	sl.reloadMu.Lock()
+	defer sl.reloadMu.Unlock()
+	old := sl.ptr.Load()
+	if d.Loader == nil {
+		d.Loader = old.Loader
+	}
+	sl.ptr.Store(d)
+	return old, nil
+}
+
+// ErrNotReloadable reports a reload request for a dataset registered
+// without a Loader.
+var ErrNotReloadable = errors.New("server: dataset has no loader")
+
+// Reload rebuilds the named dataset via its Loader and swaps the result in,
+// returning the new snapshot. Reloads of one name are serialized; reloads
+// of different names proceed independently. The loaded dataset must keep
+// the same name (a loader that renames is a bug) but may change kind,
+// graph, or index freely.
+func (r *Registry) Reload(name string) (*Dataset, error) {
+	sl, err := r.slotFor(name)
+	if err != nil {
+		return nil, err
+	}
+	sl.reloadMu.Lock()
+	defer sl.reloadMu.Unlock()
+	old := sl.ptr.Load()
+	if old.Loader == nil {
+		return nil, fmt.Errorf("%w: %q", ErrNotReloadable, old.Name)
+	}
+	d, err := old.Loader()
+	if err != nil {
+		return nil, fmt.Errorf("server: reloading %q: %w", old.Name, err)
+	}
+	if err := d.valid(); err != nil {
+		return nil, err
+	}
+	if d.Name != old.Name {
+		return nil, fmt.Errorf("server: loader for %q produced dataset %q", old.Name, d.Name)
+	}
+	if d.Loader == nil {
+		d.Loader = old.Loader
+	}
+	sl.ptr.Store(d)
 	return d, nil
 }
 
@@ -134,6 +244,12 @@ type Config struct {
 	// MaxBatch caps the pairs accepted by one /v1/batch request
 	// (0 = DefaultMaxBatch).
 	MaxBatch int
+	// CacheEntries sizes the result cache (total entries; rounded so each
+	// shard is a power of two). 0 means cache.DefaultCapacity; negative
+	// disables caching entirely.
+	CacheEntries int
+	// CacheShards is the cache shard count (0 = derived from GOMAXPROCS).
+	CacheShards int
 }
 
 // DefaultMaxBatch is the /v1/batch pair cap when Config.MaxBatch is 0.
@@ -146,6 +262,10 @@ type Server struct {
 	cfg     Config
 	maxBody int64 // request body cap, derived from MaxBatch
 	mux     *http.ServeMux
+	// cache is the epoch-keyed result cache shared by every dataset (nil
+	// when disabled). Keys embed the snapshot epoch, so entries from a
+	// replaced snapshot can never answer for its successor.
+	cache *cache.Cache[queryKey, cachedAnswer]
 }
 
 // New builds a Server over reg.
@@ -154,6 +274,12 @@ func New(reg *Registry, cfg Config) *Server {
 		cfg.MaxBatch = DefaultMaxBatch
 	}
 	s := &Server{reg: reg, cfg: cfg, mux: http.NewServeMux()}
+	if cfg.CacheEntries >= 0 {
+		s.cache = cache.New[queryKey, cachedAnswer](cache.Config{
+			Capacity: cfg.CacheEntries,
+			Shards:   cfg.CacheShards,
+		})
+	}
 	// A [s,t] pair of 32-bit ids serializes to at most ~24 bytes; 64 leaves
 	// whitespace headroom. Bodies beyond the cap are rejected before the
 	// decoder buffers them, so MaxBatch bounds memory, not just pair count.
@@ -161,6 +287,7 @@ func New(reg *Registry, cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/reach", s.handleReach)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/datasets/{name}/reload", s.handleReload)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
 }

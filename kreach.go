@@ -259,6 +259,13 @@ func (ix *Index) ReachBatch(pairs []Pair, parallelism int) []bool {
 // K returns the hop bound (Unbounded for classic reachability).
 func (ix *Index) K() int { return ix.ix.K() }
 
+// Epoch returns the index's process-unique generation number, assigned when
+// it was built or loaded. Serving layers use it as a cache epoch: embedding
+// the epoch in result-cache keys means swapping in a replacement index
+// implicitly invalidates every answer cached against the old one. Epochs
+// are never reused within a process and carry no meaning across processes.
+func (ix *Index) Epoch() uint64 { return ix.ix.Generation() }
+
 // CoverSize returns |V_I|, the size of the vertex cover.
 func (ix *Index) CoverSize() int { return ix.ix.Cover().Len() }
 
@@ -337,6 +344,10 @@ func (ix *HKIndex) ReachBatch(pairs []Pair, parallelism int) []bool {
 
 // H returns the hop-cover radius.
 func (ix *HKIndex) H() int { return ix.ix.H() }
+
+// Epoch returns the index's process-unique generation number; see
+// Index.Epoch.
+func (ix *HKIndex) Epoch() uint64 { return ix.ix.Generation() }
 
 // K returns the hop bound.
 func (ix *HKIndex) K() int { return ix.ix.K() }
@@ -476,6 +487,10 @@ func (ix *MultiIndex) ReachBatch(pairs []Pair, k, parallelism int) []BatchVerdic
 
 // Rungs returns the ladder's k values in ascending order.
 func (ix *MultiIndex) Rungs() []int { return ix.m.Rungs() }
+
+// Epoch returns the ladder's process-unique generation number (shared by
+// all rungs); see Index.Epoch.
+func (ix *MultiIndex) Epoch() uint64 { return ix.m.Generation() }
 
 // SizeBytes sums the sizes of all rungs.
 func (ix *MultiIndex) SizeBytes() int { return ix.m.SizeBytes() }
