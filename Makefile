@@ -9,7 +9,7 @@ GO ?= go
 BENCH_SCALE   ?= 20
 BENCH_QUERIES ?= 10000
 
-.PHONY: all build test race lint bench-tables bench-cache
+.PHONY: all build test race lint bench-tables bench-cache bench-smoke
 
 all: build test
 
@@ -47,3 +47,8 @@ bench-tables:
 # bench-cache runs the cached-vs-uncached acceptance benchmark.
 bench-cache:
 	$(GO) test ./internal/bench -bench 'ReachCached|ReachUncached' -benchtime 2s -run XXX
+
+# bench-smoke mirrors the CI benchmark-compile gate: one iteration of every
+# benchmark, so bench-only code cannot rot without failing the build.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/bench

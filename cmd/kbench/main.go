@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	kbench [-table all|2|3|...|9|batch|cache[,more]] [-queries N] [-scale S]
-//	       [-datasets name1,name2] [-seed S]
+//	kbench [-table all|2|3|...|9|batch|cache|mutate[,more]] [-queries N]
+//	       [-scale S] [-datasets name1,name2] [-seed S]
 //
 // The paper runs 1,000,000 random queries per dataset (the default here).
 // Use -scale to shrink the datasets (e.g. -scale 10) for quick runs, and
@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		table    = flag.String("table", "all", "comma-separated tables to run (2..9, batch, cache) or 'all'")
+		table    = flag.String("table", "all", "comma-separated tables to run (2..9, batch, cache, mutate) or 'all'")
 		queries  = flag.Int("queries", 1_000_000, "query workload size")
 		scale    = flag.Int("scale", 1, "divide dataset sizes by this factor")
 		datasets = flag.String("datasets", "", "comma-separated dataset names (default: all 15)")

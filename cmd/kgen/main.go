@@ -3,12 +3,20 @@
 //
 // Usage:
 //
-//	kgen [-out DIR] [-format edgelist|binary] [-datasets name1,name2] [-scale S]
+//	kgen [-out DIR] [-format edgelist|binary] [-datasets name1,name2]
+//	     [-scale S] [-seed N]
+//
+// Generation is deterministic: every dataset has a registry-pinned seed,
+// so two runs produce byte-identical files. -seed N (N ≥ 0) mixes N into
+// each dataset's registry seed, yielding a different — but equally
+// reproducible — random instance of the same structural family; omit it
+// (or pass -seed -1) for the canonical suite.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -17,60 +25,82 @@ import (
 	"kreach/internal/graph"
 )
 
+// config carries the parsed flags; run is separated from main so tests can
+// drive the full generation path.
+type config struct {
+	out      string
+	format   string
+	datasets string
+	scale    int
+	seed     int64 // -1 = registry seeds; >= 0 mixed into each dataset seed
+}
+
 func main() {
-	var (
-		out      = flag.String("out", "datasets", "output directory")
-		format   = flag.String("format", "edgelist", "edgelist or binary")
-		datasets = flag.String("datasets", "", "comma-separated dataset names (default: all 15)")
-		scale    = flag.Int("scale", 1, "divide dataset sizes by this factor")
-	)
+	var cfg config
+	flag.StringVar(&cfg.out, "out", "datasets", "output directory")
+	flag.StringVar(&cfg.format, "format", "edgelist", "edgelist or binary")
+	flag.StringVar(&cfg.datasets, "datasets", "", "comma-separated dataset names (default: all 15)")
+	flag.IntVar(&cfg.scale, "scale", 1, "divide dataset sizes by this factor")
+	flag.Int64Var(&cfg.seed, "seed", -1, "mix this seed into every dataset's registry seed (-1 = canonical suite)")
 	flag.Parse()
-	names := gen.Names()
-	if *datasets != "" {
-		names = strings.Split(*datasets, ",")
+	if err := run(cfg, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "kgen:", err)
+		os.Exit(1)
 	}
-	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fatal(err)
+}
+
+func run(cfg config, log io.Writer) error {
+	names := gen.Names()
+	if cfg.datasets != "" {
+		names = strings.Split(cfg.datasets, ",")
+	}
+	if err := os.MkdirAll(cfg.out, 0o755); err != nil {
+		return err
 	}
 	for _, name := range names {
 		spec, ok := gen.Dataset(name)
 		if !ok {
-			fatal(fmt.Errorf("unknown dataset %q", name))
+			return fmt.Errorf("unknown dataset %q", name)
 		}
-		if *scale > 1 {
-			spec.N /= *scale
-			spec.M /= *scale
-			spec.SCCExtra /= *scale
+		spec = spec.Scaled(cfg.scale)
+		if cfg.seed >= 0 {
+			spec.Seed = mixSeed(spec.Seed, uint64(cfg.seed))
 		}
 		g := spec.Generate()
 		ext := ".txt"
-		if *format == "binary" {
+		if cfg.format == "binary" {
 			ext = ".krg"
 		}
-		path := filepath.Join(*out, name+ext)
+		path := filepath.Join(cfg.out, name+ext)
 		f, err := os.Create(path)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		switch *format {
+		switch cfg.format {
 		case "edgelist":
 			err = graph.WriteEdgeList(f, g)
 		case "binary":
 			err = graph.WriteBinary(f, g)
 		default:
-			err = fmt.Errorf("unknown format %q", *format)
+			err = fmt.Errorf("unknown format %q", cfg.format)
 		}
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("%-10s n=%-7d m=%-7d -> %s\n", name, g.NumVertices(), g.NumEdges(), path)
+		fmt.Fprintf(log, "%-10s n=%-7d m=%-7d -> %s\n", name, g.NumVertices(), g.NumEdges(), path)
 	}
+	return nil
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "kgen:", err)
-	os.Exit(1)
+// mixSeed folds the user seed into a dataset's registry seed with a
+// splitmix64 step, so -seed 0, 1, 2, … give unrelated instances while the
+// per-dataset seeds stay distinct from each other.
+func mixSeed(registry, user uint64) uint64 {
+	z := registry ^ (user+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }

@@ -30,6 +30,14 @@
 // atomically swaps the new snapshot in: in-flight queries finish against
 // the old snapshot, and the epoch bump makes its cache entries
 // unreachable (LRU churn then evicts them).
+//
+// With -mutable every dataset is served as a dynamic k-reach index that
+// accepts online edge mutations: POST /v1/datasets/{name}/edges applies a
+// batched add/remove, POST /v1/datasets/{name}/compact merges the overlay
+// into a fresh snapshot, and the index self-compacts once the overlay
+// outgrows the base. Mutable datasets require a finite k= (the
+// incremental maintenance is k-hop bounded) and exclude index=, h= and
+// rungs=.
 package main
 
 import (
@@ -56,6 +64,7 @@ func main() {
 		maxBatch    = flag.Int("maxbatch", server.DefaultMaxBatch, "maximum pairs per /v1/batch request")
 		cacheSize   = flag.Int("cache", 0, "result cache entries, rounded to powers of two (0 = default, negative = disabled)")
 		cacheShards = flag.Int("cacheshards", 0, "result cache shard count (0 = derived from GOMAXPROCS)")
+		mutable     = flag.Bool("mutable", false, "serve datasets as dynamic indexes accepting edge mutations (requires k=, excludes index=/h=/rungs=)")
 		specs       []string
 	)
 	flag.Func("dataset", "dataset spec 'name,graph=PATH[,index=PATH][,k=K][,h=H][,rungs=A+B+C][,cover=S][,seed=N]' (repeatable)", func(s string) error {
@@ -71,7 +80,7 @@ func main() {
 
 	reg := server.NewRegistry()
 	for _, spec := range specs {
-		d, err := loadDataset(spec)
+		d, err := loadDataset(spec, *mutable)
 		if err != nil {
 			fatal(err)
 		}
@@ -196,7 +205,7 @@ func parseSpec(raw string) (datasetSpec, error) {
 	return sp, nil
 }
 
-func loadDataset(raw string) (*server.Dataset, error) {
+func loadDataset(raw string, mutable bool) (*server.Dataset, error) {
 	sp, err := parseSpec(raw)
 	if err != nil {
 		return nil, err
@@ -207,9 +216,27 @@ func loadDataset(raw string) (*server.Dataset, error) {
 	}
 	// The loader replays this spec from scratch — graph and index files are
 	// re-read, built indexes rebuilt — so POST /v1/datasets/{name}/reload
-	// picks up whatever snapshot is on disk at reload time.
+	// picks up whatever snapshot is on disk at reload time. A reloaded
+	// mutable dataset starts over from the on-disk graph: overlay
+	// mutations not yet compacted to disk are deliberately discarded.
 	d := &server.Dataset{Name: sp.name, Graph: g,
-		Loader: func() (*server.Dataset, error) { return loadDataset(raw) }}
+		Loader: func() (*server.Dataset, error) { return loadDataset(raw, mutable) }}
+	if mutable {
+		if sp.indexPath != "" || sp.h > 0 || len(sp.rungs) > 0 {
+			return nil, fmt.Errorf("dataset %q: -mutable excludes index=/h=/rungs=", sp.name)
+		}
+		if !sp.haveK || sp.k < 1 {
+			return nil, fmt.Errorf("dataset %q: -mutable requires a finite k= >= 1 (incremental maintenance is k-hop bounded)", sp.name)
+		}
+		dyn, err := kreach.NewDynamicIndex(g, kreach.DynamicOptions{
+			K: sp.k, Cover: sp.cover, Seed: sp.seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("dataset %q: %w", sp.name, err)
+		}
+		d.Dyn = dyn
+		return d, nil
+	}
 	switch {
 	case sp.indexPath != "":
 		f, err := os.Open(sp.indexPath)

@@ -21,6 +21,7 @@ import (
 	"kreach/internal/cache"
 	"kreach/internal/core"
 	"kreach/internal/cover"
+	"kreach/internal/dynamic"
 	"kreach/internal/gen"
 	"kreach/internal/graph"
 	"kreach/internal/scc"
@@ -73,9 +74,7 @@ func (r *Runner) dataset(name string) (*dataset, error) {
 	if !ok {
 		return nil, fmt.Errorf("bench: unknown dataset %q", name)
 	}
-	if r.cfg.Scale > 1 {
-		spec = scaleSpec(spec, r.cfg.Scale)
-	}
+	spec = spec.Scaled(r.cfg.Scale)
 	d := &dataset{spec: spec, g: spec.Generate()}
 	d.cond = scc.Condense(d.g)
 	rng := rand.New(rand.NewPCG(r.cfg.Seed, 0x57a75))
@@ -83,27 +82,6 @@ func (r *Runner) dataset(name string) (*dataset, error) {
 	d.q = workload.Uniform(d.g.NumVertices(), r.cfg.Queries, r.cfg.Seed+7)
 	r.data[name] = d
 	return d, nil
-}
-
-// scaleSpec shrinks a dataset spec for quick runs (used by `go test -bench`
-// so the suite completes in seconds).
-func scaleSpec(s gen.Spec, scale int) gen.Spec {
-	s.N /= scale
-	s.M /= scale
-	if s.Hubs > 0 {
-		s.Hubs = max(s.Hubs/scale, 4)
-	}
-	if s.DegMax > s.N/2 {
-		s.DegMax = s.N / 2
-	} else if s.DegMax > 0 {
-		s.DegMax = max(s.DegMax/scale, 8)
-	}
-	s.SCCExtra /= scale
-	if s.Window > 0 {
-		s.Window = max(s.Window/scale, 10)
-	}
-	s.BackEdges /= scale
-	return s
 }
 
 // reachIndex is the classic-reachability face shared by n-reach and the
@@ -553,18 +531,110 @@ func (r *Runner) TableCache() error {
 	return w.Flush()
 }
 
-// Run executes the requested tables ("2".."9", "batch", "cache" or "all")
-// in order.
+// TableMutate drives a mixed read/write workload against the dynamic
+// (mutable) k-reach index: an interleaved stream of queries, edge
+// insertions and edge deletions (workload.DefaultMutationMix, ~90% reads),
+// with every 64th query cross-checked against the stream's own k-bounded
+// BFS oracle on the mutated edge set. After the stream drains, the overlay
+// is compacted and a sample of post-compaction answers re-verified. The
+// "oracle err" column must read 0; it is the live correctness proof of the
+// incremental maintenance. Not a paper table — the paper's index is
+// static; this measures the PR's write path.
+func (r *Runner) TableMutate() error {
+	fmt.Fprintf(r.cfg.Out, "Mutate: dynamic index under mixed read/write, %d ops (90/5/5 query/add/remove)\n", r.cfg.Queries)
+	w := r.tab()
+	fmt.Fprintln(w, "\tk\tkops/s\tadds\trms\tpromoted\trows recomp\tcompact ms\toracle errs\t")
+	for _, name := range r.cfg.Datasets {
+		d, err := r.dataset(name)
+		if err != nil {
+			return err
+		}
+		k := max(d.st.MedianPath, 2)
+		ix, err := dynamic.New(d.g, dynamic.Options{
+			K:        k,
+			Strategy: cover.DegreePrioritized,
+			Seed:     r.cfg.Seed,
+			// The harness compacts explicitly at the end; disable the
+			// ratio trigger so the measured stream is pure overlay.
+			CompactRatio: 1e18,
+		})
+		if err != nil {
+			return fmt.Errorf("bench: %s: %w", name, err)
+		}
+		stream := workload.NewMutationStream(d.g, r.cfg.Seed+29, workload.DefaultMutationMix)
+		sc := dynamic.NewQueryScratch()
+		var adds, removes, queries, mismatches int
+		t0 := time.Now()
+		for i := 0; i < r.cfg.Queries; i++ {
+			op := stream.Next()
+			switch op.Kind {
+			case workload.OpQuery:
+				got := ix.Reach(op.U, op.V, sc)
+				queries++
+				if queries%64 == 0 && got != stream.Reach(op.U, op.V, k) {
+					mismatches++
+				}
+			case workload.OpAdd:
+				if _, err := ix.Mutate([]graph.Edge{{Src: op.U, Dst: op.V}}, nil); err != nil {
+					return fmt.Errorf("bench: %s: %w", name, err)
+				}
+				adds++
+			case workload.OpRemove:
+				if _, err := ix.Mutate(nil, []graph.Edge{{Src: op.U, Dst: op.V}}); err != nil {
+					return fmt.Errorf("bench: %s: %w", name, err)
+				}
+				removes++
+			}
+		}
+		elapsed := time.Since(t0)
+		t0 = time.Now()
+		compacted, err := ix.Compact(nil)
+		if err != nil {
+			return fmt.Errorf("bench: %s: compact: %w", name, err)
+		}
+		compactMS := time.Since(t0)
+		for i := 0; i < 2000; i++ {
+			op := stream.Next() // mix includes mutations; only verify queries
+			if op.Kind != workload.OpQuery {
+				// Keep the oracle and index in lockstep post-compaction too.
+				var e []graph.Edge
+				e = append(e, graph.Edge{Src: op.U, Dst: op.V})
+				if op.Kind == workload.OpAdd {
+					_, err = compacted.Mutate(e, nil)
+				} else {
+					_, err = compacted.Mutate(nil, e)
+				}
+				if err != nil {
+					return fmt.Errorf("bench: %s: post-compact mutate: %w", name, err)
+				}
+				continue
+			}
+			if compacted.Reach(op.U, op.V, sc) != stream.Reach(op.U, op.V, k) {
+				mismatches++
+			}
+		}
+		st := compacted.Stats()
+		fmt.Fprintf(w, "%s\t%d\t%.0f\t%d\t%d\t%d\t%d\t%s\t%d\t\n",
+			name, k,
+			float64(r.cfg.Queries)/elapsed.Seconds()/1000,
+			adds, removes, st.Promotions, st.RowsRecomputed,
+			ms(compactMS), mismatches)
+	}
+	return w.Flush()
+}
+
+// Run executes the requested tables ("2".."9", "batch", "cache", "mutate"
+// or "all") in order.
 func (r *Runner) Run(tables []string) error {
 	fns := map[string]func() error{
 		"2": r.Table2, "3": r.Table3, "4": r.Table4, "5": r.Table5,
 		"6": r.Table6, "7": r.Table7, "8": r.Table8, "9": r.Table9,
-		"batch": r.TableBatch, "cache": r.TableCache,
+		"batch": r.TableBatch, "cache": r.TableCache, "mutate": r.TableMutate,
 	}
 	var order []string
 	for _, t := range tables {
 		if t == "all" {
-			order = []string{"2", "3", "4", "5", "6", "7", "8", "9", "batch", "cache"}
+			order = []string{"2", "3", "4", "5", "6", "7", "8", "9", "batch", "cache", "mutate"}
 			break
 		}
 		order = append(order, t)

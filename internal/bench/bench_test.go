@@ -36,6 +36,7 @@ func TestAllTablesSmall(t *testing.T) {
 		"n-reach", "PTree", "3-hop", "GRAIL", "PWAH",
 		"µ-BFS", "µ-dist", "2-hop VC",
 		"Cache:", "celeb hit%", "uniform hit%", "speedup",
+		"Mutate:", "oracle errs",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q", want)
@@ -128,5 +129,23 @@ func TestTableBatch(t *testing.T) {
 	}
 	if !strings.Contains(out, "Nasa") {
 		t.Errorf("batch table missing dataset row:\n%s", out)
+	}
+}
+
+func TestTableMutate(t *testing.T) {
+	out := runTables(t, []string{"mutate"}, []string{"Nasa"})
+	if !strings.Contains(out, "Nasa") || !strings.Contains(out, "oracle errs") {
+		t.Fatalf("mutate table malformed:\n%s", out)
+	}
+	// The trailing column is the oracle-mismatch count; any nonzero value
+	// means the incremental maintenance answered differently from a BFS on
+	// the mutated edge set.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	fields := strings.Fields(lines[len(lines)-1])
+	if len(fields) == 0 || fields[0] != "Nasa" {
+		t.Fatalf("unexpected row %q", lines[len(lines)-1])
+	}
+	if errs := fields[len(fields)-1]; errs != "0" {
+		t.Errorf("mutate table reports %s oracle mismatches, want 0", errs)
 	}
 }

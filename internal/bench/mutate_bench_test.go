@@ -1,0 +1,81 @@
+package bench_test
+
+import (
+	"testing"
+
+	"kreach/internal/cover"
+	"kreach/internal/dynamic"
+	"kreach/internal/gen"
+	"kreach/internal/graph"
+	"kreach/internal/workload"
+)
+
+// BenchmarkMutateMixed measures the dynamic index under the default
+// read-heavy mixed workload (~90% queries, 5% adds, 5% removes) on a
+// 1/20-scale citation graph — the serving profile kreachd -mutable rides.
+func BenchmarkMutateMixed(b *testing.B) {
+	spec, _ := gen.Dataset("CiteSeer")
+	spec.N /= 20
+	spec.M /= 20
+	g := spec.Generate()
+	ix, err := dynamic.New(g, dynamic.Options{
+		K: 4, Strategy: cover.DegreePrioritized, Seed: 1, CompactRatio: 1e18,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	stream := workload.NewMutationStream(g, 7, workload.DefaultMutationMix)
+	sc := dynamic.NewQueryScratch()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op := stream.Next()
+		switch op.Kind {
+		case workload.OpQuery:
+			ix.Reach(op.U, op.V, sc)
+		case workload.OpAdd:
+			if _, err := ix.Mutate([]graph.Edge{{Src: op.U, Dst: op.V}}, nil); err != nil {
+				b.Fatal(err)
+			}
+		case workload.OpRemove:
+			if _, err := ix.Mutate(nil, []graph.Edge{{Src: op.U, Dst: op.V}}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkMutateBatch100 measures pure write throughput: batches of 100
+// insertions (against a fresh-ish overlay, compacting when the ratio
+// trigger fires would distort timing, so it is disabled).
+func BenchmarkMutateBatch100(b *testing.B) {
+	spec, _ := gen.Dataset("Nasa")
+	spec.N /= 10
+	spec.M /= 10
+	g := spec.Generate()
+	ix, err := dynamic.New(g, dynamic.Options{
+		K: 4, Strategy: cover.DegreePrioritized, Seed: 1, CompactRatio: 1e18,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	stream := workload.NewMutationStream(g, 11, workload.MutationMix{Add: 1, Remove: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var add, remove []graph.Edge
+		for len(add)+len(remove) < 100 {
+			op := stream.Next()
+			e := graph.Edge{Src: op.U, Dst: op.V}
+			switch op.Kind {
+			case workload.OpAdd:
+				add = append(add, e)
+			case workload.OpRemove:
+				remove = append(remove, e)
+			default: // degenerate ops when the edge pool thins out
+				continue
+			}
+		}
+		if _, err := ix.Mutate(add, remove); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

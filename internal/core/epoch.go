@@ -17,6 +17,12 @@ var generationCounter atomic.Uint64
 // zero value of a generation field is detectably "unassigned").
 func nextGeneration() uint64 { return generationCounter.Add(1) }
 
+// NextGeneration issues a process-unique generation from the same counter
+// the indexes draw from. The dynamic (mutable) layer bumps its epoch with
+// it on every mutation batch, so the serving cache's epoch-keyed entries
+// self-invalidate exactly as they do across index rebuilds.
+func NextGeneration() uint64 { return nextGeneration() }
+
 // Generation returns the index's process-unique generation number, assigned
 // when the index was built or loaded. Serving layers key result caches on
 // it so that swapping in a new index invalidates stale answers.

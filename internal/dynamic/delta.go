@@ -1,0 +1,237 @@
+package dynamic
+
+import (
+	"sort"
+
+	"kreach/internal/graph"
+)
+
+// DeltaGraph overlays per-vertex added/removed adjacency deltas on an
+// immutable base CSR graph. It serves the adjacency surface the query path
+// uses — OutNeighbors/InNeighbors (appended into caller buffers), HasEdge
+// and degrees — with the deltas applied, so Algorithm 2 answers against
+// the live edge set mid-mutation.
+//
+// Invariants (maintained by AddEdge/RemoveEdge):
+//
+//   - added lists hold only edges absent from base;
+//   - removed lists hold only edges present in base;
+//   - re-adding a removed base edge un-removes it, removing an added edge
+//     un-adds it, so the two delta sets are always disjoint.
+//
+// All per-vertex delta lists are kept sorted; they are expected to stay
+// short between compactions, so inserts are simple O(len) shifts.
+//
+// DeltaGraph itself is not synchronized; the owning Index serializes
+// writers and excludes them from readers.
+type DeltaGraph struct {
+	base   *graph.Graph
+	addOut map[graph.Vertex][]graph.Vertex
+	addIn  map[graph.Vertex][]graph.Vertex
+	remOut map[graph.Vertex][]graph.Vertex
+	remIn  map[graph.Vertex][]graph.Vertex
+
+	added   int // live added-edge count
+	removed int // live removed-edge count
+}
+
+// NewDeltaGraph returns an overlay with no deltas over base.
+func NewDeltaGraph(base *graph.Graph) *DeltaGraph {
+	return &DeltaGraph{
+		base:   base,
+		addOut: make(map[graph.Vertex][]graph.Vertex),
+		addIn:  make(map[graph.Vertex][]graph.Vertex),
+		remOut: make(map[graph.Vertex][]graph.Vertex),
+		remIn:  make(map[graph.Vertex][]graph.Vertex),
+	}
+}
+
+// Base returns the underlying immutable graph.
+func (d *DeltaGraph) Base() *graph.Graph { return d.base }
+
+// NumVertices returns n. Mutations are edge-only; the vertex set is fixed
+// until a compaction swaps in a new base.
+func (d *DeltaGraph) NumVertices() int { return d.base.NumVertices() }
+
+// NumEdges returns the live directed edge count with deltas applied.
+func (d *DeltaGraph) NumEdges() int { return d.base.NumEdges() + d.added - d.removed }
+
+// DeltaSize returns the number of overlay entries (added plus removed
+// edges); the compaction trigger compares it against the base edge count.
+func (d *DeltaGraph) DeltaSize() int { return d.added + d.removed }
+
+// Added returns the live added-edge count.
+func (d *DeltaGraph) Added() int { return d.added }
+
+// Removed returns the live removed-edge count.
+func (d *DeltaGraph) Removed() int { return d.removed }
+
+func sortedContains(s []graph.Vertex, v graph.Vertex) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	return i < len(s) && s[i] == v
+}
+
+func sortedInsert(s []graph.Vertex, v graph.Vertex) []graph.Vertex {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func sortedDelete(s []graph.Vertex, v graph.Vertex) []graph.Vertex {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	if i < len(s) && s[i] == v {
+		return append(s[:i], s[i+1:]...)
+	}
+	return s
+}
+
+// HasEdge reports whether the directed edge (u, v) exists in the live
+// edge set.
+func (d *DeltaGraph) HasEdge(u, v graph.Vertex) bool {
+	if sortedContains(d.remOut[u], v) {
+		return false
+	}
+	if d.base.HasEdge(u, v) {
+		return true
+	}
+	return sortedContains(d.addOut[u], v)
+}
+
+// OutDegree returns the live out-degree of v.
+func (d *DeltaGraph) OutDegree(v graph.Vertex) int {
+	return d.base.OutDegree(v) - len(d.remOut[v]) + len(d.addOut[v])
+}
+
+// InDegree returns the live in-degree of v.
+func (d *DeltaGraph) InDegree(v graph.Vertex) int {
+	return d.base.InDegree(v) - len(d.remIn[v]) + len(d.addIn[v])
+}
+
+// AddEdge inserts (u, v); it reports false if the edge already exists
+// (duplicate). Endpoints must be in range (the Index validates).
+func (d *DeltaGraph) AddEdge(u, v graph.Vertex) bool {
+	if sortedContains(d.remOut[u], v) {
+		// Un-remove a base edge.
+		d.remOut[u] = sortedDelete(d.remOut[u], v)
+		d.remIn[v] = sortedDelete(d.remIn[v], u)
+		d.removed--
+		return true
+	}
+	if d.base.HasEdge(u, v) || sortedContains(d.addOut[u], v) {
+		return false
+	}
+	d.addOut[u] = sortedInsert(d.addOut[u], v)
+	d.addIn[v] = sortedInsert(d.addIn[v], u)
+	d.added++
+	return true
+}
+
+// RemoveEdge deletes (u, v); it reports false if the edge does not exist.
+func (d *DeltaGraph) RemoveEdge(u, v graph.Vertex) bool {
+	if sortedContains(d.addOut[u], v) {
+		// Un-add an overlay edge.
+		d.addOut[u] = sortedDelete(d.addOut[u], v)
+		d.addIn[v] = sortedDelete(d.addIn[v], u)
+		d.added--
+		return true
+	}
+	if !d.base.HasEdge(u, v) || sortedContains(d.remOut[u], v) {
+		return false
+	}
+	d.remOut[u] = sortedInsert(d.remOut[u], v)
+	d.remIn[v] = sortedInsert(d.remIn[v], u)
+	d.removed++
+	return true
+}
+
+// appendMerged merges a sorted base adjacency list with sorted added
+// entries, skipping sorted removed entries, appending onto buf.
+func appendMerged(buf, base, add, rem []graph.Vertex) []graph.Vertex {
+	i, j, r := 0, 0, 0
+	for i < len(base) {
+		v := base[i]
+		i++
+		for r < len(rem) && rem[r] < v {
+			r++
+		}
+		if r < len(rem) && rem[r] == v {
+			continue
+		}
+		for j < len(add) && add[j] < v {
+			buf = append(buf, add[j])
+			j++
+		}
+		buf = append(buf, v)
+	}
+	return append(buf, add[j:]...)
+}
+
+// AppendOutNeighbors appends the sorted live out-neighbors of v onto buf
+// and returns the extended slice. The append-into-caller-buffer shape keeps
+// the query hot path allocation-free once scratch buffers have warmed up.
+func (d *DeltaGraph) AppendOutNeighbors(v graph.Vertex, buf []graph.Vertex) []graph.Vertex {
+	return appendMerged(buf, d.base.OutNeighbors(v), d.addOut[v], d.remOut[v])
+}
+
+// AppendInNeighbors appends the sorted live in-neighbors of v onto buf and
+// returns the extended slice.
+func (d *DeltaGraph) AppendInNeighbors(v graph.Vertex, buf []graph.Vertex) []graph.Vertex {
+	return appendMerged(buf, d.base.InNeighbors(v), d.addIn[v], d.remIn[v])
+}
+
+// forEachOut visits every live out-neighbor of v (unordered: base entries
+// first, then added ones). BFS traversals use it to avoid buffer merges.
+func (d *DeltaGraph) forEachOut(v graph.Vertex, fn func(w graph.Vertex)) {
+	rem := d.remOut[v]
+	for _, w := range d.base.OutNeighbors(v) {
+		if !sortedContains(rem, w) {
+			fn(w)
+		}
+	}
+	for _, w := range d.addOut[v] {
+		fn(w)
+	}
+}
+
+// forEachIn visits every live in-neighbor of v (unordered).
+func (d *DeltaGraph) forEachIn(v graph.Vertex, fn func(w graph.Vertex)) {
+	rem := d.remIn[v]
+	for _, w := range d.base.InNeighbors(v) {
+		if !sortedContains(rem, w) {
+			fn(w)
+		}
+	}
+	for _, w := range d.addIn[v] {
+		fn(w)
+	}
+}
+
+// AddedEdges returns the live added-edge delta as an edge list.
+func (d *DeltaGraph) AddedEdges() []graph.Edge {
+	out := make([]graph.Edge, 0, d.added)
+	for u, vs := range d.addOut {
+		for _, v := range vs {
+			out = append(out, graph.Edge{Src: u, Dst: v})
+		}
+	}
+	return out
+}
+
+// RemovedEdges returns the live removed-edge delta as an edge list.
+func (d *DeltaGraph) RemovedEdges() []graph.Edge {
+	out := make([]graph.Edge, 0, d.removed)
+	for u, vs := range d.remOut {
+		for _, v := range vs {
+			out = append(out, graph.Edge{Src: u, Dst: v})
+		}
+	}
+	return out
+}
+
+// Materialize merges the overlay into a fresh immutable CSR graph via
+// graph.Rebuild; the compactor's first step.
+func (d *DeltaGraph) Materialize() *graph.Graph {
+	return graph.Rebuild(d.base, d.AddedEdges(), d.RemovedEdges())
+}

@@ -1,0 +1,758 @@
+package dynamic
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"kreach/internal/core"
+	"kreach/internal/cover"
+	"kreach/internal/graph"
+)
+
+// Weight buckets of Definition 1, mirrored from the static index: only the
+// bucket — not the exact distance — is needed by Algorithm 2.
+const (
+	wLEKm2 = 0 // shortest live distance ≤ k-2
+	wKm1   = 1 // shortest live distance = k-1
+	wK     = 2 // shortest live distance = k
+)
+
+const notFound = uint8(0xFF)
+
+// DefaultCompactRatio is the overlay-to-base edge ratio at which
+// ShouldCompact starts reporting true when Options.CompactRatio is 0.
+const DefaultCompactRatio = 0.25
+
+// ErrBadK reports an invalid hop bound: the mutable index needs a finite
+// k ≥ 1, because the incremental maintenance locality argument — an edge
+// change only affects cover rows within k hops — has no bound for the
+// unbounded (n-reach) variant.
+var ErrBadK = errors.New("dynamic: k must be a finite hop bound >= 1")
+
+// ErrRetired reports a mutation against an index that has been replaced by
+// a newer snapshot (a compaction or reload published a successor). The
+// caller should re-resolve the current snapshot and retry there.
+var ErrRetired = errors.New("dynamic: index retired by a newer snapshot")
+
+// ErrCompacting reports a Compact call while another is in flight.
+var ErrCompacting = errors.New("dynamic: compaction already in progress")
+
+// Options configures New.
+type Options struct {
+	// K is the hop bound; it must be finite and ≥ 1 (see ErrBadK).
+	K int
+	// Strategy selects the initial vertex-cover heuristic (the cover then
+	// grows online as insertions demand promotions).
+	Strategy cover.Strategy
+	// Seed drives randomized cover selection.
+	Seed uint64
+	// Parallelism bounds concurrent BFS workers during full (re)builds;
+	// 0 = GOMAXPROCS. Incremental maintenance is single-threaded — it runs
+	// under the write lock and touches only the affected rows.
+	Parallelism int
+	// CompactRatio is the DeltaSize/base-edges ratio at which ShouldCompact
+	// reports true (0 = DefaultCompactRatio).
+	CompactRatio float64
+}
+
+func (o Options) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// arc is one index edge: a target cover id and its 2-bit weight bucket.
+type arc struct {
+	to int32
+	w  uint8
+}
+
+// Index is the mutable k-reach index: Algorithm 2 answered against a
+// DeltaGraph overlay plus incrementally maintained cover-pair weight rows.
+//
+// Concurrency: Reach/ReachBatch/Stats take the read lock; Mutate batches
+// serialize on a mutation mutex and hold the write lock for the
+// apply-and-recompute step; Compact blocks mutations (not reads) for the
+// duration of the off-path rebuild.
+type Index struct {
+	// mutMu serializes writers: mutation batches, compaction and
+	// retirement checks. Held across phases that must see a stable overlay
+	// without excluding readers.
+	mutMu sync.Mutex
+	// rw excludes readers only while a mutation batch applies deltas and
+	// rewrites affected rows.
+	rw sync.RWMutex
+
+	dg   *DeltaGraph
+	k    int
+	opts Options
+
+	coverID   []int32        // graph vertex → dense cover id, -1 if not in cover
+	coverList []graph.Vertex // cover id → graph vertex (append-only; grows on promotion)
+	rows      [][]arc        // per cover id, sorted by arc.to
+	arcCount  int            // live index edges across all rows
+
+	epoch      atomic.Uint64 // re-issued inside every mutation's write section
+	retired    atomic.Bool
+	compacting atomic.Bool
+
+	// Cumulative counters (guarded by rw; carried across compactions).
+	batches, edgesAdded, edgesRemoved uint64
+	promotions, rowsRecomputed        uint64
+	compactions                       uint64
+	// bfsRuns is atomic: maintenance pre-scans run outside the write lock.
+	bfsRuns atomic.Uint64
+
+	scratch *overlayScratch // maintenance BFS state; used only under mutMu
+}
+
+// New builds a mutable k-reach index over base with an empty overlay.
+func New(base *graph.Graph, opts Options) (*Index, error) {
+	if opts.K < 1 {
+		return nil, fmt.Errorf("%w (got %d)", ErrBadK, opts.K)
+	}
+	if opts.CompactRatio <= 0 {
+		opts.CompactRatio = DefaultCompactRatio
+	}
+	n := base.NumVertices()
+	cov := cover.VertexCover(base, opts.Strategy, opts.Seed)
+	ix := &Index{
+		dg:      NewDeltaGraph(base),
+		k:       opts.K,
+		opts:    opts,
+		coverID: make([]int32, n),
+		scratch: newOverlayScratch(n),
+	}
+	for i := range ix.coverID {
+		ix.coverID[i] = -1
+	}
+	ix.coverList = append(ix.coverList, cov.List()...)
+	for i, v := range ix.coverList {
+		ix.coverID[v] = int32(i)
+	}
+	ix.rows = make([][]arc, len(ix.coverList))
+
+	// Initial rows: a k-hop BFS per cover vertex, parallel across cover
+	// vertices exactly like the static Algorithm 1 build. The overlay is
+	// empty, so the plain CSR BFS primitives apply.
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < opts.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := graph.NewBFSScratch(n)
+			for ui := range work {
+				u := ix.coverList[ui]
+				graph.KHopBFS(base, u, ix.k, graph.Forward, sc)
+				var row []arc
+				for _, v := range sc.Visited() {
+					if v == u {
+						continue // (u,u): distance 0 is implicit at query time
+					}
+					if ci := ix.coverID[v]; ci >= 0 {
+						row = append(row, arc{to: ci, w: ix.bucketFor(sc.Dist(v))})
+					}
+				}
+				sort.Slice(row, func(i, j int) bool { return row[i].to < row[j].to })
+				ix.rows[ui] = row
+			}
+		}()
+	}
+	for ui := range ix.coverList {
+		work <- ui
+	}
+	close(work)
+	wg.Wait()
+	for _, row := range ix.rows {
+		ix.arcCount += len(row)
+	}
+	ix.epoch.Store(core.NextGeneration())
+	return ix, nil
+}
+
+func (ix *Index) bucketFor(dist int32) uint8 {
+	switch {
+	case int(dist) <= ix.k-2:
+		return wLEKm2
+	case int(dist) == ix.k-1:
+		return wKm1
+	default:
+		return wK
+	}
+}
+
+// K returns the hop bound.
+func (ix *Index) K() int { return ix.k }
+
+// Epoch returns the current process-unique generation; it changes on every
+// applied mutation batch, so epoch-keyed caches self-invalidate.
+func (ix *Index) Epoch() uint64 { return ix.epoch.Load() }
+
+// Retired reports whether a successor snapshot has replaced this index.
+func (ix *Index) Retired() bool { return ix.retired.Load() }
+
+// Retire marks the index as replaced: subsequent Mutate and Compact calls
+// fail with ErrRetired. The serving registry retires a displaced dynamic
+// snapshot on swap so mutations can never land on an unpublished index and
+// silently vanish. Queries keep answering (against the frozen state).
+func (ix *Index) Retire() { ix.retired.Store(true) }
+
+// NumVertices returns n.
+func (ix *Index) NumVertices() int { return ix.dg.NumVertices() }
+
+// arcWeight returns the weight bucket of index edge (u,v) in cover ids.
+func arcWeight(row []arc, to int32) uint8 {
+	lo, hi := 0, len(row)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if row[mid].to < to {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(row) && row[lo].to == to {
+		return row[lo].w
+	}
+	return notFound
+}
+
+// QueryScratch holds reusable per-goroutine query buffers.
+type QueryScratch struct {
+	out, in []graph.Vertex
+	inIDs   []int32
+}
+
+// NewQueryScratch returns scratch space for Reach.
+func NewQueryScratch() *QueryScratch { return &QueryScratch{} }
+
+// Reach reports whether t is reachable from s within k hops of the live
+// (overlay-applied) edge set. Safe for concurrent use; pass nil scratch to
+// allocate internally.
+func (ix *Index) Reach(s, t graph.Vertex, sc *QueryScratch) bool {
+	if sc == nil {
+		sc = NewQueryScratch()
+	}
+	ix.rw.RLock()
+	defer ix.rw.RUnlock()
+	return ix.reachLocked(s, t, sc)
+}
+
+// reachLocked is Algorithm 2 over the overlay adjacency. Caller holds at
+// least the read lock.
+func (ix *Index) reachLocked(s, t graph.Vertex, sc *QueryScratch) bool {
+	if s == t {
+		return true
+	}
+	cs, ct := ix.coverID[s], ix.coverID[t]
+	switch {
+	case cs >= 0 && ct >= 0:
+		// Case 1: one index edge lookup.
+		return arcWeight(ix.rows[cs], ct) != notFound
+
+	case cs >= 0:
+		// Case 2: every live in-neighbor of non-cover t is in the cover;
+		// s →k t iff s reaches one of them within k-1 (or (s,t) is an edge).
+		sc.in = ix.dg.AppendInNeighbors(t, sc.in[:0])
+		for _, v := range sc.in {
+			if v == s {
+				return true // direct edge (s,t), k ≥ 1 always
+			}
+			if w := arcWeight(ix.rows[cs], ix.coverID[v]); w != notFound && w <= wKm1 {
+				return true
+			}
+		}
+		return false
+
+	case ct >= 0:
+		// Case 3: mirror of Case 2 through live out-neighbors of s.
+		sc.out = ix.dg.AppendOutNeighbors(s, sc.out[:0])
+		for _, u := range sc.out {
+			if u == t {
+				return true
+			}
+			cu := ix.coverID[u]
+			if cu < 0 {
+				continue // unreachable if the cover invariant holds
+			}
+			if w := arcWeight(ix.rows[cu], ct); w != notFound && w <= wKm1 {
+				return true
+			}
+		}
+		return false
+
+	default:
+		// Case 4: all out-neighbors of s and in-neighbors of t are cover
+		// vertices; s →k t iff some pair (u,v) has dist(u,v) ≤ k-2,
+		// including u = v with distance 0 (the 2-hop path s→u→t).
+		sc.in = ix.dg.AppendInNeighbors(t, sc.in[:0])
+		if len(sc.in) == 0 {
+			return false
+		}
+		sc.inIDs = sc.inIDs[:0]
+		for _, v := range sc.in {
+			sc.inIDs = append(sc.inIDs, ix.coverID[v])
+		}
+		sort.Slice(sc.inIDs, func(i, j int) bool { return sc.inIDs[i] < sc.inIDs[j] })
+		twoHopOK := ix.k >= 2
+		sc.out = ix.dg.AppendOutNeighbors(s, sc.out[:0])
+		for _, u := range sc.out {
+			cu := ix.coverID[u]
+			if cu < 0 {
+				continue // unreachable if the cover invariant holds
+			}
+			if twoHopOK && containsInt32(sc.inIDs, cu) {
+				return true // s→u→t in 2 hops
+			}
+			row := ix.rows[cu]
+			i, j := 0, 0
+			for i < len(row) && j < len(sc.inIDs) {
+				switch {
+				case row[i].to < sc.inIDs[j]:
+					i++
+				case row[i].to > sc.inIDs[j]:
+					j++
+				default:
+					if row[i].w == wLEKm2 {
+						return true
+					}
+					i++
+					j++
+				}
+			}
+		}
+		return false
+	}
+}
+
+func containsInt32(sorted []int32, v int32) bool {
+	lo, hi := 0, len(sorted)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if sorted[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(sorted) && sorted[lo] == v
+}
+
+// ReachBatch answers every pair with a worker pool (0 = GOMAXPROCS,
+// 1 = sequential), positionally aligned with pairs. Each worker owns its
+// scratch; each query takes the read lock, so a mutation landing mid-batch
+// is answered for by either the old or the new edge set per query.
+func (ix *Index) ReachBatch(pairs []core.Pair, parallelism int) []bool {
+	out := make([]bool, len(pairs))
+	workers := parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	const chunk = 256
+	if c := (len(pairs) + chunk - 1) / chunk; workers > c {
+		workers = c
+	}
+	if workers <= 1 {
+		sc := NewQueryScratch()
+		for i, p := range pairs {
+			out[i] = ix.Reach(p.S, p.T, sc)
+		}
+		return out
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := NewQueryScratch()
+			for {
+				hi := int(cursor.Add(chunk))
+				lo := hi - chunk
+				if lo >= len(pairs) {
+					return
+				}
+				if hi > len(pairs) {
+					hi = len(pairs)
+				}
+				for i := lo; i < hi; i++ {
+					out[i] = ix.Reach(pairs[i].S, pairs[i].T, sc)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// MutationResult reports what one Mutate batch did.
+type MutationResult struct {
+	Added, Removed          int // applied edge insertions / deletions
+	DupAdds, MissingRemoves int // adds of existing edges, removes of absent ones
+	UnknownVertex           int // ops dropped for out-of-range endpoints
+	Promoted                int // vertices promoted into the cover
+	RowsRecomputed          int // cover rows re-derived by bounded BFS
+	Epoch                   uint64
+}
+
+// Applied reports whether the batch changed the edge set.
+func (r MutationResult) Applied() bool { return r.Added+r.Removed > 0 }
+
+// Mutate applies a batch of edge insertions and deletions (removals first,
+// then adds) and incrementally repairs the index:
+//
+//   - rows of cover vertices within k-1 hops backward of a removed edge's
+//     source (in the pre-batch graph) are re-derived, since any weakened
+//     path routes through that source;
+//   - an insertion between two uncovered endpoints promotes the
+//     higher-degree endpoint into the cover, keeping the vertex-cover
+//     invariant Algorithm 2's case analysis rests on;
+//   - rows of cover vertices within k-1 hops backward of an added edge's
+//     source, and within k hops backward of any promoted vertex (in the
+//     post-batch graph), are re-derived likewise.
+//
+// Batches serialize; queries are excluded only during the apply-and-repair
+// write section, at the end of which a fresh epoch is issued.
+func (ix *Index) Mutate(add, remove []graph.Edge) (MutationResult, error) {
+	ix.mutMu.Lock()
+	defer ix.mutMu.Unlock()
+	var res MutationResult
+	if ix.retired.Load() {
+		return res, ErrRetired
+	}
+	n := ix.dg.NumVertices()
+	inRange := func(e graph.Edge) bool {
+		return e.Src >= 0 && int(e.Src) < n && e.Dst >= 0 && int(e.Dst) < n
+	}
+	adds := make([]graph.Edge, 0, len(add))
+	for _, e := range add {
+		if inRange(e) {
+			adds = append(adds, e)
+		} else {
+			res.UnknownVertex++
+		}
+	}
+	removes := make([]graph.Edge, 0, len(remove))
+	for _, e := range remove {
+		if inRange(e) {
+			removes = append(removes, e)
+		} else {
+			res.UnknownVertex++
+		}
+	}
+
+	affected := make(map[int32]struct{})
+	// Phase A (pre-batch graph, read-only — concurrent readers continue):
+	// collect rows reachable backward from each removed edge's source. Any
+	// path a removal can weaken passes through that source within k-1 hops
+	// of its cover origin.
+	for _, e := range removes {
+		if ix.dg.HasEdge(e.Src, e.Dst) {
+			ix.collectBackward(e.Src, ix.k-1, affected)
+		}
+	}
+
+	ix.rw.Lock()
+	defer ix.rw.Unlock()
+
+	// Phase B: apply removals then insertions, promoting cover vertices as
+	// insertions demand.
+	var promoted []graph.Vertex
+	for _, e := range removes {
+		if ix.dg.RemoveEdge(e.Src, e.Dst) {
+			res.Removed++
+		} else {
+			res.MissingRemoves++
+		}
+	}
+	applied := make([]graph.Edge, 0, len(adds))
+	for _, e := range adds {
+		if !ix.dg.AddEdge(e.Src, e.Dst) {
+			res.DupAdds++
+			continue
+		}
+		res.Added++
+		applied = append(applied, e)
+		if ix.coverID[e.Src] < 0 && ix.coverID[e.Dst] < 0 {
+			c := e.Src
+			if ix.dg.OutDegree(e.Dst)+ix.dg.InDegree(e.Dst) >
+				ix.dg.OutDegree(e.Src)+ix.dg.InDegree(e.Src) {
+				c = e.Dst
+			}
+			ix.promote(c)
+			promoted = append(promoted, c)
+			res.Promoted++
+		}
+	}
+
+	// Phase C (post-batch graph): rows that an insertion can strengthen
+	// route through the new edge's source; a freshly promoted cover vertex
+	// additionally needs arcs from every cover vertex that already reached
+	// it, within the full k hops.
+	for _, e := range applied {
+		ix.collectBackward(e.Src, ix.k-1, affected)
+	}
+	for _, c := range promoted {
+		affected[ix.coverID[c]] = struct{}{}
+		ix.collectBackward(c, ix.k, affected)
+	}
+
+	// Phase D: re-derive every affected row by forward bounded BFS.
+	for id := range affected {
+		ix.recomputeRow(id)
+	}
+	res.RowsRecomputed = len(affected)
+
+	ix.batches++
+	ix.edgesAdded += uint64(res.Added)
+	ix.edgesRemoved += uint64(res.Removed)
+	ix.promotions += uint64(res.Promoted)
+	ix.rowsRecomputed += uint64(res.RowsRecomputed)
+	if res.Applied() {
+		res.Epoch = core.NextGeneration()
+		ix.epoch.Store(res.Epoch)
+	} else {
+		// A no-op batch (all duplicates/missing/unknown) leaves the edge
+		// set untouched: keep the epoch so cached answers stay live.
+		res.Epoch = ix.epoch.Load()
+	}
+	return res, nil
+}
+
+// promote adds vertex c to the cover with a fresh dense id and an empty
+// row (the caller schedules its recompute). Caller holds the write lock.
+func (ix *Index) promote(c graph.Vertex) {
+	ix.coverID[c] = int32(len(ix.coverList))
+	ix.coverList = append(ix.coverList, c)
+	ix.rows = append(ix.rows, nil)
+}
+
+// collectBackward adds the cover ids of every vertex within maxHops
+// backward of src (on the current overlay) to affected.
+func (ix *Index) collectBackward(src graph.Vertex, maxHops int, affected map[int32]struct{}) {
+	ix.scratch.run(ix.dg, src, maxHops, false)
+	ix.bfsRuns.Add(1)
+	for _, v := range ix.scratch.queue {
+		if id := ix.coverID[v]; id >= 0 {
+			affected[id] = struct{}{}
+		}
+	}
+}
+
+// recomputeRow re-derives one cover row with a forward k-hop BFS over the
+// overlay. Caller holds the write lock.
+func (ix *Index) recomputeRow(id int32) {
+	u := ix.coverList[id]
+	ix.scratch.run(ix.dg, u, ix.k, true)
+	ix.bfsRuns.Add(1)
+	row := ix.rows[id][:0]
+	for _, v := range ix.scratch.queue {
+		if v == u {
+			continue
+		}
+		if ci := ix.coverID[v]; ci >= 0 {
+			row = append(row, arc{to: ci, w: ix.bucketFor(ix.scratch.dist[v])})
+		}
+	}
+	sort.Slice(row, func(i, j int) bool { return row[i].to < row[j].to })
+	ix.arcCount += len(row) - len(ix.rows[id])
+	ix.rows[id] = row
+}
+
+// ShouldCompact reports whether the overlay has grown past the configured
+// ratio of the base edge count.
+func (ix *Index) ShouldCompact() bool {
+	ix.rw.RLock()
+	defer ix.rw.RUnlock()
+	base := ix.dg.Base().NumEdges()
+	if base < 1 {
+		base = 1
+	}
+	return float64(ix.dg.DeltaSize())/float64(base) >= ix.opts.CompactRatio
+}
+
+// Compact materializes the overlay into a fresh CSR (graph.Rebuild),
+// rebuilds a full index over it off the serving path, and calls publish
+// with the replacement while mutations — but not reads — are blocked. If
+// publish returns nil (or is nil), this index is retired and the successor
+// returned; on publish error the successor is discarded and this index
+// keeps serving and accepting mutations.
+//
+// Only one compaction runs at a time (ErrCompacting otherwise); compacting
+// a retired index fails with ErrRetired.
+func (ix *Index) Compact(publish func(next *Index, g *graph.Graph) error) (*Index, error) {
+	if !ix.compacting.CompareAndSwap(false, true) {
+		return nil, ErrCompacting
+	}
+	defer ix.compacting.Store(false)
+	ix.mutMu.Lock()
+	defer ix.mutMu.Unlock()
+	if ix.retired.Load() {
+		return nil, ErrRetired
+	}
+	g := ix.dg.Materialize()
+	next, err := New(g, ix.opts)
+	if err != nil {
+		return nil, err
+	}
+	next.inherit(ix)
+	if publish != nil {
+		if err := publish(next, g); err != nil {
+			return nil, err
+		}
+	}
+	ix.Retire()
+	return next, nil
+}
+
+// inherit carries the cumulative mutation counters across a compaction so
+// /v1/stats reports the dataset's history, not just the newest snapshot's.
+func (next *Index) inherit(prev *Index) {
+	prev.rw.RLock()
+	defer prev.rw.RUnlock()
+	next.batches = prev.batches
+	next.edgesAdded = prev.edgesAdded
+	next.edgesRemoved = prev.edgesRemoved
+	next.promotions = prev.promotions
+	next.rowsRecomputed = prev.rowsRecomputed
+	next.bfsRuns.Store(prev.bfsRuns.Load())
+	next.compactions = prev.compactions + 1
+}
+
+// Stats is a point-in-time snapshot of the index and its mutation history.
+type Stats struct {
+	Epoch     uint64
+	K         int
+	CoverSize int
+	IndexArcs int
+
+	BaseEdges    int // edges in the immutable base CSR
+	LiveEdges    int // edges with the overlay applied
+	DeltaAdded   int // overlay insertions not yet compacted
+	DeltaRemoved int // overlay deletions not yet compacted
+
+	MutationBatches uint64
+	EdgesAdded      uint64 // cumulative, across compactions
+	EdgesRemoved    uint64
+	Promotions      uint64
+	RowsRecomputed  uint64
+	MaintenanceBFS  uint64 // bounded BFS traversals spent on maintenance
+	Compactions     uint64
+}
+
+// Stats returns a consistent snapshot.
+func (ix *Index) Stats() Stats {
+	ix.rw.RLock()
+	defer ix.rw.RUnlock()
+	return Stats{
+		Epoch:           ix.epoch.Load(),
+		K:               ix.k,
+		CoverSize:       len(ix.coverList),
+		IndexArcs:       ix.arcCount,
+		BaseEdges:       ix.dg.Base().NumEdges(),
+		LiveEdges:       ix.dg.NumEdges(),
+		DeltaAdded:      ix.dg.Added(),
+		DeltaRemoved:    ix.dg.Removed(),
+		MutationBatches: ix.batches,
+		EdgesAdded:      ix.edgesAdded,
+		EdgesRemoved:    ix.edgesRemoved,
+		Promotions:      ix.promotions,
+		RowsRecomputed:  ix.rowsRecomputed,
+		MaintenanceBFS:  ix.bfsRuns.Load(),
+		Compactions:     ix.compactions,
+	}
+}
+
+// SizeBytes estimates the resident index size: cover id map, cover list,
+// rows (5 bytes per arc: id + bucket) and overlay bookkeeping.
+func (ix *Index) SizeBytes() int {
+	ix.rw.RLock()
+	defer ix.rw.RUnlock()
+	size := 4*len(ix.coverID) + 4*len(ix.coverList) + 5*ix.arcCount
+	size += 8 * ix.dg.DeltaSize() // two delta-list entries per overlay edge
+	return size
+}
+
+// CheckInvariants validates the structural invariants tests rely on: the
+// cover covers every live edge, and cover bookkeeping is consistent. It is
+// O(n + m) and intended for tests, not the serving path.
+func (ix *Index) CheckInvariants() error {
+	ix.rw.RLock()
+	defer ix.rw.RUnlock()
+	for id, v := range ix.coverList {
+		if ix.coverID[v] != int32(id) {
+			return fmt.Errorf("dynamic: cover list/id mismatch at id %d vertex %d", id, v)
+		}
+	}
+	n := ix.dg.NumVertices()
+	var buf []graph.Vertex
+	for u := 0; u < n; u++ {
+		src := graph.Vertex(u)
+		buf = ix.dg.AppendOutNeighbors(src, buf[:0])
+		for _, v := range buf {
+			if ix.coverID[src] < 0 && ix.coverID[v] < 0 {
+				return fmt.Errorf("dynamic: live edge (%d,%d) has no cover endpoint", src, v)
+			}
+		}
+	}
+	return nil
+}
+
+// overlayScratch is BFS state over the overlay adjacency, with
+// epoch-stamped visitation like graph.BFSScratch.
+type overlayScratch struct {
+	dist  []int32
+	stamp []uint32
+	epoch uint32
+	queue []graph.Vertex
+}
+
+func newOverlayScratch(n int) *overlayScratch {
+	return &overlayScratch{
+		dist:  make([]int32, n),
+		stamp: make([]uint32, n),
+		queue: make([]graph.Vertex, 0, 64),
+	}
+}
+
+// run executes a maxHops-bounded BFS from src over dg, forward or
+// backward. Afterwards s.queue holds the visited vertices (src first) and
+// s.dist their hop distances.
+func (s *overlayScratch) run(dg *DeltaGraph, src graph.Vertex, maxHops int, forward bool) {
+	s.epoch++
+	if s.epoch == 0 {
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.epoch = 1
+	}
+	s.queue = s.queue[:0]
+	s.dist[src] = 0
+	s.stamp[src] = s.epoch
+	s.queue = append(s.queue, src)
+	visit := func(v graph.Vertex, d int32) {
+		if s.stamp[v] != s.epoch {
+			s.dist[v] = d
+			s.stamp[v] = s.epoch
+			s.queue = append(s.queue, v)
+		}
+	}
+	for head := 0; head < len(s.queue); head++ {
+		u := s.queue[head]
+		d := s.dist[u]
+		if int(d) >= maxHops {
+			break // queue is in nondecreasing distance order
+		}
+		if forward {
+			dg.forEachOut(u, func(w graph.Vertex) { visit(w, d+1) })
+		} else {
+			dg.forEachIn(u, func(w graph.Vertex) { visit(w, d+1) })
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// rebuildNaive is the reference implementation: apply the deltas through a
+// plain Builder.
+func rebuildNaive(base *Graph, add, remove []Edge) *Graph {
+	drop := make(map[Edge]bool, len(remove))
+	for _, e := range remove {
+		drop[e] = true
+	}
+	for _, e := range add {
+		drop[e] = false // add wins over remove
+	}
+	b := NewBuilder(base.NumVertices())
+	base.ForEachEdge(func(u, v Vertex) {
+		if !drop[Edge{u, v}] {
+			b.AddEdge(u, v)
+		}
+	})
+	for _, e := range add {
+		b.AddEdge(e.Src, e.Dst)
+	}
+	return b.Build()
+}
+
+func graphsEqual(a, b *Graph) bool {
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	ea, eb := a.Edges(), b.Edges()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRebuildBasic(t *testing.T) {
+	base := FromEdges(5, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	g := Rebuild(base,
+		[]Edge{{4, 0}, {0, 2}},
+		[]Edge{{1, 2}, {2, 4} /* not in base: ignored */})
+	want := FromEdges(5, []Edge{{0, 1}, {0, 2}, {2, 3}, {3, 4}, {4, 0}})
+	if !graphsEqual(g, want) {
+		t.Errorf("rebuild = %v, want %v", g.Edges(), want.Edges())
+	}
+	if g.HasEdge(1, 2) {
+		t.Error("removed edge (1,2) survived")
+	}
+	if !g.HasEdge(4, 0) || !g.HasEdge(0, 2) {
+		t.Error("added edges missing")
+	}
+}
+
+func TestRebuildEmptyDeltas(t *testing.T) {
+	base := FromEdges(4, []Edge{{0, 1}, {1, 2}, {2, 3}})
+	g := Rebuild(base, nil, nil)
+	if !graphsEqual(g, base) {
+		t.Errorf("identity rebuild changed the graph: %v", g.Edges())
+	}
+}
+
+func TestRebuildAddWinsOverRemove(t *testing.T) {
+	base := FromEdges(3, []Edge{{0, 1}})
+	// (0,1) is removed and re-added in the same delta set: present.
+	g := Rebuild(base, []Edge{{0, 1}}, []Edge{{0, 1}})
+	if !g.HasEdge(0, 1) {
+		t.Error("edge in both add and remove must survive (union after subtraction)")
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestRebuildDuplicateAdds(t *testing.T) {
+	base := FromEdges(3, []Edge{{0, 1}})
+	g := Rebuild(base, []Edge{{0, 1}, {0, 1}, {1, 2}, {1, 2}}, nil)
+	if g.NumEdges() != 2 {
+		t.Errorf("NumEdges = %d, want 2 (duplicates collapsed)", g.NumEdges())
+	}
+}
+
+func TestRebuildOutOfRangePanics(t *testing.T) {
+	base := FromEdges(3, []Edge{{0, 1}})
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range delta edge did not panic")
+		}
+	}()
+	Rebuild(base, []Edge{{0, 3}}, nil)
+}
+
+// TestRebuildHighDegree stresses a hub vertex: a star with thousands of
+// spokes, where a slice of them is removed and new ones added. HasEdge over
+// the hub exercises the binary-search path on a long adjacency list.
+func TestRebuildHighDegree(t *testing.T) {
+	const n = 4000
+	var edges []Edge
+	for v := 1; v < n; v++ {
+		edges = append(edges, Edge{0, Vertex(v)}) // hub 0 -> everything
+		if v%2 == 0 {
+			edges = append(edges, Edge{Vertex(v), 0})
+		}
+	}
+	base := FromEdges(n, edges)
+	var add, remove []Edge
+	for v := 1; v < n; v += 3 {
+		remove = append(remove, Edge{0, Vertex(v)})
+	}
+	for v := 1; v < n; v += 2 {
+		add = append(add, Edge{Vertex(v), 0}) // odd spokes gain back-edges
+	}
+	g := Rebuild(base, add, remove)
+	want := rebuildNaive(base, add, remove)
+	if !graphsEqual(g, want) {
+		t.Fatalf("high-degree rebuild diverges from naive: %d vs %d edges",
+			g.NumEdges(), want.NumEdges())
+	}
+	for v := 1; v < n; v++ {
+		wantOut := v%3 != 1
+		if g.HasEdge(0, Vertex(v)) != wantOut {
+			t.Fatalf("HasEdge(0,%d) = %v, want %v", v, !wantOut, wantOut)
+		}
+		// Even spokes kept their base back-edge, odd spokes gained one.
+		if !g.HasEdge(Vertex(v), 0) {
+			t.Fatalf("HasEdge(%d,0) = false, want true", v)
+		}
+	}
+}
+
+func TestRebuildRandomizedAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 0xdead))
+	for trial := 0; trial < 25; trial++ {
+		n := 10 + rng.IntN(40)
+		m := rng.IntN(4 * n)
+		b := NewBuilder(n)
+		for i := 0; i < m; i++ {
+			b.AddEdge(Vertex(rng.IntN(n)), Vertex(rng.IntN(n)))
+		}
+		base := b.Build()
+		var add, remove []Edge
+		for i := 0; i < rng.IntN(2*n); i++ {
+			add = append(add, Edge{Vertex(rng.IntN(n)), Vertex(rng.IntN(n))})
+		}
+		es := base.Edges()
+		for i := 0; i < len(es)/3; i++ {
+			remove = append(remove, es[rng.IntN(len(es))])
+		}
+		got := Rebuild(base, add, remove)
+		want := rebuildNaive(base, add, remove)
+		if !graphsEqual(got, want) {
+			t.Fatalf("trial %d: rebuild diverges from naive\n got %v\nwant %v",
+				trial, got.Edges(), want.Edges())
+		}
+	}
+}

@@ -1,0 +1,339 @@
+package server_test
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"kreach"
+	"kreach/internal/server"
+)
+
+// newDynamicServer serves one mutable dataset over a tiny two-chain graph:
+// 0→1→2 and 3→4, deliberately disconnected so tests can bridge them.
+func newDynamicServer(t *testing.T, cfg server.Config) (*httptest.Server, *server.Registry) {
+	t.Helper()
+	b := kreach.NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	g := b.Build()
+	dyn, err := kreach.NewDynamicIndex(g, kreach.DynamicOptions{K: 4, Seed: 1, CompactRatio: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := server.NewRegistry()
+	if err := reg.Add(&server.Dataset{Name: "dyn", Graph: g, Dyn: dyn}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(reg, cfg))
+	t.Cleanup(ts.Close)
+	return ts, reg
+}
+
+func reachable(t *testing.T, url string, s, tgt int) bool {
+	t.Helper()
+	status, body := post(t, url+"/v1/reach", map[string]any{"s": s, "t": tgt})
+	if status != http.StatusOK {
+		t.Fatalf("reach status %d: %v", status, body)
+	}
+	return field[bool](t, body, "reachable")
+}
+
+func TestEdgesMutationFlipsReach(t *testing.T) {
+	ts, _ := newDynamicServer(t, server.Config{})
+	if reachable(t, ts.URL, 0, 4) {
+		t.Fatal("0→4 reachable before mutation")
+	}
+	status, body := post(t, ts.URL+"/v1/datasets/dyn/edges", map[string]any{
+		"add": [][2]int{{2, 3}},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("edges status %d: %v", status, body)
+	}
+	if got := field[int](t, body, "added"); got != 1 {
+		t.Errorf("added = %d, want 1", got)
+	}
+	if got := field[int](t, body, "live_edges"); got != 4 {
+		t.Errorf("live_edges = %d, want 4", got)
+	}
+	if !reachable(t, ts.URL, 0, 4) {
+		t.Error("0→4 not reachable after bridging edge")
+	}
+	// Remove it again: the answer must flip back (and the cache, keyed by
+	// epoch, must not serve the stale positive).
+	status, body = post(t, ts.URL+"/v1/datasets/dyn/edges", map[string]any{
+		"remove": [][2]int{{2, 3}},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("edges status %d: %v", status, body)
+	}
+	if got := field[int](t, body, "removed"); got != 1 {
+		t.Errorf("removed = %d, want 1", got)
+	}
+	if reachable(t, ts.URL, 0, 4) {
+		t.Error("0→4 still reachable after removing the bridge (stale cache?)")
+	}
+}
+
+func TestEdgesCountsAndErrors(t *testing.T) {
+	ts, _ := newDynamicServer(t, server.Config{})
+	status, body := post(t, ts.URL+"/v1/datasets/dyn/edges", map[string]any{
+		"add":    [][2]int{{0, 1} /* dup */, {4, 5}, {0, 99} /* unknown */},
+		"remove": [][2]int{{3, 4}, {2, 0} /* missing */},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("edges status %d: %v", status, body)
+	}
+	checks := map[string]int{
+		"added": 1, "removed": 1, "duplicate_adds": 1,
+		"missing_removes": 1, "unknown_vertices": 1,
+	}
+	for key, want := range checks {
+		if got := field[int](t, body, key); got != want {
+			t.Errorf("%s = %d, want %d", key, got, want)
+		}
+	}
+	// Unknown dataset → 404; wrong kind → 409.
+	status, _ = post(t, ts.URL+"/v1/datasets/nope/edges", map[string]any{"add": [][2]int{{0, 1}}})
+	if status != http.StatusNotFound {
+		t.Errorf("unknown dataset status %d, want 404", status)
+	}
+	status, _ = post(t, ts.URL+"/v1/datasets/dyn/edges", map[string]any{"bogus": 1})
+	if status != http.StatusBadRequest {
+		t.Errorf("unknown field status %d, want 400", status)
+	}
+}
+
+func TestEdgesOnStaticDatasetConflicts(t *testing.T) {
+	ts, _ := newTestServer(t, server.Config{})
+	status, body := post(t, ts.URL+"/v1/datasets/plain/edges", map[string]any{"add": [][2]int{{0, 1}}})
+	if status != http.StatusConflict {
+		t.Fatalf("mutating a static dataset: status %d (%v), want 409", status, body)
+	}
+	status, _ = post(t, ts.URL+"/v1/datasets/plain/compact", nil)
+	if status != http.StatusConflict {
+		t.Fatalf("compacting a static dataset: status %d, want 409", status)
+	}
+}
+
+func TestCompactEndpointSwapsSnapshot(t *testing.T) {
+	ts, reg := newDynamicServer(t, server.Config{})
+	post(t, ts.URL+"/v1/datasets/dyn/edges", map[string]any{"add": [][2]int{{2, 3}, {4, 5}}})
+	before, err := reg.Lookup("dyn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, body := post(t, ts.URL+"/v1/datasets/dyn/compact", nil)
+	if status != http.StatusOK {
+		t.Fatalf("compact status %d: %v", status, body)
+	}
+	if got := field[int](t, body, "edges"); got != 5 {
+		t.Errorf("compacted edges = %d, want 5", got)
+	}
+	if got := field[uint64](t, body, "compactions"); got != 1 {
+		t.Errorf("compactions = %d, want 1", got)
+	}
+	after, err := reg.Lookup("dyn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after == before || after.Dyn == before.Dyn {
+		t.Fatal("compact did not swap a fresh snapshot into the registry")
+	}
+	if !before.Dyn.Retired() {
+		t.Error("displaced snapshot not retired")
+	}
+	// Answers survive the swap (1→5 is exactly k=4 hops), and the
+	// successor stays mutable.
+	if !reachable(t, ts.URL, 1, 5) {
+		t.Error("1→5 lost across compaction")
+	}
+	status, body = post(t, ts.URL+"/v1/datasets/dyn/edges", map[string]any{"remove": [][2]int{{2, 3}}})
+	if status != http.StatusOK || field[int](t, body, "removed") != 1 {
+		t.Errorf("post-compact mutation failed: %d %v", status, body)
+	}
+	if reachable(t, ts.URL, 1, 5) {
+		t.Error("1→5 still reachable after post-compact removal")
+	}
+	// Dynamic stats section reflects the history.
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Datasets []struct {
+			Name    string `json:"name"`
+			Kind    string `json:"kind"`
+			Edges   int    `json:"edges"`
+			Dynamic *struct {
+				MutationBatches uint64 `json:"mutation_batches"`
+				EdgesAdded      uint64 `json:"edges_added"`
+				Compactions     uint64 `json:"compactions"`
+				DeltaRemoved    int    `json:"delta_removed"`
+			} `json:"dynamic"`
+		} `json:"datasets"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Datasets) != 1 || stats.Datasets[0].Dynamic == nil {
+		t.Fatalf("stats missing dynamic section: %+v", stats)
+	}
+	d := stats.Datasets[0]
+	if d.Kind != "dynamic" || d.Edges != 4 {
+		t.Errorf("kind=%s edges=%d, want dynamic/4", d.Kind, d.Edges)
+	}
+	if d.Dynamic.Compactions != 1 || d.Dynamic.EdgesAdded != 2 || d.Dynamic.DeltaRemoved != 1 {
+		t.Errorf("dynamic stats %+v", d.Dynamic)
+	}
+}
+
+// TestSwapIfRejectsSuperseded pins the compact-vs-reload race: a
+// compaction built from snapshot A must not publish once something else
+// (a reload) has replaced A, or mutations acknowledged against the
+// replacement would silently revert.
+func TestSwapIfRejectsSuperseded(t *testing.T) {
+	_, reg := newDynamicServer(t, server.Config{})
+	a, err := reg.Lookup("dyn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshDyn := func() *kreach.DynamicIndex {
+		d, err := kreach.NewDynamicIndex(a.Graph, kreach.DynamicOptions{K: 4, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	// A "reload" lands while a hypothetical compaction of A is running.
+	b := &server.Dataset{Name: "dyn", Graph: a.Graph, Dyn: freshDyn()}
+	if _, err := reg.Swap(b); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Dyn.Retired() {
+		t.Error("swap did not retire the displaced dynamic snapshot")
+	}
+	// The stale compaction result (expecting A) must be rejected...
+	stale := &server.Dataset{Name: "dyn", Graph: a.Graph, Dyn: freshDyn()}
+	if err := reg.SwapIf(a, stale); !errors.Is(err, server.ErrSuperseded) {
+		t.Fatalf("SwapIf with stale expectation: err = %v, want ErrSuperseded", err)
+	}
+	if cur, _ := reg.Lookup("dyn"); cur != b {
+		t.Fatal("stale compaction clobbered the reloaded snapshot")
+	}
+	// ...while a SwapIf expecting the live snapshot goes through.
+	next := &server.Dataset{Name: "dyn", Graph: a.Graph, Dyn: freshDyn()}
+	if err := reg.SwapIf(b, next); err != nil {
+		t.Fatal(err)
+	}
+	if cur, _ := reg.Lookup("dyn"); cur != next {
+		t.Fatal("valid SwapIf did not publish")
+	}
+	if !b.Dyn.Retired() {
+		t.Error("SwapIf did not retire the displaced snapshot")
+	}
+}
+
+func TestStatsHitRate(t *testing.T) {
+	ts, _ := newDynamicServer(t, server.Config{CacheEntries: 1 << 10})
+	// Same query three times: 1 miss + 2 hits → hit rate 2/3.
+	for i := 0; i < 3; i++ {
+		reachable(t, ts.URL, 0, 2)
+	}
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Cache struct {
+			Hits    uint64  `json:"hits"`
+			Misses  uint64  `json:"misses"`
+			HitRate float64 `json:"hit_rate"`
+		} `json:"cache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cache.Hits != 2 || stats.Cache.Misses != 1 {
+		t.Fatalf("cache counters hits=%d misses=%d, want 2/1", stats.Cache.Hits, stats.Cache.Misses)
+	}
+	want := 2.0 / 3.0
+	if diff := stats.Cache.HitRate - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("hit_rate = %v, want %v", stats.Cache.HitRate, want)
+	}
+}
+
+func TestStatsHitRateZeroTraffic(t *testing.T) {
+	ts, _ := newDynamicServer(t, server.Config{CacheEntries: 1 << 10})
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Cache struct {
+			HitRate float64 `json:"hit_rate"`
+		} `json:"cache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cache.HitRate != 0 {
+		t.Errorf("hit_rate with no traffic = %v, want 0", stats.Cache.HitRate)
+	}
+}
+
+// TestAutoCompaction drives the overlay past a tiny threshold and waits
+// for the background compaction to swap a fresh snapshot in.
+func TestAutoCompaction(t *testing.T) {
+	b := kreach.NewBuilder(8)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g := b.Build()
+	dyn, err := kreach.NewDynamicIndex(g, kreach.DynamicOptions{K: 3, Seed: 1, CompactRatio: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := server.NewRegistry()
+	if err := reg.Add(&server.Dataset{Name: "dyn", Graph: g, Dyn: dyn}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(reg, server.Config{}))
+	defer ts.Close()
+	status, body := post(t, ts.URL+"/v1/datasets/dyn/edges", map[string]any{
+		"add": [][2]int{{2, 3}, {3, 4}, {4, 5}},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("edges status %d: %v", status, body)
+	}
+	if !field[bool](t, body, "compaction_triggered") {
+		t.Fatal("delta ratio 3/2 did not trigger auto-compaction")
+	}
+	// The compaction runs in the background; poll the registry for the swap.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		d, err := reg.Lookup("dyn")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Dyn != dyn {
+			if got := d.Dyn.Stats().DeltaAdded; got != 0 {
+				t.Errorf("auto-compacted snapshot has deltas: %d", got)
+			}
+			if !reachable(t, ts.URL, 0, 3) {
+				t.Error("0→3 lost across auto-compaction (k=3)")
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("auto-compaction never swapped a snapshot in")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

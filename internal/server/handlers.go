@@ -65,6 +65,8 @@ func probe(d *Dataset, s, t int, reqK *int) cachedAnswer {
 		return boolAnswer(d.Plain.Reach(s, t))
 	case KindHK:
 		return boolAnswer(d.HK.Reach(s, t))
+	case KindDynamic:
+		return boolAnswer(d.Dyn.Reach(s, t))
 	default:
 		verdict, effK := d.Multi.Reach(s, t, effectiveK(d, reqK))
 		ans := cachedAnswer{verdict: verdict}
@@ -129,6 +131,8 @@ func resolveFixedK(d *Dataset, k *int) error {
 		have = d.Plain.K()
 	case KindHK:
 		have = d.HK.K()
+	case KindDynamic:
+		have = d.Dyn.K()
 	default:
 		return nil
 	}
@@ -226,6 +230,10 @@ func (s *Server) answerBatch(d *Dataset, pairs []kreach.Pair, reqK *int) []cache
 			}
 		case KindHK:
 			for j, ok := range d.HK.ReachBatch(miss, s.cfg.Parallelism) {
+				toAnswer(j, boolAnswer(ok))
+			}
+		case KindDynamic:
+			for j, ok := range d.Dyn.ReachBatch(miss, s.cfg.Parallelism) {
 				toAnswer(j, boolAnswer(ok))
 			}
 		case KindMulti:
@@ -357,29 +365,49 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 
 // datasetInfo is one /v1/stats entry.
 type datasetInfo struct {
-	Name       string `json:"name"`
-	Kind       Kind   `json:"kind"`
-	Epoch      uint64 `json:"epoch"`
-	Reloadable bool   `json:"reloadable"`
-	Vertices   int    `json:"vertices"`
-	Edges      int    `json:"edges"`
-	K          *int   `json:"k,omitempty"`
-	H          *int   `json:"h,omitempty"`
-	Rungs      []int  `json:"rungs,omitempty"`
-	CoverSize  *int   `json:"cover_size,omitempty"`
-	IndexEdges *int   `json:"index_edges,omitempty"`
-	SizeBytes  int    `json:"size_bytes"`
+	Name       string       `json:"name"`
+	Kind       Kind         `json:"kind"`
+	Epoch      uint64       `json:"epoch"`
+	Reloadable bool         `json:"reloadable"`
+	Vertices   int          `json:"vertices"`
+	Edges      int          `json:"edges"`
+	K          *int         `json:"k,omitempty"`
+	H          *int         `json:"h,omitempty"`
+	Rungs      []int        `json:"rungs,omitempty"`
+	CoverSize  *int         `json:"cover_size,omitempty"`
+	IndexEdges *int         `json:"index_edges,omitempty"`
+	SizeBytes  int          `json:"size_bytes"`
+	Dynamic    *dynamicInfo `json:"dynamic,omitempty"`
 }
 
-// cacheInfo is the /v1/stats cache section.
+// dynamicInfo is the mutation/compaction section of a dynamic dataset's
+// /v1/stats entry. Cumulative counters survive compactions.
+type dynamicInfo struct {
+	BaseEdges       int    `json:"base_edges"`
+	DeltaAdded      int    `json:"delta_added"`
+	DeltaRemoved    int    `json:"delta_removed"`
+	MutationBatches uint64 `json:"mutation_batches"`
+	EdgesAdded      uint64 `json:"edges_added"`
+	EdgesRemoved    uint64 `json:"edges_removed"`
+	Promotions      uint64 `json:"promotions"`
+	RowsRecomputed  uint64 `json:"rows_recomputed"`
+	MaintenanceBFS  uint64 `json:"maintenance_bfs"`
+	Compactions     uint64 `json:"compactions"`
+	ShouldCompact   bool   `json:"should_compact"`
+}
+
+// cacheInfo is the /v1/stats cache section. HitRate is derived —
+// hits/(hits+misses), 0 with no traffic — so dashboards don't each
+// re-derive it from the raw counters.
 type cacheInfo struct {
-	Enabled   bool   `json:"enabled"`
-	Entries   int    `json:"entries"`
-	Capacity  int    `json:"capacity"`
-	Hits      uint64 `json:"hits"`
-	Misses    uint64 `json:"misses"`
-	Evictions uint64 `json:"evictions"`
-	Collapsed uint64 `json:"collapsed"`
+	Enabled   bool    `json:"enabled"`
+	Entries   int     `json:"entries"`
+	Capacity  int     `json:"capacity"`
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Evictions uint64  `json:"evictions"`
+	Collapsed uint64  `json:"collapsed"`
+	HitRate   float64 `json:"hit_rate"`
 }
 
 type statsResponse struct {
@@ -421,6 +449,26 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		case KindMulti:
 			info.Rungs = d.Multi.Rungs()
 			info.SizeBytes = d.Multi.SizeBytes()
+		case KindDynamic:
+			st := d.Dyn.Stats()
+			info.K = intPtr(st.K)
+			info.CoverSize = intPtr(st.CoverSize)
+			info.IndexEdges = intPtr(st.IndexArcs)
+			info.SizeBytes = d.Dyn.SizeBytes()
+			info.Edges = st.LiveEdges // overlay applied, not the base CSR
+			info.Dynamic = &dynamicInfo{
+				BaseEdges:       st.BaseEdges,
+				DeltaAdded:      st.DeltaAdded,
+				DeltaRemoved:    st.DeltaRemoved,
+				MutationBatches: st.MutationBatches,
+				EdgesAdded:      st.EdgesAdded,
+				EdgesRemoved:    st.EdgesRemoved,
+				Promotions:      st.Promotions,
+				RowsRecomputed:  st.RowsRecomputed,
+				MaintenanceBFS:  st.MaintenanceBFS,
+				Compactions:     st.Compactions,
+				ShouldCompact:   d.Dyn.ShouldCompact(),
+			}
 		}
 		resp.Datasets = append(resp.Datasets, info)
 	}
@@ -434,6 +482,9 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			Misses:    st.Misses,
 			Evictions: st.Evictions,
 			Collapsed: st.Collapsed,
+		}
+		if total := st.Hits + st.Misses; total > 0 {
+			resp.Cache.HitRate = float64(st.Hits) / float64(total)
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)

@@ -17,23 +17,32 @@ type Kind string
 
 // Dataset kinds.
 const (
-	KindPlain Kind = "kreach"  // fixed-k Index (or n-reach when k = Unbounded)
-	KindHK    Kind = "hkreach" // (h,k)-reach HKIndex
-	KindMulti Kind = "multi"   // MultiIndex ladder, per-query k
+	KindPlain   Kind = "kreach"  // fixed-k Index (or n-reach when k = Unbounded)
+	KindHK      Kind = "hkreach" // (h,k)-reach HKIndex
+	KindMulti   Kind = "multi"   // MultiIndex ladder, per-query k
+	KindDynamic Kind = "dynamic" // mutable DynamicIndex, accepts edge mutations
 )
 
-// Dataset is one named graph plus exactly one of the three index variants.
+// Dataset is one named graph plus exactly one of the four index variants.
 // A Dataset is an immutable snapshot: all fields are read-only after
 // registration, and replacing a dataset means registering a whole new
 // Dataset via Registry.Swap or Registry.Reload. Handlers resolve the
 // snapshot once per request, so in-flight requests keep answering against
 // the snapshot they started with even while a swap lands.
+//
+// A dynamic dataset bends the "immutable snapshot" framing deliberately:
+// the Dataset cell (name, base graph, index identity) is still fixed, but
+// the index's edge set evolves in place behind its own locks, and its
+// epoch advances with every mutation batch so epoch-keyed cache entries
+// follow along. Graph remains the immutable base the dynamic overlay was
+// started from; live counts come from Dyn.
 type Dataset struct {
 	Name  string
 	Graph *kreach.Graph
 	Plain *kreach.Index
 	HK    *kreach.HKIndex
 	Multi *kreach.MultiIndex
+	Dyn   *kreach.DynamicIndex
 
 	// Loader rebuilds this dataset from its source of truth (for kreachd,
 	// the -dataset spec: graph and index files are re-read, indexes
@@ -46,6 +55,8 @@ type Dataset struct {
 // Kind reports which index variant the dataset holds.
 func (d *Dataset) Kind() Kind {
 	switch {
+	case d.Dyn != nil:
+		return KindDynamic
 	case d.Multi != nil:
 		return KindMulti
 	case d.HK != nil:
@@ -61,6 +72,8 @@ func (d *Dataset) Kind() Kind {
 // for the dataset without touching the cache.
 func (d *Dataset) Epoch() uint64 {
 	switch d.Kind() {
+	case KindDynamic:
+		return d.Dyn.Epoch()
 	case KindMulti:
 		return d.Multi.Epoch()
 	case KindHK:
@@ -85,6 +98,9 @@ func (d *Dataset) valid() error {
 		count++
 	}
 	if d.Multi != nil {
+		count++
+	}
+	if d.Dyn != nil {
 		count++
 	}
 	if count != 1 {
@@ -196,7 +212,52 @@ func (r *Registry) Swap(d *Dataset) (*Dataset, error) {
 		d.Loader = old.Loader
 	}
 	sl.ptr.Store(d)
+	retireDisplaced(old, d)
 	return old, nil
+}
+
+// retireDisplaced marks a displaced dynamic snapshot retired, so a
+// mutation that resolved the old snapshot before the swap fails with
+// ErrRetired (and retries against the new one) instead of landing on an
+// unpublished index and silently vanishing. Queries against the old
+// snapshot keep answering its frozen state.
+func retireDisplaced(old, repl *Dataset) {
+	if old != nil && old.Dyn != nil && old.Dyn != repl.Dyn {
+		old.Dyn.Retire()
+	}
+}
+
+// ErrSuperseded reports a SwapIf whose expected snapshot is no longer the
+// published one — something else (a reload, another compaction) replaced
+// it first. The caller should re-resolve and decide whether to retry.
+var ErrSuperseded = errors.New("server: snapshot superseded before swap")
+
+// SwapIf atomically replaces the snapshot under repl.Name only if the
+// currently published snapshot is still expect; otherwise it stores
+// nothing and returns ErrSuperseded. Compactions publish through it so a
+// reload landing mid-rebuild cannot be clobbered by the (now stale)
+// compacted snapshot — which would silently revert mutations already
+// acknowledged against the reloaded dataset.
+func (r *Registry) SwapIf(expect, repl *Dataset) error {
+	if err := repl.valid(); err != nil {
+		return err
+	}
+	sl, err := r.slotFor(repl.Name)
+	if err != nil {
+		return err
+	}
+	sl.reloadMu.Lock()
+	defer sl.reloadMu.Unlock()
+	old := sl.ptr.Load()
+	if old != expect {
+		return fmt.Errorf("%w: %q", ErrSuperseded, repl.Name)
+	}
+	if repl.Loader == nil {
+		repl.Loader = old.Loader
+	}
+	sl.ptr.Store(repl)
+	retireDisplaced(old, repl)
+	return nil
 }
 
 // ErrNotReloadable reports a reload request for a dataset registered
@@ -233,6 +294,7 @@ func (r *Registry) Reload(name string) (*Dataset, error) {
 		d.Loader = old.Loader
 	}
 	sl.ptr.Store(d)
+	retireDisplaced(old, d)
 	return d, nil
 }
 
@@ -288,6 +350,8 @@ func New(reg *Registry, cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/datasets/{name}/reload", s.handleReload)
+	s.mux.HandleFunc("POST /v1/datasets/{name}/edges", s.handleEdges)
+	s.mux.HandleFunc("POST /v1/datasets/{name}/compact", s.handleCompact)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
 }

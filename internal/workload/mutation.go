@@ -1,0 +1,201 @@
+package workload
+
+import (
+	"math/rand/v2"
+
+	"kreach/internal/graph"
+)
+
+// This file generates mixed read/write workloads for the dynamic layer: an
+// interleaved stream of queries, edge insertions and edge deletions over
+// an evolving edge set. The stream tracks its own copy of the live edges,
+// which makes it double as an independent BFS oracle — the bench harness
+// cross-checks every sampled index answer against MutationStream.Reach.
+
+// OpKind labels one operation of a mutation stream.
+type OpKind int
+
+const (
+	// OpQuery is a reachability query (U → V within the workload's k).
+	OpQuery OpKind = iota
+	// OpAdd inserts the directed edge (U, V).
+	OpAdd
+	// OpRemove deletes the directed edge (U, V).
+	OpRemove
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpQuery:
+		return "query"
+	case OpAdd:
+		return "add"
+	case OpRemove:
+		return "remove"
+	}
+	return "?"
+}
+
+// Op is one operation of the stream.
+type Op struct {
+	Kind OpKind
+	U, V graph.Vertex
+}
+
+// MutationMix sets the relative frequency of the three operation kinds;
+// the values need not sum to 1, only their ratio matters.
+type MutationMix struct {
+	Query, Add, Remove float64
+}
+
+// DefaultMutationMix is a read-heavy serving profile: ~90% queries with
+// writes split evenly between insertions and deletions.
+var DefaultMutationMix = MutationMix{Query: 0.9, Add: 0.05, Remove: 0.05}
+
+// MutationStream produces a deterministic interleaved op stream over an
+// evolving edge set seeded from a graph. Adds sample fresh non-self edges,
+// removes sample uniformly among live edges; both keep the stream's
+// internal edge set in lockstep, so the caller only has to apply each op
+// to the system under test. Not safe for concurrent use.
+type MutationStream struct {
+	rng   *rand.Rand
+	n     int
+	mix   MutationMix
+	out   map[graph.Vertex]map[graph.Vertex]bool
+	edges []graph.Edge
+	pos   map[graph.Edge]int
+
+	// oracle BFS scratch
+	seen  []uint32
+	epoch uint32
+	queue []graph.Vertex
+	dist  []int32
+}
+
+// NewMutationStream seeds a stream with g's edges. mix zeroes fall back to
+// DefaultMutationMix.
+func NewMutationStream(g *graph.Graph, seed uint64, mix MutationMix) *MutationStream {
+	if mix.Query <= 0 && mix.Add <= 0 && mix.Remove <= 0 {
+		mix = DefaultMutationMix
+	}
+	n := g.NumVertices()
+	m := &MutationStream{
+		rng:   rand.New(rand.NewPCG(seed, 0x3d1f7)),
+		n:     n,
+		mix:   mix,
+		out:   make(map[graph.Vertex]map[graph.Vertex]bool, n),
+		pos:   make(map[graph.Edge]int, g.NumEdges()),
+		seen:  make([]uint32, n),
+		dist:  make([]int32, n),
+		edges: g.Edges(),
+	}
+	for i, e := range m.edges {
+		m.pos[e] = i
+		m.link(e)
+	}
+	return m
+}
+
+func (m *MutationStream) link(e graph.Edge) {
+	if m.out[e.Src] == nil {
+		m.out[e.Src] = make(map[graph.Vertex]bool)
+	}
+	m.out[e.Src][e.Dst] = true
+}
+
+// NumEdges returns the current live edge count.
+func (m *MutationStream) NumEdges() int { return len(m.edges) }
+
+// Next produces the next operation and (for mutations) applies it to the
+// stream's own edge set. An add is always a fresh non-self edge; a remove
+// always names a live edge. When the mix asks for an impossible op (remove
+// on an empty graph, add on a complete one) the stream degrades it to a
+// query, so Next always returns.
+func (m *MutationStream) Next() Op {
+	total := m.mix.Query + m.mix.Add + m.mix.Remove
+	x := m.rng.Float64() * total
+	switch {
+	case x < m.mix.Add:
+		if op, ok := m.nextAdd(); ok {
+			return op
+		}
+	case x < m.mix.Add+m.mix.Remove:
+		if op, ok := m.nextRemove(); ok {
+			return op
+		}
+	}
+	return Op{Kind: OpQuery,
+		U: graph.Vertex(m.rng.IntN(m.n)), V: graph.Vertex(m.rng.IntN(m.n))}
+}
+
+func (m *MutationStream) nextAdd() (Op, bool) {
+	for attempt := 0; attempt < 32; attempt++ {
+		u := graph.Vertex(m.rng.IntN(m.n))
+		v := graph.Vertex(m.rng.IntN(m.n))
+		if u == v || m.out[u][v] {
+			continue
+		}
+		e := graph.Edge{Src: u, Dst: v}
+		m.pos[e] = len(m.edges)
+		m.edges = append(m.edges, e)
+		m.link(e)
+		return Op{Kind: OpAdd, U: u, V: v}, true
+	}
+	return Op{}, false // graph is (nearly) complete
+}
+
+func (m *MutationStream) nextRemove() (Op, bool) {
+	if len(m.edges) == 0 {
+		return Op{}, false
+	}
+	i := m.rng.IntN(len(m.edges))
+	e := m.edges[i]
+	last := len(m.edges) - 1
+	m.edges[i] = m.edges[last]
+	m.pos[m.edges[i]] = i
+	m.edges = m.edges[:last]
+	delete(m.pos, e)
+	delete(m.out[e.Src], e.Dst)
+	return Op{Kind: OpRemove, U: e.Src, V: e.Dst}, true
+}
+
+// Reach is the k-bounded BFS oracle over the stream's current edge set
+// (k < 0 means unbounded). It is deliberately independent of the overlay
+// and CSR implementations it is used to cross-check.
+func (m *MutationStream) Reach(s, t graph.Vertex, k int) bool {
+	if s == t {
+		return true
+	}
+	if k == 0 {
+		return false
+	}
+	m.epoch++
+	if m.epoch == 0 {
+		for i := range m.seen {
+			m.seen[i] = 0
+		}
+		m.epoch = 1
+	}
+	m.queue = m.queue[:0]
+	m.queue = append(m.queue, s)
+	m.seen[s] = m.epoch
+	m.dist[s] = 0
+	for head := 0; head < len(m.queue); head++ {
+		u := m.queue[head]
+		d := m.dist[u]
+		if k >= 0 && int(d) >= k {
+			break
+		}
+		for v := range m.out[u] {
+			if v == t {
+				return true
+			}
+			if m.seen[v] != m.epoch {
+				m.seen[v] = m.epoch
+				m.dist[v] = d + 1
+				m.queue = append(m.queue, v)
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,148 @@
+package workload
+
+import (
+	"testing"
+
+	"kreach/internal/graph"
+)
+
+func chain(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(graph.Vertex(i), graph.Vertex(i+1))
+	}
+	return b.Build()
+}
+
+func TestMutationStreamDeterministic(t *testing.T) {
+	g := chain(20)
+	a := NewMutationStream(g, 42, DefaultMutationMix)
+	b := NewMutationStream(g, 42, DefaultMutationMix)
+	for i := 0; i < 2000; i++ {
+		if oa, ob := a.Next(), b.Next(); oa != ob {
+			t.Fatalf("op %d diverges: %+v vs %+v", i, oa, ob)
+		}
+	}
+	c := NewMutationStream(g, 43, DefaultMutationMix)
+	same := true
+	for i := 0; i < 100; i++ {
+		if a.Next() != c.Next() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestMutationStreamOpsAreValid(t *testing.T) {
+	g := chain(30)
+	m := NewMutationStream(g, 7, MutationMix{Query: 0.4, Add: 0.3, Remove: 0.3})
+	live := make(map[graph.Edge]bool)
+	g.ForEachEdge(func(u, v graph.Vertex) { live[graph.Edge{Src: u, Dst: v}] = true })
+	counts := map[OpKind]int{}
+	for i := 0; i < 5000; i++ {
+		op := m.Next()
+		counts[op.Kind]++
+		e := graph.Edge{Src: op.U, Dst: op.V}
+		switch op.Kind {
+		case OpAdd:
+			if op.U == op.V {
+				t.Fatalf("op %d: self-loop add %+v", i, op)
+			}
+			if live[e] {
+				t.Fatalf("op %d: add of live edge %+v", i, op)
+			}
+			live[e] = true
+		case OpRemove:
+			if !live[e] {
+				t.Fatalf("op %d: remove of dead edge %+v", i, op)
+			}
+			delete(live, e)
+		}
+		if op.U < 0 || int(op.U) >= 30 || op.V < 0 || int(op.V) >= 30 {
+			t.Fatalf("op %d out of range: %+v", i, op)
+		}
+	}
+	if m.NumEdges() != len(live) {
+		t.Errorf("stream edge count %d, shadow copy %d", m.NumEdges(), len(live))
+	}
+	for _, k := range []OpKind{OpQuery, OpAdd, OpRemove} {
+		if counts[k] == 0 {
+			t.Errorf("mix produced no %v ops", k)
+		}
+	}
+}
+
+func TestMutationStreamOracle(t *testing.T) {
+	g := chain(6) // 0→1→…→5
+	m := NewMutationStream(g, 1, MutationMix{Query: 1})
+	if !m.Reach(0, 5, 5) || m.Reach(0, 5, 4) {
+		t.Error("chain distances wrong")
+	}
+	if !m.Reach(0, 5, -1) {
+		t.Error("unbounded reach failed")
+	}
+	if m.Reach(5, 0, -1) {
+		t.Error("reverse direction reachable")
+	}
+	if !m.Reach(3, 3, 0) {
+		t.Error("s == t must hold at k = 0")
+	}
+	// Mutations move the oracle: drop 2→3, bridge 1→4.
+	ms := NewMutationStream(g, 9, MutationMix{Query: 1})
+	ms.removeEdgeForTest(2, 3)
+	if ms.Reach(0, 5, -1) {
+		t.Error("cut chain still reachable")
+	}
+	ms.addEdgeForTest(1, 4)
+	if !ms.Reach(0, 5, 3) {
+		t.Error("0→1→4→5 should be 3 hops")
+	}
+}
+
+// Test helpers that mutate the stream's edge set directly.
+func (m *MutationStream) removeEdgeForTest(u, v graph.Vertex) {
+	e := graph.Edge{Src: u, Dst: v}
+	i := m.pos[e]
+	last := len(m.edges) - 1
+	m.edges[i] = m.edges[last]
+	m.pos[m.edges[i]] = i
+	m.edges = m.edges[:last]
+	delete(m.pos, e)
+	delete(m.out[u], v)
+}
+
+func (m *MutationStream) addEdgeForTest(u, v graph.Vertex) {
+	e := graph.Edge{Src: u, Dst: v}
+	m.pos[e] = len(m.edges)
+	m.edges = append(m.edges, e)
+	m.link(e)
+}
+
+func TestMutationStreamDegradesGracefully(t *testing.T) {
+	// Empty graph: removes degrade to queries; adds still work.
+	empty := graph.NewBuilder(3).Build()
+	m := NewMutationStream(empty, 5, MutationMix{Remove: 1})
+	for i := 0; i < 50; i++ {
+		if op := m.Next(); op.Kind != OpQuery {
+			t.Fatalf("remove on empty graph produced %+v", op)
+		}
+	}
+	// Complete graph: adds degrade to queries.
+	b := graph.NewBuilder(3)
+	for u := 0; u < 3; u++ {
+		for v := 0; v < 3; v++ {
+			if u != v {
+				b.AddEdge(graph.Vertex(u), graph.Vertex(v))
+			}
+		}
+	}
+	m = NewMutationStream(b.Build(), 5, MutationMix{Add: 1})
+	for i := 0; i < 50; i++ {
+		if op := m.Next(); op.Kind != OpQuery {
+			t.Fatalf("add on complete graph produced %+v", op)
+		}
+	}
+}

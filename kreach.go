@@ -20,7 +20,7 @@
 //	ix, err := kreach.BuildIndex(g, kreach.IndexOptions{K: 2})
 //	// ix.Reach(0, 2) == true, ix.Reach(0, 3) == false
 //
-// Three index variants are provided:
+// Four index variants are provided:
 //
 //   - Index (BuildIndex): the k-reach index for one fixed k, including
 //     k = Unbounded for classic reachability (the paper's n-reach).
@@ -29,6 +29,9 @@
 //   - MultiIndex (BuildMultiIndex): the Section 4.4 ladder of indexes for
 //     queries with varying k, either exact (all rungs) or approximate
 //     (power-of-two rungs, one-sided error between rungs).
+//   - DynamicIndex (NewDynamicIndex): a mutable k-reach index accepting
+//     online edge insertions and deletions with incremental maintenance,
+//     plus compaction back into a fresh immutable snapshot.
 //
 // All public query methods are safe for concurrent use; construction
 // parallelizes across cover vertices (Section 4.1.3 of the paper).
