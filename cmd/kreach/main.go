@@ -4,18 +4,26 @@
 // Subcommands:
 //
 //	kreach build -graph g.txt -k 6 -index out.kri [-cover degree|random|greedy]
-//	kreach build -graph g.txt -k 6 -hop 2 -index out.kri    ((h,k)-reach variant)
+//	kreach build -graph g.txt -k 6 -hop 2 -index out.kri     ((h,k)-reach variant)
 //	kreach query -graph g.txt -index out.kri -s 3 -t 17
-//	kreach query -graph g.txt -index out.kri            (pairs on stdin, "s t" per line)
+//	kreach query -graph g.txt -index out.kri pairs.txt       (query pairs from a file)
+//	kreach query -graph g.txt -index out.kri -               (pairs on stdin, "s t" per line)
+//	kreach query -graph g.txt -index out.kri -json < pairs   (JSON object per answer)
 //	kreach stats -graph g.txt
 //
 // Graphs are text edge lists (or .krg binary, detected by extension).
+// query answers through the kreach.Reacher interface, so plain and (h,k)
+// index files are interchangeable; -json emits one
+// {"s","t","reachable","verdict"} object per line for scripting.
 package main
 
 import (
 	"bufio"
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand/v2"
 	"os"
 	"strings"
@@ -45,7 +53,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: kreach <build|query|stats> [flags]
   build -graph FILE -k K -index OUT [-cover degree|random|greedy] [-seed S] [-hop H]
-  query -graph FILE -index FILE [-s S -t T]
+  query -graph FILE -index FILE [-s S -t T] [-k K] [-json] [PAIRS|-]
   stats -graph FILE`)
 	os.Exit(2)
 }
@@ -135,13 +143,24 @@ func cmdBuild(args []string) {
 		*k, ix.CoverSize(), ix.IndexEdges(), ix.SizeBytes(), build.Round(time.Microsecond), *indexPath)
 }
 
+// queryAnswer is the -json output shape, one object per line.
+type queryAnswer struct {
+	S          int    `json:"s"`
+	T          int    `json:"t"`
+	Reachable  bool   `json:"reachable"`
+	Verdict    string `json:"verdict"`
+	EffectiveK int    `json:"effective_k,omitempty"`
+}
+
 func cmdQuery(args []string) {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
 	var (
 		graphPath = fs.String("graph", "", "input graph")
 		indexPath = fs.String("index", "", "index file from `kreach build`")
-		s         = fs.Int("s", -1, "source vertex (omit to read pairs from stdin)")
+		s         = fs.Int("s", -1, "source vertex (omit to read pairs from a file or stdin)")
 		t         = fs.Int("t", -1, "target vertex")
+		k         = fs.Int("k", kreach.UseIndexK, "hop bound (default: the index's own k; must match on fixed-k indexes)")
+		jsonOut   = fs.Bool("json", false, "emit one JSON object per answer instead of true/false lines")
 	)
 	fs.Parse(args)
 	if *graphPath == "" || *indexPath == "" {
@@ -152,35 +171,69 @@ func cmdQuery(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	// LoadAutoIndex dispatches on the file's magic, so an (h,k) file's real
-	// load error surfaces directly instead of being hidden behind a failed
-	// plain-index parse.
-	ix, hk, err := kreach.LoadAutoIndex(f, g)
+	// LoadAutoReacher dispatches on the file's magic, so plain and (h,k)
+	// files load through one path and an (h,k) file's real load error
+	// surfaces instead of being hidden behind a failed plain-index parse.
+	r, err := kreach.LoadAutoReacher(f, g)
 	f.Close()
 	if err != nil {
 		fatal(fmt.Errorf("query: %s: %w", *indexPath, err))
 	}
-	var reach func(s, t int) bool
-	if ix != nil {
-		reach = ix.Reach
-	} else {
-		reach = hk.Reach
-	}
 	if *s >= 0 && *t >= 0 {
-		fmt.Println(reach(*s, *t))
+		if err := answerPairs(r, strings.NewReader(fmt.Sprintf("%d %d", *s, *t)), os.Stdout, *k, *jsonOut); err != nil {
+			fatal(err)
+		}
 		return
 	}
-	sc := bufio.NewScanner(os.Stdin)
-	for sc.Scan() {
-		var qs, qt int
-		if _, err := fmt.Sscan(sc.Text(), &qs, &qt); err != nil {
-			fatal(fmt.Errorf("query: bad pair %q", sc.Text()))
+	// Pairs come from the positional file argument ("-" or no argument:
+	// stdin), one "s t" per line, so the CLI composes with shell pipelines.
+	in := io.Reader(os.Stdin)
+	if path := fs.Arg(0); path != "" && path != "-" {
+		pf, err := os.Open(path)
+		if err != nil {
+			fatal(err)
 		}
-		fmt.Println(reach(qs, qt))
+		defer pf.Close()
+		in = pf
 	}
-	if err := sc.Err(); err != nil {
+	if err := answerPairs(r, in, os.Stdout, *k, *jsonOut); err != nil {
 		fatal(err)
 	}
+}
+
+// answerPairs streams "s t" pairs (blank lines and '#' comments skipped)
+// through the Reacher, writing one answer per line: "true"/"false", or a
+// queryAnswer JSON object with -json.
+func answerPairs(r kreach.Reacher, in io.Reader, out io.Writer, k int, jsonOut bool) error {
+	ctx := context.Background()
+	enc := json.NewEncoder(out)
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var qs, qt int
+		if _, err := fmt.Sscan(line, &qs, &qt); err != nil {
+			return fmt.Errorf("query: bad pair %q", line)
+		}
+		verdict, effK, err := r.ReachK(ctx, qs, qt, k)
+		if err != nil {
+			return fmt.Errorf("query: %w", err)
+		}
+		if !jsonOut {
+			fmt.Fprintln(out, verdict != kreach.No)
+			continue
+		}
+		ans := queryAnswer{S: qs, T: qt, Reachable: verdict != kreach.No, Verdict: verdict.String()}
+		if verdict == kreach.YesWithin {
+			ans.EffectiveK = effK
+		}
+		if err := enc.Encode(ans); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
 }
 
 func cmdStats(args []string) {

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"kreach"
+)
+
+// buildChainIndex indexes the path 0→1→…→7 at k=3.
+func buildChainIndex(t *testing.T) kreach.Reacher {
+	t.Helper()
+	b := kreach.NewBuilder(8)
+	for i := 0; i < 7; i++ {
+		b.AddEdge(i, i+1)
+	}
+	ix, err := kreach.BuildIndex(b.Build(), kreach.IndexOptions{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestAnswerPairsText(t *testing.T) {
+	r := buildChainIndex(t)
+	in := strings.NewReader("0 3\n\n# comment line\n0 4\n  2 5  \n")
+	var out bytes.Buffer
+	if err := answerPairs(r, in, &out, kreach.UseIndexK, false); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := out.String(), "true\nfalse\ntrue\n"; got != want {
+		t.Fatalf("output %q, want %q", got, want)
+	}
+}
+
+func TestAnswerPairsJSON(t *testing.T) {
+	r := buildChainIndex(t)
+	var out bytes.Buffer
+	if err := answerPairs(r, strings.NewReader("0 3\n0 4\n"), &out, kreach.UseIndexK, true); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d JSON lines, want 2", len(lines))
+	}
+	var ans queryAnswer
+	if err := json.Unmarshal([]byte(lines[0]), &ans); err != nil {
+		t.Fatal(err)
+	}
+	if !ans.Reachable || ans.Verdict != "yes" || ans.S != 0 || ans.T != 3 {
+		t.Errorf("first answer %+v", ans)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &ans); err != nil {
+		t.Fatal(err)
+	}
+	if ans.Reachable || ans.Verdict != "no" {
+		t.Errorf("second answer %+v", ans)
+	}
+}
+
+func TestAnswerPairsErrors(t *testing.T) {
+	r := buildChainIndex(t)
+	var out bytes.Buffer
+	if err := answerPairs(r, strings.NewReader("zero one\n"), &out, kreach.UseIndexK, false); err == nil {
+		t.Error("malformed pair accepted")
+	}
+	// A k the fixed-k index cannot answer surfaces the typed mismatch.
+	err := answerPairs(r, strings.NewReader("0 3\n"), &out, 5, false)
+	if err == nil || !strings.Contains(err.Error(), "cannot answer k=5") {
+		t.Errorf("k mismatch error = %v", err)
+	}
+}

@@ -234,21 +234,23 @@ func loadDataset(raw string, mutable bool) (*server.Dataset, error) {
 		if err != nil {
 			return nil, fmt.Errorf("dataset %q: %w", sp.name, err)
 		}
-		d.Dyn = dyn
+		d.Reacher = dyn
 		return d, nil
 	}
+	// Every branch produces a kreach.Reacher; the serving layer needs
+	// nothing more specific.
 	switch {
 	case sp.indexPath != "":
 		f, err := os.Open(sp.indexPath)
 		if err != nil {
 			return nil, fmt.Errorf("dataset %q: %w", sp.name, err)
 		}
-		ix, hk, err := kreach.LoadAutoIndex(f, g)
+		r, err := kreach.LoadAutoReacher(f, g)
 		f.Close()
 		if err != nil {
 			return nil, fmt.Errorf("dataset %q: %s: %w", sp.name, sp.indexPath, err)
 		}
-		d.Plain, d.HK = ix, hk
+		d.Reacher = r
 	case len(sp.rungs) > 0:
 		m, err := kreach.BuildMultiIndex(g, kreach.MultiOptions{
 			Rungs: sp.rungs, Cover: sp.cover, Seed: sp.seed,
@@ -256,13 +258,13 @@ func loadDataset(raw string, mutable bool) (*server.Dataset, error) {
 		if err != nil {
 			return nil, fmt.Errorf("dataset %q: %w", sp.name, err)
 		}
-		d.Multi = m
+		d.Reacher = m
 	case sp.h > 0:
 		hk, err := kreach.BuildHKIndex(g, kreach.HKOptions{H: sp.h, K: sp.k})
 		if err != nil {
 			return nil, fmt.Errorf("dataset %q: %w", sp.name, err)
 		}
-		d.HK = hk
+		d.Reacher = hk
 	default:
 		k := kreach.Unbounded
 		if sp.haveK {
@@ -272,7 +274,7 @@ func loadDataset(raw string, mutable bool) (*server.Dataset, error) {
 		if err != nil {
 			return nil, fmt.Errorf("dataset %q: %w", sp.name, err)
 		}
-		d.Plain = ix
+		d.Reacher = ix
 	}
 	return d, nil
 }

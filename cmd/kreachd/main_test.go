@@ -84,7 +84,7 @@ func TestLoadDatasetMutableValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if d.Kind() != server.KindDynamic || d.Dyn == nil {
+	if _, ok := d.Mutable(); d.Kind() != server.KindDynamic || !ok {
 		t.Errorf("mutable dataset built kind %s", d.Kind())
 	}
 	for _, bad := range []string{

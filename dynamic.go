@@ -1,6 +1,7 @@
 package kreach
 
 import (
+	"context"
 	"errors"
 
 	"kreach/internal/core"
@@ -120,23 +121,34 @@ func clampVertex(v int) graph.Vertex {
 
 // Reach reports whether t is reachable from s within k hops of the live
 // edge set. Safe for concurrent use, including concurrently with Mutate.
+// It is the concrete-type shorthand for ReachK with UseIndexK; new code
+// that may hold any Reacher should prefer ReachK.
 func (ix *DynamicIndex) Reach(s, t int) bool {
 	ix.check(s)
 	ix.check(t)
 	return ix.d.Reach(graph.Vertex(s), graph.Vertex(t), nil)
 }
 
-// ReachBatch answers every (S, T) pair with a worker pool; see
-// Index.ReachBatch. A mutation landing mid-batch is reflected by either
+// ReachBools answers every (S, T) pair with a worker pool; see
+// Index.ReachBools. A mutation landing mid-batch is reflected by either
 // the old or the new edge set per pair, never a mix within one pair.
-func (ix *DynamicIndex) ReachBatch(pairs []Pair, parallelism int) []bool {
+//
+// Deprecated: use ReachBatch (context cancellation, uniform verdicts).
+func (ix *DynamicIndex) ReachBools(pairs []Pair, parallelism int) []bool {
+	out, _ := ix.d.ReachBatch(context.Background(), ix.corePairs(pairs), parallelism)
+	return out
+}
+
+// corePairs validates every endpoint against the (fixed) vertex range and
+// converts to the internal pair representation.
+func (ix *DynamicIndex) corePairs(pairs []Pair) []core.Pair {
 	ps := make([]core.Pair, len(pairs))
 	for i, p := range pairs {
 		ix.check(p.S)
 		ix.check(p.T)
 		ps[i] = core.Pair{S: graph.Vertex(p.S), T: graph.Vertex(p.T)}
 	}
-	return ix.d.ReachBatch(ps, parallelism)
+	return ps
 }
 
 func (ix *DynamicIndex) check(v int) {
@@ -222,8 +234,11 @@ type DynamicStats struct {
 	Compactions     uint64
 }
 
-// Stats returns a consistent snapshot.
-func (ix *DynamicIndex) Stats() DynamicStats {
+// DynStats returns a consistent snapshot of the dynamic counters. It is
+// the concrete-type shorthand for Stats().Dynamic.
+func (ix *DynamicIndex) DynStats() DynamicStats { return ix.dynStats() }
+
+func (ix *DynamicIndex) dynStats() DynamicStats {
 	st := ix.d.Stats()
 	return DynamicStats{
 		Epoch:           st.Epoch,

@@ -1,0 +1,83 @@
+package kreach_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"kreach"
+)
+
+// ExampleBuildIndex builds a 2-reach index over a small delivery network
+// and answers fixed-k queries with it.
+func ExampleBuildIndex() {
+	// 0 → 1 → 2 → 3 → 4
+	b := kreach.NewBuilder(5)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}} {
+		b.AddEdge(e[0], e[1])
+	}
+	g := b.Build()
+
+	ix, err := kreach.BuildIndex(g, kreach.IndexOptions{K: 2})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("0→2 within 2 hops:", ix.Reach(0, 2))
+	fmt.Println("0→3 within 2 hops:", ix.Reach(0, 3))
+	// Output:
+	// 0→2 within 2 hops: true
+	// 0→3 within 2 hops: false
+}
+
+// ExampleReacher shows the unified v2 query surface: any index variant —
+// here a fixed-k index and a multi-rung ladder — answers single queries and
+// cancellable batches through the one Reacher interface.
+func ExampleReacher() {
+	// 0 → 1 → 2 → 3 → 4
+	b := kreach.NewBuilder(5)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}} {
+		b.AddEdge(e[0], e[1])
+	}
+	g := b.Build()
+	ctx := context.Background()
+
+	fixed, err := kreach.BuildIndex(g, kreach.IndexOptions{K: 2})
+	if err != nil {
+		panic(err)
+	}
+	ladder, err := kreach.BuildMultiIndex(g, kreach.MultiOptions{Rungs: kreach.ExactRungs(4)})
+	if err != nil {
+		panic(err)
+	}
+
+	for _, r := range []kreach.Reacher{fixed, ladder} {
+		// UseIndexK answers at the Reacher's native bound: the fixed index's
+		// k=2, classic reachability for the ladder.
+		v, effK, err := r.ReachK(ctx, 0, 3, kreach.UseIndexK)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s: 0→3 at native bound (k=%d): %s\n", r.Stats().Kind, effK, v)
+	}
+
+	// Batches ride a context-aware worker pool; BatchOptions.K picks the
+	// bound for every pair.
+	answers, err := ladder.ReachBatch(ctx, []kreach.Pair{{S: 0, T: 3}, {S: 3, T: 0}},
+		kreach.BatchOptions{K: 3})
+	if err != nil {
+		panic(err)
+	}
+	for i, a := range answers {
+		fmt.Printf("batch pair %d within 3 hops: %s\n", i, a.Verdict)
+	}
+
+	// A fixed-k Reacher refuses bounds it cannot answer, with a typed error.
+	_, _, err = fixed.ReachK(ctx, 0, 3, 4)
+	fmt.Println("fixed index asked k=4:", errors.Is(err, kreach.ErrKMismatch))
+	// Output:
+	// kreach: 0→3 at native bound (k=2): no
+	// multi: 0→3 at native bound (k=-1): yes
+	// batch pair 0 within 3 hops: yes
+	// batch pair 1 within 3 hops: no
+	// fixed index asked k=4: true
+}

@@ -1,8 +1,10 @@
 // Quickstart: build a small graph, index it for k-hop reachability, and
-// answer queries — the 60-second tour of the kreach public API.
+// answer queries through the unified Reacher interface — the 60-second
+// tour of the kreach public API.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -10,6 +12,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// A small delivery network: edges point from sender to receiver.
 	//
 	//	0 → 1 → 2 → 3 → 4
@@ -28,8 +32,25 @@ func main() {
 	}
 	fmt.Printf("2-reach index: cover %d vertices, %d index edges, %d bytes\n",
 		ix.CoverSize(), ix.IndexEdges(), ix.SizeBytes())
+
+	// Single queries: ReachK with UseIndexK answers at the index's own k.
 	for _, q := range [][2]int{{0, 2}, {0, 3}, {1, 6}, {4, 0}} {
-		fmt.Printf("  reach within 2 hops %d→%d: %v\n", q[0], q[1], ix.Reach(q[0], q[1]))
+		v, _, err := ix.ReachK(ctx, q[0], q[1], kreach.UseIndexK)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  reach within 2 hops %d→%d: %v\n", q[0], q[1], v == kreach.Yes)
+	}
+
+	// Batches ride a cancellable worker pool; the zero BatchOptions means
+	// "the index's k, GOMAXPROCS workers".
+	pairs := []kreach.Pair{{S: 0, T: 2}, {S: 0, T: 4}, {S: 1, T: 6}}
+	answers, err := ix.ReachBatch(ctx, pairs, kreach.BatchOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, p := range pairs {
+		fmt.Printf("  batch %d→%d: %s\n", p.S, p.T, answers[i].Verdict)
 	}
 
 	// Classic reachability is the k = ∞ special case.
@@ -40,13 +61,19 @@ func main() {
 	fmt.Printf("classic reach 0→4: %v, 0→6: %v, 6→0: %v\n",
 		classic.Reach(0, 4), classic.Reach(0, 6), classic.Reach(6, 0))
 
-	// A multi-resolution ladder answers any k exactly.
-	multi, err := kreach.BuildMultiIndex(g, kreach.MultiOptions{Rungs: kreach.ExactRungs(6)})
+	// A multi-resolution ladder answers any per-query k through the same
+	// Reacher interface — fixed-k indexes would reject these ks with a
+	// *KMismatchError instead of answering the wrong bound.
+	var r kreach.Reacher
+	r, err = kreach.BuildMultiIndex(g, kreach.MultiOptions{Rungs: kreach.ExactRungs(6)})
 	if err != nil {
 		log.Fatal(err)
 	}
 	for k := 1; k <= 4; k++ {
-		v, _ := multi.Reach(0, 4, k)
+		v, _, err := r.ReachK(ctx, 0, 4, k)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("  reach 0→4 within %d hops: %v\n", k, v)
 	}
 }

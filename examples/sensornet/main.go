@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -66,12 +67,24 @@ func main() {
 
 	// Coverage of a base station: how many sensors receive a broadcast
 	// within h hops, and with what delivery probability (0.9 per hop)?
+	// Each budget is one ReachBatch over every sensor — the worker pool
+	// answers the sweep in parallel and would stop between pairs if the
+	// context were cancelled.
+	ctx := context.Background()
 	base := 0
+	all := make([]kreach.Pair, sensors)
+	for t := 0; t < sensors; t++ {
+		all[t] = kreach.Pair{S: base, T: t}
+	}
 	fmt.Println("\nbase-station coverage by hop budget:")
 	for _, budget := range []int{1, 2, 4, 6, 8} {
+		answers, err := multi.ReachBatch(ctx, all, kreach.BatchOptions{K: budget})
+		if err != nil {
+			log.Fatal(err)
+		}
 		count := 0
-		for t := 0; t < sensors; t++ {
-			if v, _ := multi.Reach(base, t, budget); v == kreach.Yes {
+		for _, a := range answers {
+			if a.Verdict == kreach.Yes {
 				count++
 			}
 		}
@@ -84,7 +97,11 @@ func main() {
 	fmt.Println("\noff-rung queries (budget 12 — between rungs 8 and 16):")
 	exact, approx := 0, 0
 	for t := 0; t < sensors; t += 7 {
-		switch v, within := multi.Reach(base, t, 12); v {
+		v, within, err := multi.ReachK(ctx, base, t, 12)
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch v {
 		case kreach.Yes, kreach.No:
 			exact++
 		case kreach.YesWithin:

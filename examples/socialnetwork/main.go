@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand/v2"
@@ -95,22 +96,26 @@ func main() {
 		reached, 100*float64(reached)/users, k)
 
 	// Interactive workload: 200k random "are we in each other's small
-	// world?" checks, index vs no index.
+	// world?" checks, batched through the Reacher worker pool (the same
+	// hot path kreachd's /v1/batch endpoint rides), index vs no index.
 	const queries = 200_000
-	type pair struct{ s, t int }
-	qs := make([]pair, queries)
+	qs := make([]kreach.Pair, queries)
 	for i := range qs {
-		qs[i] = pair{rng.IntN(users), rng.IntN(users)}
+		qs[i] = kreach.Pair{S: rng.IntN(users), T: rng.IntN(users)}
 	}
 	t0 = time.Now()
+	answers, err := ix.ReachBatch(context.Background(), qs, kreach.BatchOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dIndex := time.Since(t0)
 	hits := 0
-	for _, q := range qs {
-		if ix.Reach(q.s, q.t) {
+	for _, a := range answers {
+		if a.Verdict == kreach.Yes {
 			hits++
 		}
 	}
-	dIndex := time.Since(t0)
-	fmt.Printf("index: %d queries in %v (%.0f ns/query), %.1f%% within %d hops\n",
+	fmt.Printf("index: %d batched queries in %v (%.0f ns/query), %.1f%% within %d hops\n",
 		queries, dIndex.Round(time.Millisecond),
 		float64(dIndex.Nanoseconds())/queries, 100*float64(hits)/queries, k)
 
@@ -118,7 +123,7 @@ func main() {
 	const bfsSample = 2_000
 	t0 = time.Now()
 	for _, q := range qs[:bfsSample] {
-		bfsReach(g, q.s, q.t, k)
+		bfsReach(g, q.S, q.T, k)
 	}
 	dBFS := time.Since(t0) * (queries / bfsSample)
 	fmt.Printf("k-hop BFS (extrapolated): %v for the same workload — %.0fx slower\n",

@@ -1,6 +1,7 @@
 package bench_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -45,7 +46,24 @@ func BenchmarkReachBatch(b *testing.B) {
 	for _, par := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("batch-%d", par), func(b *testing.B) {
 			for n := 0; n < b.N; n++ {
-				ix.ReachBatch(pairs, par)
+				if _, err := ix.ReachBatch(context.Background(), pairs, par); err != nil {
+					b.Fatal(err)
+				}
+			}
+			qps(b)
+		})
+	}
+	// Same hot path under a cancellable context: workers poll ctx.Done()
+	// between pairs (strided), so this sub-benchmark prices the
+	// cancellation machinery against the Background fast path above.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for _, par := range []int{1, 8} {
+		b.Run(fmt.Sprintf("batch-cancellable-%d", par), func(b *testing.B) {
+			for n := 0; n < b.N; n++ {
+				if _, err := ix.ReachBatch(ctx, pairs, par); err != nil {
+					b.Fatal(err)
+				}
 			}
 			qps(b)
 		})

@@ -5,6 +5,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand/v2"
@@ -450,7 +451,9 @@ func (r *Runner) TableBatch() error {
 		fmt.Fprintf(w, "\t%s", kqps(time.Since(t0)))
 		for _, p := range pars {
 			t0 = time.Now()
-			ix.ReachBatch(pairs, p)
+			if _, err := ix.ReachBatch(context.Background(), pairs, p); err != nil {
+				return err
+			}
 			fmt.Fprintf(w, "\t%s", kqps(time.Since(t0)))
 		}
 		fmt.Fprintln(w, "\t")

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -12,6 +13,14 @@ import (
 // public library and the bench harness: a worker pool that answers many
 // (s, t) queries at once, reusing one QueryScratch per worker so the hot
 // loop stays allocation-free no matter how large the batch is.
+//
+// The pool is context-aware: workers poll ctx.Done() between pairs (at a
+// small stride, so the check amortizes to well under a nanosecond per
+// query) and stop claiming work once the context is cancelled. A cancelled
+// batch returns the partially filled result slice together with ctx.Err();
+// an uncancellable context (Done() == nil, e.g. context.Background()) takes
+// a checking-free fast path, so callers that do not need cancellation pay
+// nothing for it.
 
 // Pair is one (s, t) query of a batch.
 type Pair struct {
@@ -22,6 +31,12 @@ type Pair struct {
 // enough to amortize the atomic add, small enough that skewed per-query
 // costs (Case 1 lookups vs Case 4 intersections) still balance.
 const batchChunk = 256
+
+// cancelStride is how many pairs a worker answers between ctx.Done() polls.
+// A non-blocking channel receive costs a few nanoseconds; striding it keeps
+// the per-query overhead negligible while still bounding cancellation
+// latency to a few dozen microseconds of query work.
+const cancelStride = 64
 
 // batchWorkers resolves a parallelism request like Options.Parallelism:
 // 0 means GOMAXPROCS, 1 means sequential; never more workers than jobs.
@@ -39,16 +54,54 @@ func batchWorkers(parallelism, jobs int) int {
 	return w
 }
 
-// batchEval runs evalRange over a partition of [0, n): workers claim
-// contiguous chunks off an atomic cursor until the range is drained. Each
-// worker gets its own scratch from newScratch, so evalRange may mutate it
-// freely. Ranges (not single indexes) keep the indirect call off the
-// per-query hot path.
-func batchEval[S any](n, parallelism int, newScratch func() S, evalRange func(lo, hi int, sc S)) {
+// cancelled is the strided non-blocking ctx.Done() poll. A nil channel
+// (uncancellable context) is never ready.
+func cancelled(done <-chan struct{}) bool {
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
+// BatchEval runs evalRange over a partition of [0, n): workers claim
+// contiguous chunks off an atomic cursor until the range is drained or ctx
+// is cancelled. Each worker gets its own scratch from newScratch, so
+// evalRange may mutate it freely. Ranges (not single indexes) keep the
+// indirect call off the per-query hot path; cancellation is polled between
+// sub-ranges of cancelStride pairs, never mid-pair.
+//
+// On cancellation BatchEval stops promptly and returns ctx.Err(); ranges
+// already evaluated keep their results (cooperative partial completion).
+// It is exported for the other index implementations in this module
+// (internal/dynamic) — not part of the public API.
+func BatchEval[S any](ctx context.Context, n, parallelism int, newScratch func() S, evalRange func(lo, hi int, sc S)) error {
 	workers := batchWorkers(parallelism, n)
-	if workers == 1 {
+	done := ctx.Done()
+	if done == nil && workers == 1 {
 		evalRange(0, n, newScratch())
-		return
+		return nil
+	}
+	// evalCtx evaluates [lo, hi) with cancellation polls every cancelStride
+	// pairs, reporting false once the context is cancelled. With a nil done
+	// channel the poll never fires and the loop degenerates to one call.
+	evalCtx := func(lo, hi int, sc S) bool {
+		for s := lo; s < hi; s += cancelStride {
+			if cancelled(done) {
+				return false
+			}
+			e := s + cancelStride
+			if e > hi {
+				e = hi
+			}
+			evalRange(s, e, sc)
+		}
+		return true
+	}
+	if workers == 1 {
+		evalCtx(0, n, newScratch())
+		return ctx.Err()
 	}
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
@@ -66,47 +119,57 @@ func batchEval[S any](n, parallelism int, newScratch func() S, evalRange func(lo
 				if hi > n {
 					hi = n
 				}
-				evalRange(lo, hi, sc)
+				if done == nil {
+					evalRange(lo, hi, sc)
+				} else if !evalCtx(lo, hi, sc) {
+					return
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	return ctx.Err()
 }
 
 // ReachBatch answers every pair with the index, using `parallelism` workers
 // (0 = GOMAXPROCS, 1 = sequential). Results are positionally aligned with
-// pairs. Safe for concurrent use, including concurrently with Reach.
-func (ix *Index) ReachBatch(pairs []Pair, parallelism int) []bool {
+// pairs. If ctx is cancelled mid-batch the pool stops between pairs and
+// returns the partially filled slice together with ctx.Err(); entries not
+// yet evaluated hold the zero value. Safe for concurrent use, including
+// concurrently with Reach.
+func (ix *Index) ReachBatch(ctx context.Context, pairs []Pair, parallelism int) ([]bool, error) {
 	out := make([]bool, len(pairs))
-	batchEval(len(pairs), parallelism, NewQueryScratch, func(lo, hi int, sc *QueryScratch) {
+	err := BatchEval(ctx, len(pairs), parallelism, NewQueryScratch, func(lo, hi int, sc *QueryScratch) {
 		for i := lo; i < hi; i++ {
 			out[i] = ix.Reach(pairs[i].S, pairs[i].T, sc)
 		}
 	})
-	return out
+	return out, err
 }
 
 // ReachBatch answers every pair with the (h,k)-reach index, using
-// `parallelism` workers (0 = GOMAXPROCS, 1 = sequential).
-func (ix *HKIndex) ReachBatch(pairs []Pair, parallelism int) []bool {
+// `parallelism` workers (0 = GOMAXPROCS, 1 = sequential). Cancellation
+// semantics as in Index.ReachBatch.
+func (ix *HKIndex) ReachBatch(ctx context.Context, pairs []Pair, parallelism int) ([]bool, error) {
 	out := make([]bool, len(pairs))
-	batchEval(len(pairs), parallelism, func() *HKQueryScratch { return NewHKQueryScratch(ix) },
+	err := BatchEval(ctx, len(pairs), parallelism, func() *HKQueryScratch { return NewHKQueryScratch(ix) },
 		func(lo, hi int, sc *HKQueryScratch) {
 			for i := lo; i < hi; i++ {
 				out[i] = ix.Reach(pairs[i].S, pairs[i].T, sc)
 			}
 		})
-	return out
+	return out, err
 }
 
 // ReachBatch answers every pair for hop bound k with the ladder, using
-// `parallelism` workers (0 = GOMAXPROCS, 1 = sequential).
-func (m *MultiIndex) ReachBatch(pairs []Pair, k, parallelism int) []MultiResult {
+// `parallelism` workers (0 = GOMAXPROCS, 1 = sequential). Cancellation
+// semantics as in Index.ReachBatch.
+func (m *MultiIndex) ReachBatch(ctx context.Context, pairs []Pair, k, parallelism int) ([]MultiResult, error) {
 	out := make([]MultiResult, len(pairs))
-	batchEval(len(pairs), parallelism, NewQueryScratch, func(lo, hi int, sc *QueryScratch) {
+	err := BatchEval(ctx, len(pairs), parallelism, NewQueryScratch, func(lo, hi int, sc *QueryScratch) {
 		for i := lo; i < hi; i++ {
 			out[i] = m.Reach(pairs[i].S, pairs[i].T, k, sc)
 		}
 	})
-	return out
+	return out, err
 }

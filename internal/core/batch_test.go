@@ -1,7 +1,9 @@
 package core_test
 
 import (
+	"context"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"kreach/internal/core"
@@ -43,7 +45,10 @@ func TestReachBatchMatchesSequential(t *testing.T) {
 				want[i] = ix.Reach(p.S, p.T, scratch)
 			}
 			for _, par := range []int{0, 1, 2, 7} {
-				got := ix.ReachBatch(pairs, par)
+				got, err := ix.ReachBatch(context.Background(), pairs, par)
+				if err != nil {
+					t.Fatal(err)
+				}
 				if len(got) != len(want) {
 					t.Fatalf("parallelism %d: %d results for %d pairs", par, len(got), len(pairs))
 				}
@@ -70,7 +75,10 @@ func TestHKReachBatchMatchesSequential(t *testing.T) {
 		want[i] = ix.Reach(p.S, p.T, scratch)
 	}
 	for _, par := range []int{0, 1, 3} {
-		got := ix.ReachBatch(pairs, par)
+		got, err := ix.ReachBatch(context.Background(), pairs, par)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for i := range got {
 			if got[i] != want[i] {
 				t.Fatalf("parallelism %d: pair %v = %v, want %v", par, pairs[i], got[i], want[i])
@@ -92,7 +100,10 @@ func TestMultiReachBatchMatchesSequential(t *testing.T) {
 		for i, p := range pairs {
 			want[i] = m.Reach(p.S, p.T, k, scratch)
 		}
-		got := m.ReachBatch(pairs, k, 4)
+		got, err := m.ReachBatch(context.Background(), pairs, k, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for i := range got {
 			if got[i] != want[i] {
 				t.Fatalf("k=%d pair %v = %+v, want %+v", k, pairs[i], got[i], want[i])
@@ -122,7 +133,11 @@ func TestReachBatchConcurrentCallers(t *testing.T) {
 		wg.Add(1)
 		go func(par int) {
 			defer wg.Done()
-			got := ix.ReachBatch(pairs, par)
+			got, err := ix.ReachBatch(context.Background(), pairs, par)
+			if err != nil {
+				errs <- err.Error()
+				return
+			}
 			for i := range got {
 				if got[i] != want[i] {
 					errs <- "batch result diverged under concurrency"
@@ -151,11 +166,79 @@ func TestReachBatchEmptyAndTiny(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := ix.ReachBatch(nil, 8); len(got) != 0 {
-		t.Fatalf("empty batch returned %d results", len(got))
+	if got, err := ix.ReachBatch(context.Background(), nil, 8); err != nil || len(got) != 0 {
+		t.Fatalf("empty batch returned %d results, err %v", len(got), err)
 	}
-	got := ix.ReachBatch([]core.Pair{{S: 0, T: 2}, {S: 0, T: 4}}, 8)
+	got, err := ix.ReachBatch(context.Background(), []core.Pair{{S: 0, T: 2}, {S: 0, T: 4}}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !got[0] || got[1] {
 		t.Fatalf("tiny batch = %v, want [true false]", got)
+	}
+}
+
+// TestReachBatchPreCancelled: a batch whose context is already done returns
+// promptly with ctx.Err() and evaluates (essentially) nothing.
+func TestReachBatchPreCancelled(t *testing.T) {
+	g := testgraph.Random(40, 150, 51)
+	ix, err := core.Build(g, core.Options{K: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, par := range []int{1, 4} {
+		if _, err := ix.ReachBatch(ctx, allPairs(g.NumVertices()), par); err != context.Canceled {
+			t.Fatalf("parallelism %d: err = %v, want context.Canceled", par, err)
+		}
+	}
+}
+
+// TestBatchEvalCancelMidFlight cancels while workers are mid-batch and
+// checks both that BatchEval stops early (cooperative cancellation between
+// pairs) and that every result written before the stop is intact.
+func TestBatchEvalCancelMidFlight(t *testing.T) {
+	const n = 1 << 16
+	ctx, cancel := context.WithCancel(context.Background())
+	out := make([]int32, n)
+	var evaluated atomic.Int64
+	err := core.BatchEval(ctx, n, 4, func() struct{} { return struct{}{} }, func(lo, hi int, _ struct{}) {
+		for i := lo; i < hi; i++ {
+			out[i] = 1
+			if evaluated.Add(1) == 1000 {
+				cancel()
+			}
+		}
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := evaluated.Load(); got == n {
+		t.Fatal("cancellation did not stop the batch early")
+	} else if got < 1000 {
+		t.Fatalf("evaluated %d pairs, want >= 1000", got)
+	}
+	// Every claimed index was evaluated exactly once: the written-slot count
+	// must match the counter (a double-claimed chunk would overwrite slots
+	// and leave fewer ones than increments).
+	ones := 0
+	for _, v := range out {
+		ones += int(v)
+	}
+	if int64(ones) != evaluated.Load() {
+		t.Fatalf("%d slots written for %d evaluations", ones, evaluated.Load())
+	}
+}
+
+// TestBatchEvalNilDoneRunsToCompletion: an uncancellable context takes the
+// fast path and evaluates everything.
+func TestBatchEvalNilDoneRunsToCompletion(t *testing.T) {
+	const n = 10_000
+	var evaluated atomic.Int64
+	err := core.BatchEval(context.Background(), n, 4, func() struct{} { return struct{}{} },
+		func(lo, hi int, _ struct{}) { evaluated.Add(int64(hi - lo)) })
+	if err != nil || evaluated.Load() != n {
+		t.Fatalf("evaluated %d of %d, err %v", evaluated.Load(), n, err)
 	}
 }

@@ -128,6 +128,9 @@ func BuildMulti(g *graph.Graph, ks []int, opts Options) (*MultiIndex, error) {
 // Rungs returns the ladder's k values in ascending order.
 func (m *MultiIndex) Rungs() []int { return m.ks }
 
+// CoverSize returns |V_I| of the vertex cover shared by every rung.
+func (m *MultiIndex) CoverSize() int { return m.unbnd.Cover().Len() }
+
 // SizeBytes sums the rung sizes (including the n-reach rung), the space
 // figure Section 4.4 reasons about (≈ lg d × one index).
 func (m *MultiIndex) SizeBytes() int {

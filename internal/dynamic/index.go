@@ -1,6 +1,7 @@
 package dynamic
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -347,48 +348,17 @@ func containsInt32(sorted []int32, v int32) bool {
 // ReachBatch answers every pair with a worker pool (0 = GOMAXPROCS,
 // 1 = sequential), positionally aligned with pairs. Each worker owns its
 // scratch; each query takes the read lock, so a mutation landing mid-batch
-// is answered for by either the old or the new edge set per query.
-func (ix *Index) ReachBatch(pairs []core.Pair, parallelism int) []bool {
+// is answered for by either the old or the new edge set per query. If ctx
+// is cancelled mid-batch the pool stops between pairs and returns the
+// partially filled slice together with ctx.Err().
+func (ix *Index) ReachBatch(ctx context.Context, pairs []core.Pair, parallelism int) ([]bool, error) {
 	out := make([]bool, len(pairs))
-	workers := parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	const chunk = 256
-	if c := (len(pairs) + chunk - 1) / chunk; workers > c {
-		workers = c
-	}
-	if workers <= 1 {
-		sc := NewQueryScratch()
-		for i, p := range pairs {
-			out[i] = ix.Reach(p.S, p.T, sc)
+	err := core.BatchEval(ctx, len(pairs), parallelism, NewQueryScratch, func(lo, hi int, sc *QueryScratch) {
+		for i := lo; i < hi; i++ {
+			out[i] = ix.Reach(pairs[i].S, pairs[i].T, sc)
 		}
-		return out
-	}
-	var cursor atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sc := NewQueryScratch()
-			for {
-				hi := int(cursor.Add(chunk))
-				lo := hi - chunk
-				if lo >= len(pairs) {
-					return
-				}
-				if hi > len(pairs) {
-					hi = len(pairs)
-				}
-				for i := lo; i < hi; i++ {
-					out[i] = ix.Reach(pairs[i].S, pairs[i].T, sc)
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return out
+	})
+	return out, err
 }
 
 // MutationResult reports what one Mutate batch did.

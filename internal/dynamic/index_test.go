@@ -1,6 +1,7 @@
 package dynamic
 
 import (
+	"context"
 	"errors"
 	"math/rand/v2"
 	"testing"
@@ -363,7 +364,10 @@ func TestReachBatchMatchesReach(t *testing.T) {
 		pairs[i] = core.Pair{S: graph.Vertex(rng.IntN(n)), T: graph.Vertex(rng.IntN(n))}
 	}
 	for _, par := range []int{1, 0, 4} {
-		got := ix.ReachBatch(pairs, par)
+		got, err := ix.ReachBatch(context.Background(), pairs, par)
+		if err != nil {
+			t.Fatal(err)
+		}
 		sc := NewQueryScratch()
 		for i, p := range pairs {
 			if want := ix.Reach(p.S, p.T, sc); got[i] != want {

@@ -1,6 +1,7 @@
 package dynamic
 
 import (
+	"context"
 	"math/rand/v2"
 	"sync"
 	"testing"
@@ -224,7 +225,7 @@ func TestConcurrentMutateAndQuery(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < 20; i++ {
-			ix.ReachBatch(pairs, 0)
+			ix.ReachBatch(context.Background(), pairs, 0) //nolint:errcheck // background ctx never cancels
 		}
 	}()
 	wg.Wait()

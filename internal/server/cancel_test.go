@@ -1,0 +1,134 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kreach"
+	"kreach/internal/server"
+)
+
+// blockingReacher is a stub Reacher whose batch path parks until its
+// context is cancelled — the serving-layer contract under test is that the
+// request context reaches the worker pool, so a disconnected client stops
+// the batch instead of leaving it burning workers. Registering it also
+// proves the Dataset/Registry layer needs nothing beyond the interface.
+type blockingReacher struct {
+	started   chan struct{} // closed (once) when ReachBatch begins waiting
+	cancelled atomic.Bool   // set when the context fired inside the pool
+	startOnce atomic.Bool
+}
+
+func (b *blockingReacher) K() int         { return 2 }
+func (b *blockingReacher) Epoch() uint64  { return 1 }
+func (b *blockingReacher) CoverSize() int { return 0 }
+func (b *blockingReacher) SizeBytes() int { return 0 }
+func (b *blockingReacher) Stats() kreach.ReacherStats {
+	return kreach.ReacherStats{Kind: kreach.KindPlain, K: 2, Epoch: 1}
+}
+
+func (b *blockingReacher) ReachK(ctx context.Context, s, t, k int) (kreach.Verdict, int, error) {
+	if err := ctx.Err(); err != nil {
+		return kreach.No, 0, err
+	}
+	return kreach.Yes, 2, nil
+}
+
+func (b *blockingReacher) ReachBatch(ctx context.Context, pairs []kreach.Pair, opts kreach.BatchOptions) ([]kreach.BatchVerdict, error) {
+	if b.startOnce.CompareAndSwap(false, true) {
+		close(b.started)
+	}
+	select {
+	case <-ctx.Done():
+		b.cancelled.Store(true)
+		return make([]kreach.BatchVerdict, len(pairs)), ctx.Err()
+	case <-time.After(30 * time.Second):
+		return nil, context.DeadlineExceeded // test failure backstop
+	}
+}
+
+// TestBatchClientDisconnectCancelsPool: a /v1/batch whose client goes away
+// mid-request must propagate the cancellation into the Reacher's worker
+// pool and finish the handler. Run under -race in CI, this also checks the
+// handler/pool shutdown for data races.
+func TestBatchClientDisconnectCancelsPool(t *testing.T) {
+	g := kreach.NewBuilder(4)
+	g.AddEdge(0, 1)
+	stub := &blockingReacher{started: make(chan struct{})}
+	reg := server.NewRegistry()
+	if err := reg.Add(&server.Dataset{Name: "slow", Graph: g.Build(), Reacher: stub}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(reg, server.Config{}))
+	defer ts.Close()
+
+	body, err := json.Marshal(map[string]any{"pairs": [][2]int{{0, 1}, {1, 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/batch", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+	// Wait until the handler is inside the batch, then hang up.
+	select {
+	case <-stub.started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("batch never reached the Reacher")
+	}
+	cancel()
+	if err := <-done; err == nil {
+		t.Fatal("client request succeeded despite disconnect")
+	}
+	// The pool must observe the cancellation promptly (not the 30s backstop).
+	deadline := time.Now().Add(5 * time.Second)
+	for !stub.cancelled.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("worker pool never observed the disconnect")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestBatchPreCancelledContextServerSide: the full stack — a real index
+// behind a real server — answers a cancelled request by stopping the pool;
+// nothing is written and nothing is cached.
+func TestBatchPreCancelledContextServerSide(t *testing.T) {
+	ts, g := newTestServer(t, server.Config{Parallelism: 2, CacheEntries: 1 << 10})
+	n := g.NumVertices()
+	var pairs [][2]int
+	for s := 0; s < n; s++ {
+		for tt := 0; tt < n; tt += 2 {
+			pairs = append(pairs, [2]int{s, tt})
+		}
+	}
+	body, err := json.Marshal(map[string]any{"pairs": pairs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/batch", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close()
+		t.Fatal("pre-cancelled request succeeded")
+	}
+}

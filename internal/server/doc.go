@@ -7,13 +7,34 @@
 //	POST /v1/reach                    {"graph":"name","s":0,"t":5,"k":3}   single query
 //	POST /v1/batch                    {"graph":"name","pairs":[[0,5],[1,2]]} many queries
 //	POST /v1/datasets/{name}/reload   rebuild + atomically swap a dataset
+//	POST /v1/datasets/{name}/edges    apply edge mutations (mutable datasets)
+//	POST /v1/datasets/{name}/compact  merge the overlay into a fresh snapshot
 //	GET  /v1/stats                    registry metadata + cache counters
 //	GET  /healthz                     liveness probe
 //
 // "graph" may be omitted when the registry holds a default dataset. "k" is
-// only meaningful for multi-rung datasets (omitted = classic reachability);
-// plain and (h,k) datasets answer for the k they were built with. See
-// docs/API.md for the full request/response reference.
+// only meaningful for per-query-k (multi-rung) datasets (omitted = classic
+// reachability); fixed-k datasets answer for the k they were built with and
+// reject any other. See docs/API.md for the full request/response
+// reference.
+//
+// # Capability-based dispatch
+//
+// Every dataset holds one kreach.Reacher — the query paths never see a
+// concrete index type. What a dataset can do beyond answering queries is
+// discovered through capability accessors: Dataset.Mutable unwraps the
+// write path for dynamic datasets, Dataset.PerQueryK detects rung ladders.
+// Adding an index variant therefore means implementing kreach.Reacher, not
+// growing per-kind switches across handlers; the single remaining per-kind
+// branch shapes the optional fields of /v1/stats.
+//
+// # Cancellation
+//
+// Handlers propagate the request context into ReachK and the ReachBatch
+// worker pool. A client that disconnects mid-batch cancels the remaining
+// pairs: workers stop between pairs, the partial answers are discarded
+// (never cached, never written), and the goroutines are reclaimed instead
+// of burning through an abandoned batch.
 //
 // # Caching
 //

@@ -26,12 +26,22 @@ func newDynamicServer(t *testing.T, cfg server.Config) (*httptest.Server, *serve
 		t.Fatal(err)
 	}
 	reg := server.NewRegistry()
-	if err := reg.Add(&server.Dataset{Name: "dyn", Graph: g, Dyn: dyn}); err != nil {
+	if err := reg.Add(&server.Dataset{Name: "dyn", Graph: g, Reacher: dyn}); err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(server.New(reg, cfg))
 	t.Cleanup(ts.Close)
 	return ts, reg
+}
+
+// mustDyn unwraps a dataset's mutable index via the capability accessor.
+func mustDyn(t *testing.T, d *server.Dataset) *kreach.DynamicIndex {
+	t.Helper()
+	dyn, ok := d.Mutable()
+	if !ok {
+		t.Fatalf("dataset %q is not mutable", d.Name)
+	}
+	return dyn
 }
 
 func reachable(t *testing.T, url string, s, tgt int) bool {
@@ -141,10 +151,10 @@ func TestCompactEndpointSwapsSnapshot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if after == before || after.Dyn == before.Dyn {
+	if after == before || mustDyn(t, after) == mustDyn(t, before) {
 		t.Fatal("compact did not swap a fresh snapshot into the registry")
 	}
-	if !before.Dyn.Retired() {
+	if !mustDyn(t, before).Retired() {
 		t.Error("displaced snapshot not retired")
 	}
 	// Answers survive the swap (1→5 is exactly k=4 hops), and the
@@ -211,15 +221,15 @@ func TestSwapIfRejectsSuperseded(t *testing.T) {
 		return d
 	}
 	// A "reload" lands while a hypothetical compaction of A is running.
-	b := &server.Dataset{Name: "dyn", Graph: a.Graph, Dyn: freshDyn()}
+	b := &server.Dataset{Name: "dyn", Graph: a.Graph, Reacher: freshDyn()}
 	if _, err := reg.Swap(b); err != nil {
 		t.Fatal(err)
 	}
-	if !a.Dyn.Retired() {
+	if !mustDyn(t, a).Retired() {
 		t.Error("swap did not retire the displaced dynamic snapshot")
 	}
 	// The stale compaction result (expecting A) must be rejected...
-	stale := &server.Dataset{Name: "dyn", Graph: a.Graph, Dyn: freshDyn()}
+	stale := &server.Dataset{Name: "dyn", Graph: a.Graph, Reacher: freshDyn()}
 	if err := reg.SwapIf(a, stale); !errors.Is(err, server.ErrSuperseded) {
 		t.Fatalf("SwapIf with stale expectation: err = %v, want ErrSuperseded", err)
 	}
@@ -227,14 +237,14 @@ func TestSwapIfRejectsSuperseded(t *testing.T) {
 		t.Fatal("stale compaction clobbered the reloaded snapshot")
 	}
 	// ...while a SwapIf expecting the live snapshot goes through.
-	next := &server.Dataset{Name: "dyn", Graph: a.Graph, Dyn: freshDyn()}
+	next := &server.Dataset{Name: "dyn", Graph: a.Graph, Reacher: freshDyn()}
 	if err := reg.SwapIf(b, next); err != nil {
 		t.Fatal(err)
 	}
 	if cur, _ := reg.Lookup("dyn"); cur != next {
 		t.Fatal("valid SwapIf did not publish")
 	}
-	if !b.Dyn.Retired() {
+	if !mustDyn(t, b).Retired() {
 		t.Error("SwapIf did not retire the displaced snapshot")
 	}
 }
@@ -301,7 +311,7 @@ func TestAutoCompaction(t *testing.T) {
 		t.Fatal(err)
 	}
 	reg := server.NewRegistry()
-	if err := reg.Add(&server.Dataset{Name: "dyn", Graph: g, Dyn: dyn}); err != nil {
+	if err := reg.Add(&server.Dataset{Name: "dyn", Graph: g, Reacher: dyn}); err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(server.New(reg, server.Config{}))
@@ -322,8 +332,8 @@ func TestAutoCompaction(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if d.Dyn != dyn {
-			if got := d.Dyn.Stats().DeltaAdded; got != 0 {
+		if cur := mustDyn(t, d); cur != dyn {
+			if got := cur.DynStats().DeltaAdded; got != 0 {
 				t.Errorf("auto-compacted snapshot has deltas: %d", got)
 			}
 			if !reachable(t, ts.URL, 0, 3) {

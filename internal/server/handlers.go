@@ -1,8 +1,8 @@
 package server
 
 import (
+	"context"
 	"errors"
-	"fmt"
 	"net/http"
 
 	"kreach"
@@ -11,18 +11,18 @@ import (
 // queryKey identifies one cached answer: the snapshot epoch plus the query
 // triple. Epochs are process-unique per index (see Dataset.Epoch), so keys
 // never collide across datasets or across reloads of one dataset. For
-// fixed-k datasets (plain and (h,k)) the k the index answers for is implied
-// by the epoch and the field is left 0; only multi-rung datasets vary k per
-// query (-1 encodes classic reachability).
+// fixed-k datasets the k the index answers for is implied by the epoch and
+// the field is left 0; only per-query-k (ladder) datasets vary k per query
+// (-1 encodes classic reachability).
 type queryKey struct {
 	epoch uint64
 	s, t  int32
 	k     int32
 }
 
-// cachedAnswer is one cached query result, uniform across the three index
-// kinds: plain and (h,k) answers carry Yes/No, the ladder's one-sided
-// answers carry YesWithin plus the rung the answer is certain for.
+// cachedAnswer is one cached query result, uniform across every Reacher:
+// fixed-k answers carry Yes/No, the ladder's one-sided answers carry
+// YesWithin plus the rung the answer is certain for.
 type cachedAnswer struct {
 	verdict    kreach.Verdict
 	effectiveK int
@@ -30,77 +30,72 @@ type cachedAnswer struct {
 
 func (a cachedAnswer) reachable() bool { return a.verdict != kreach.No }
 
-// effectiveK normalizes a multi-rung request k to the value both the cache
-// key and the probe use, so the two can never disagree. Negative or absent
-// k means classic reachability; any k ≥ n−1 is normalized to it too, since
-// shortest paths are simple — reachability within n−1 hops IS classic
-// reachability (and the unbounded rung answers it exactly instead of
-// one-sided). The normalized value always fits the key's int32, so two
-// distinct request ks can never collide on one cache entry.
-func effectiveK(d *Dataset, reqK *int) int {
-	k := kreach.Unbounded
-	if reqK != nil {
-		k = *reqK
+// toAnswer compresses a ReachK/ReachBatch verdict into the cached shape:
+// EffectiveK is retained only for YesWithin, where it carries information
+// (the rung) beyond the request's own k.
+func toAnswer(v kreach.Verdict, effK int) cachedAnswer {
+	ans := cachedAnswer{verdict: v}
+	if v == kreach.YesWithin {
+		ans.effectiveK = effK
 	}
-	if k < 0 || k >= d.Graph.NumVertices()-1 {
-		return kreach.Unbounded
+	return ans
+}
+
+// requestK maps the request body's optional k onto the Reacher hop-bound
+// convention: absent means UseIndexK (the dataset's native bound).
+func requestK(reqK *int) int {
+	if reqK == nil {
+		return kreach.UseIndexK
 	}
-	return k
+	return *reqK
+}
+
+// cacheK canonicalizes a per-query-k request bound to the value both the
+// cache key and the Reacher use, so the two can never disagree. The rules
+// are the Reacher's own (Dataset.NormalizeK → e.g. MultiIndex.NormalizeK:
+// UseIndexK, negatives and k ≥ n−1 all mean classic reachability), not
+// re-derived here, so a future per-query-k backend with different
+// semantics gets correct cache keys for free. The normalized value always
+// fits the key's int32, so two distinct request ks can never collide on
+// one cache entry.
+func cacheK(d *Dataset, reqK *int) int {
+	return d.NormalizeK(requestK(reqK))
 }
 
 // keyFor builds the cache key for a query against snapshot d. reqK is the
-// request's optional k, already validated by resolveFixedK.
+// request's optional k, already validated by Dataset.CheckK.
 func keyFor(d *Dataset, s, t int, reqK *int) queryKey {
 	key := queryKey{epoch: d.Epoch(), s: int32(s), t: int32(t)}
-	if d.Kind() == KindMulti {
-		key.k = int32(effectiveK(d, reqK))
+	if d.PerQueryK() {
+		key.k = int32(cacheK(d, reqK))
 	}
 	return key
 }
 
-// probe runs the actual index lookup for one query against snapshot d.
-func probe(d *Dataset, s, t int, reqK *int) cachedAnswer {
-	switch d.Kind() {
-	case KindPlain:
-		return boolAnswer(d.Plain.Reach(s, t))
-	case KindHK:
-		return boolAnswer(d.HK.Reach(s, t))
-	case KindDynamic:
-		return boolAnswer(d.Dyn.Reach(s, t))
-	default:
-		verdict, effK := d.Multi.Reach(s, t, effectiveK(d, reqK))
-		ans := cachedAnswer{verdict: verdict}
-		if verdict == kreach.YesWithin {
-			ans.effectiveK = effK
-		}
-		return ans
-	}
-}
-
-func boolAnswer(reachable bool) cachedAnswer {
-	if reachable {
-		return cachedAnswer{verdict: kreach.Yes}
-	}
-	return cachedAnswer{verdict: kreach.No}
-}
-
 // answer resolves one query through the cache (singleflight: a stampede on
-// one hot key does a single index probe), or straight through to the index
-// when caching is disabled. The only possible error is ErrProbePanicked on
-// a collapsed caller whose leader's probe panicked; it must not be served
-// as a normal answer.
-func (s *Server) answer(d *Dataset, src, dst int, reqK *int) (cachedAnswer, error) {
-	if s.cache == nil {
-		return probe(d, src, dst, reqK), nil
+// one hot key does a single index probe), or straight through to the
+// Reacher when caching is disabled. Errors are either the context's (client
+// gone) or ErrProbePanicked on a collapsed caller whose leader's probe
+// panicked; neither may be served as a normal answer.
+func (s *Server) answer(ctx context.Context, d *Dataset, src, dst int, reqK *int) (cachedAnswer, error) {
+	probe := func() (cachedAnswer, error) {
+		v, effK, err := d.Reacher.ReachK(ctx, src, dst, requestK(reqK))
+		if err != nil {
+			return cachedAnswer{}, err
+		}
+		return toAnswer(v, effK), nil
 	}
-	return s.cache.Do(keyFor(d, src, dst, reqK), func() (cachedAnswer, error) {
-		return probe(d, src, dst, reqK), nil
-	})
+	if s.cache == nil {
+		return probe()
+	}
+	return s.cache.Do(keyFor(d, src, dst, reqK), probe)
 }
 
-// reachRequest is the /v1/reach body. K is a pointer so "absent" can be
-// told apart from 0; absent means "the dataset's own k" (multi: classic
-// reachability).
+// reachRequest is the /v1/reach body. K follows the Reacher hop-bound
+// convention: absent or 0 means the dataset's native bound (ladders:
+// classic reachability), negative means classic reachability explicitly.
+// The pointer keeps "absent" representable so validation can stay lenient
+// about it on every dataset kind.
 type reachRequest struct {
 	Graph string `json:"graph"`
 	S     int    `json:"s"`
@@ -110,7 +105,7 @@ type reachRequest struct {
 
 // reachResponse answers one query. Reachable is true for both exact Yes and
 // the ladder's one-sided YesWithin; Verdict and EffectiveK carry the
-// distinction for multi-rung datasets.
+// distinction for per-query-k datasets.
 type reachResponse struct {
 	Graph      string `json:"graph"`
 	S          int    `json:"s"`
@@ -120,33 +115,25 @@ type reachResponse struct {
 	EffectiveK int    `json:"effective_k,omitempty"`
 }
 
-// resolveFixedK rejects a request k that contradicts a fixed-k dataset.
-func resolveFixedK(d *Dataset, k *int) error {
-	if k == nil {
-		return nil
-	}
-	var have int
-	switch d.Kind() {
-	case KindPlain:
-		have = d.Plain.K()
-	case KindHK:
-		have = d.HK.K()
-	case KindDynamic:
-		have = d.Dyn.K()
+// writeAnswerError maps a query-path error onto an HTTP status: a hop-bound
+// mismatch is the client's fault; a done request context means the client
+// is gone and nothing should be written; a context error on a live request
+// is a singleflight leader's cancellation bleeding onto a collapsed
+// follower (cache.Do shares the leader's error), which the healthy
+// follower should simply retry — 503, not a spurious 500.
+func writeAnswerError(w http.ResponseWriter, r *http.Request, d *Dataset, err error) {
+	switch {
+	case errors.Is(err, kreach.ErrKMismatch):
+		writeError(w, http.StatusBadRequest, "graph %q: %v", d.Name, err)
+	case r.Context().Err() != nil:
+		// Client disconnected (or timed out) mid-query; the response writer
+		// has no reader anymore.
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusServiceUnavailable,
+			"query cancelled by a concurrent caller, retry: %v", err)
 	default:
-		return nil
+		writeError(w, http.StatusInternalServerError, "%v", err)
 	}
-	if *k != have {
-		return errFixedK(d, have, *k)
-	}
-	return nil
-}
-
-func errFixedK(d *Dataset, have, want int) error {
-	if have == kreach.Unbounded {
-		return fmt.Errorf("graph %q serves classic reachability (k unbounded), cannot answer k=%d", d.Name, want)
-	}
-	return fmt.Errorf("graph %q serves fixed k=%d, cannot answer k=%d", d.Name, have, want)
 }
 
 func (s *Server) handleReach(w http.ResponseWriter, r *http.Request) {
@@ -167,13 +154,13 @@ func (s *Server) handleReach(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if err := resolveFixedK(d, req.K); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+	if err := d.CheckK(req.K); err != nil {
+		writeError(w, http.StatusBadRequest, "graph %q: %v", d.Name, err)
 		return
 	}
-	ans, err := s.answer(d, req.S, req.T, req.K)
+	ans, err := s.answer(r.Context(), d, req.S, req.T, req.K)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		writeAnswerError(w, r, d, err)
 		return
 	}
 	resp := reachResponse{
@@ -198,7 +185,7 @@ type batchRequest struct {
 
 // batchResponse is positionally aligned with the request's pairs. Results
 // is reachable-or-not for every pair; Verdicts and EffectiveK are present
-// only for multi-rung datasets (EffectiveK is 0 except for yes-within).
+// only for per-query-k datasets (EffectiveK is 0 except for yes-within).
 type batchResponse struct {
 	Graph      string   `json:"graph"`
 	Count      int      `json:"count"`
@@ -208,10 +195,13 @@ type batchResponse struct {
 }
 
 // answerBatch resolves a batch against snapshot d: cached pairs are served
-// from the cache, the misses go through the index's ReachBatch worker pool
-// in one go, and fresh answers are written back. Every answer comes from d
-// (directly or via d's epoch-tagged cache entries), so one response never
-// mixes snapshots even if a reload lands mid-request.
+// from the cache, the misses go through the Reacher's ReachBatch worker
+// pool in one go, and fresh answers are written back. Every answer comes
+// from d (directly or via d's epoch-tagged cache entries), so one response
+// never mixes snapshots even if a reload lands mid-request. The request
+// context rides into the worker pool: a client that disconnects mid-batch
+// cancels the remaining pairs, and the partial answers are discarded, never
+// cached.
 //
 // Unlike /v1/reach, misses here are NOT singleflight-collapsed (neither
 // across concurrent batches nor within one batch): funneling every miss
@@ -219,45 +209,27 @@ type batchResponse struct {
 // ReachBatch's worker-pool parallelism, a bad trade for the large,
 // mostly-distinct pair sets batches carry. Duplicate hot keys may be
 // probed more than once; the results are identical and the later Put wins.
-func (s *Server) answerBatch(d *Dataset, pairs []kreach.Pair, reqK *int) []cachedAnswer {
-	// probeBatch answers a pair slice straight through the index's worker
-	// pool, scattering results via toAnswer.
-	probeBatch := func(miss []kreach.Pair, toAnswer func(j int, ans cachedAnswer)) {
-		switch d.Kind() {
-		case KindPlain:
-			for j, ok := range d.Plain.ReachBatch(miss, s.cfg.Parallelism) {
-				toAnswer(j, boolAnswer(ok))
-			}
-		case KindHK:
-			for j, ok := range d.HK.ReachBatch(miss, s.cfg.Parallelism) {
-				toAnswer(j, boolAnswer(ok))
-			}
-		case KindDynamic:
-			for j, ok := range d.Dyn.ReachBatch(miss, s.cfg.Parallelism) {
-				toAnswer(j, boolAnswer(ok))
-			}
-		case KindMulti:
-			for j, v := range d.Multi.ReachBatch(miss, effectiveK(d, reqK), s.cfg.Parallelism) {
-				ans := cachedAnswer{verdict: v.Verdict}
-				if v.Verdict == kreach.YesWithin {
-					ans.effectiveK = v.EffectiveK
-				}
-				toAnswer(j, ans)
-			}
-		}
-	}
-	answers := make([]cachedAnswer, len(pairs))
+func (s *Server) answerBatch(ctx context.Context, d *Dataset, pairs []kreach.Pair, reqK *int) ([]cachedAnswer, error) {
+	opts := kreach.BatchOptions{K: requestK(reqK), Parallelism: s.cfg.Parallelism}
 	if s.cache == nil {
 		// No cache: skip the miss bookkeeping entirely.
-		probeBatch(pairs, func(j int, ans cachedAnswer) { answers[j] = ans })
-		return answers
+		res, err := d.Reacher.ReachBatch(ctx, pairs, opts)
+		if err != nil {
+			return nil, err
+		}
+		answers := make([]cachedAnswer, len(res))
+		for i, v := range res {
+			answers[i] = toAnswer(v.Verdict, v.EffectiveK)
+		}
+		return answers, nil
 	}
-	// Epoch, kind and normalized k are constant across the batch; hoist the
-	// key prefix so the per-pair loops only fill in the endpoints.
+	// Epoch and normalized k are constant across the batch; hoist the key
+	// prefix so the per-pair loops only fill in the endpoints.
 	key := queryKey{epoch: d.Epoch()}
-	if d.Kind() == KindMulti {
-		key.k = int32(effectiveK(d, reqK))
+	if d.PerQueryK() {
+		key.k = int32(cacheK(d, reqK))
 	}
+	answers := make([]cachedAnswer, len(pairs))
 	missIdx := make([]int, 0, len(pairs))
 	for i, p := range pairs {
 		key.s, key.t = int32(p.S), int32(p.T)
@@ -268,18 +240,26 @@ func (s *Server) answerBatch(d *Dataset, pairs []kreach.Pair, reqK *int) []cache
 		}
 	}
 	if len(missIdx) == 0 {
-		return answers
+		return answers, nil
 	}
 	miss := make([]kreach.Pair, len(missIdx))
 	for j, i := range missIdx {
 		miss[j] = pairs[i]
 	}
-	probeBatch(miss, func(j int, ans cachedAnswer) { answers[missIdx[j]] = ans })
+	res, err := d.Reacher.ReachBatch(ctx, miss, opts)
+	if err != nil {
+		// Cancelled mid-batch (or bad k): the result slice is partial, so
+		// nothing of it may be served or cached.
+		return nil, err
+	}
+	for j, v := range res {
+		answers[missIdx[j]] = toAnswer(v.Verdict, v.EffectiveK)
+	}
 	for _, i := range missIdx {
 		key.s, key.t = int32(pairs[i].S), int32(pairs[i].T)
 		s.cache.Put(key, answers[i])
 	}
-	return answers
+	return answers, nil
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -309,16 +289,20 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		pairs[i] = kreach.Pair{S: p[0], T: p[1]}
 	}
-	if err := resolveFixedK(d, req.K); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+	if err := d.CheckK(req.K); err != nil {
+		writeError(w, http.StatusBadRequest, "graph %q: %v", d.Name, err)
 		return
 	}
-	answers := s.answerBatch(d, pairs, req.K)
+	answers, err := s.answerBatch(r.Context(), d, pairs, req.K)
+	if err != nil {
+		writeAnswerError(w, r, d, err)
+		return
+	}
 	resp := batchResponse{Graph: d.Name, Count: len(pairs), Results: make([]bool, len(answers))}
 	for i, a := range answers {
 		resp.Results[i] = a.reachable()
 	}
-	if d.Kind() == KindMulti {
+	if d.PerQueryK() {
 		resp.Verdicts = make([]string, len(answers))
 		resp.EffectiveK = make([]int, len(answers))
 		for i, a := range answers {
@@ -427,47 +411,52 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		if err != nil {
 			continue
 		}
+		st := d.Reacher.Stats()
 		info := datasetInfo{
 			Name:       d.Name,
-			Kind:       d.Kind(),
-			Epoch:      d.Epoch(),
+			Kind:       st.Kind,
+			Epoch:      st.Epoch,
 			Reloadable: d.Loader != nil,
 			Vertices:   d.Graph.NumVertices(),
 			Edges:      d.Graph.NumEdges(),
+			SizeBytes:  st.SizeBytes,
 		}
-		switch d.Kind() {
+		// The one remaining per-kind dispatch in the serving layer: pure
+		// JSON shaping of the uniform ReacherStats (which optional fields a
+		// variant reports). Query and mutation paths are kind-free.
+		switch st.Kind {
 		case KindPlain:
-			info.K = intPtr(d.Plain.K())
-			info.CoverSize = intPtr(d.Plain.CoverSize())
-			info.IndexEdges = intPtr(d.Plain.IndexEdges())
-			info.SizeBytes = d.Plain.SizeBytes()
-		case KindHK:
-			info.K = intPtr(d.HK.K())
-			info.H = intPtr(d.HK.H())
-			info.CoverSize = intPtr(d.HK.CoverSize())
-			info.SizeBytes = d.HK.SizeBytes()
-		case KindMulti:
-			info.Rungs = d.Multi.Rungs()
-			info.SizeBytes = d.Multi.SizeBytes()
-		case KindDynamic:
-			st := d.Dyn.Stats()
 			info.K = intPtr(st.K)
 			info.CoverSize = intPtr(st.CoverSize)
-			info.IndexEdges = intPtr(st.IndexArcs)
-			info.SizeBytes = d.Dyn.SizeBytes()
-			info.Edges = st.LiveEdges // overlay applied, not the base CSR
+			info.IndexEdges = intPtr(st.IndexEdges)
+		case KindHK:
+			info.K = intPtr(st.K)
+			info.H = intPtr(st.H)
+			info.CoverSize = intPtr(st.CoverSize)
+		case KindMulti:
+			info.Rungs = st.Rungs
+		case KindDynamic:
+			dyn := st.Dynamic
+			info.K = intPtr(st.K)
+			info.CoverSize = intPtr(st.CoverSize)
+			info.IndexEdges = intPtr(st.IndexEdges)
+			info.Edges = dyn.LiveEdges // overlay applied, not the base CSR
+			shouldCompact := false
+			if mut, ok := d.Mutable(); ok {
+				shouldCompact = mut.ShouldCompact()
+			}
 			info.Dynamic = &dynamicInfo{
-				BaseEdges:       st.BaseEdges,
-				DeltaAdded:      st.DeltaAdded,
-				DeltaRemoved:    st.DeltaRemoved,
-				MutationBatches: st.MutationBatches,
-				EdgesAdded:      st.EdgesAdded,
-				EdgesRemoved:    st.EdgesRemoved,
-				Promotions:      st.Promotions,
-				RowsRecomputed:  st.RowsRecomputed,
-				MaintenanceBFS:  st.MaintenanceBFS,
-				Compactions:     st.Compactions,
-				ShouldCompact:   d.Dyn.ShouldCompact(),
+				BaseEdges:       dyn.BaseEdges,
+				DeltaAdded:      dyn.DeltaAdded,
+				DeltaRemoved:    dyn.DeltaRemoved,
+				MutationBatches: dyn.MutationBatches,
+				EdgesAdded:      dyn.EdgesAdded,
+				EdgesRemoved:    dyn.EdgesRemoved,
+				Promotions:      dyn.Promotions,
+				RowsRecomputed:  dyn.RowsRecomputed,
+				MaintenanceBFS:  dyn.MaintenanceBFS,
+				Compactions:     dyn.Compactions,
+				ShouldCompact:   shouldCompact,
 			}
 		}
 		resp.Datasets = append(resp.Datasets, info)

@@ -67,11 +67,12 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusNotFound, "%v", err)
 			return
 		}
-		if d.Kind() != KindDynamic {
+		dyn, ok := d.Mutable()
+		if !ok {
 			writeError(w, http.StatusConflict, "%v: %q serves kind %q", ErrNotDynamic, d.Name, d.Kind())
 			return
 		}
-		res, err := d.Dyn.Mutate(req.Add, req.Remove)
+		res, err := dyn.Mutate(req.Add, req.Remove)
 		if errors.Is(err, kreach.ErrRetired) && attempt < mutateRetries {
 			continue
 		}
@@ -79,7 +80,7 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusServiceUnavailable, "%v", err)
 			return
 		}
-		st := d.Dyn.Stats()
+		st := dyn.DynStats()
 		resp := edgesResponse{
 			Graph:          d.Name,
 			Added:          res.Added,
@@ -97,7 +98,7 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 		// serving path. ErrCompacting (another trigger won the race) and
 		// ErrRetired are expected and dropped; the next stats poll shows
 		// the outcome either way.
-		if res.Applied() && d.Dyn.ShouldCompact() {
+		if res.Applied() && dyn.ShouldCompact() {
 			resp.Compacting = true
 			go s.compactDataset(name) //nolint:errcheck // best-effort background job
 		}
@@ -115,12 +116,13 @@ func (s *Server) compactDataset(name string) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	if d.Kind() != KindDynamic {
+	dyn, ok := d.Mutable()
+	if !ok {
 		return nil, fmt.Errorf("%w: %q serves kind %q", ErrNotDynamic, d.Name, d.Kind())
 	}
 	var next *Dataset
-	_, _, err = d.Dyn.Compact(func(nx *kreach.DynamicIndex, g *kreach.Graph) error {
-		next = &Dataset{Name: d.Name, Graph: g, Dyn: nx}
+	_, _, err = dyn.Compact(func(nx *kreach.DynamicIndex, g *kreach.Graph) error {
+		next = &Dataset{Name: d.Name, Graph: g, Reacher: nx}
 		// Publish only if d is still the live snapshot: a reload that
 		// landed while the rebuild ran must win, or mutations already
 		// acknowledged against it would silently revert.
@@ -166,11 +168,12 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, "%v", err)
 		return
 	}
+	nextDyn, _ := next.Mutable()
 	writeJSON(w, http.StatusOK, compactResponse{
 		Graph:       next.Name,
 		Epoch:       next.Epoch(),
 		Vertices:    next.Graph.NumVertices(),
-		Edges:       next.Dyn.NumEdges(),
-		Compactions: next.Dyn.Stats().Compactions,
+		Edges:       nextDyn.NumEdges(),
+		Compactions: nextDyn.DynStats().Compactions,
 	})
 }

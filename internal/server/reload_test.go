@@ -32,7 +32,7 @@ func buildPlainDataset(t *testing.T, name string, g *kreach.Graph) *server.Datas
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &server.Dataset{Name: name, Graph: g, Plain: ix}
+	return &server.Dataset{Name: name, Graph: g, Reacher: ix}
 }
 
 func TestRegistrySwap(t *testing.T) {
@@ -45,7 +45,7 @@ func TestRegistrySwap(t *testing.T) {
 		t.Fatal(err)
 	}
 	epochA := a.Epoch()
-	preSwap := a.Plain.Reach(0, 1)
+	preSwap := a.Reacher.(*kreach.Index).Reach(0, 1)
 
 	b := buildPlainDataset(t, "d", gB)
 	old, err := reg.Swap(b)
@@ -70,7 +70,7 @@ func TestRegistrySwap(t *testing.T) {
 	}
 	// The old snapshot stays fully usable: in-flight requests that resolved
 	// it before the swap keep answering against it, exactly as before.
-	if got := old.Plain.Reach(0, 1); got != preSwap {
+	if got := old.Reacher.(*kreach.Index).Reach(0, 1); got != preSwap {
 		t.Errorf("old snapshot answer changed across the swap: %v != %v", got, preSwap)
 	}
 	if _, err := reg.Swap(buildPlainDataset(t, "nope", gA)); err == nil {
@@ -492,7 +492,7 @@ func TestHugeKNormalized(t *testing.T) {
 		t.Fatal(err)
 	}
 	reg := server.NewRegistry()
-	if err := reg.Add(&server.Dataset{Name: "multi", Graph: g, Multi: multi}); err != nil {
+	if err := reg.Add(&server.Dataset{Name: "multi", Graph: g, Reacher: multi}); err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(server.New(reg, server.Config{}))

@@ -12,37 +12,40 @@ import (
 	"kreach/internal/cache"
 )
 
-// Kind labels the index variant a dataset serves.
-type Kind string
+// Kind labels the index variant a dataset serves; it aliases the public
+// package's IndexKind so Reacher.Stats().Kind flows straight through.
+type Kind = kreach.IndexKind
 
-// Dataset kinds.
+// Dataset kinds, re-exported for this package's callers.
 const (
-	KindPlain   Kind = "kreach"  // fixed-k Index (or n-reach when k = Unbounded)
-	KindHK      Kind = "hkreach" // (h,k)-reach HKIndex
-	KindMulti   Kind = "multi"   // MultiIndex ladder, per-query k
-	KindDynamic Kind = "dynamic" // mutable DynamicIndex, accepts edge mutations
+	KindPlain   = kreach.KindPlain   // fixed-k Index (or n-reach when k = Unbounded)
+	KindHK      = kreach.KindHK      // (h,k)-reach HKIndex
+	KindMulti   = kreach.KindMulti   // MultiIndex ladder, per-query k
+	KindDynamic = kreach.KindDynamic // mutable DynamicIndex, accepts edge mutations
 )
 
-// Dataset is one named graph plus exactly one of the four index variants.
-// A Dataset is an immutable snapshot: all fields are read-only after
-// registration, and replacing a dataset means registering a whole new
-// Dataset via Registry.Swap or Registry.Reload. Handlers resolve the
-// snapshot once per request, so in-flight requests keep answering against
-// the snapshot they started with even while a swap lands.
+// Dataset is one named graph plus one Reacher answering for it. A Dataset
+// is an immutable snapshot: all fields are read-only after registration,
+// and replacing a dataset means registering a whole new Dataset via
+// Registry.Swap or Registry.Reload. Handlers resolve the snapshot once per
+// request, so in-flight requests keep answering against the snapshot they
+// started with even while a swap lands.
 //
-// A dynamic dataset bends the "immutable snapshot" framing deliberately:
-// the Dataset cell (name, base graph, index identity) is still fixed, but
-// the index's edge set evolves in place behind its own locks, and its
-// epoch advances with every mutation batch so epoch-keyed cache entries
-// follow along. Graph remains the immutable base the dynamic overlay was
-// started from; live counts come from Dyn.
+// Handlers dispatch through the Reacher interface and the capability
+// accessors (Mutable, PerQueryK) — never through the index's concrete
+// type — so adding an index variant means implementing kreach.Reacher, not
+// growing per-kind switches across the serving layer.
+//
+// A mutable (dynamic) dataset bends the "immutable snapshot" framing
+// deliberately: the Dataset cell (name, base graph, index identity) is
+// still fixed, but the index's edge set evolves in place behind its own
+// locks, and its epoch advances with every mutation batch so epoch-keyed
+// cache entries follow along. Graph remains the immutable base the dynamic
+// overlay was started from; live counts come from the Reacher's stats.
 type Dataset struct {
-	Name  string
-	Graph *kreach.Graph
-	Plain *kreach.Index
-	HK    *kreach.HKIndex
-	Multi *kreach.MultiIndex
-	Dyn   *kreach.DynamicIndex
+	Name    string
+	Graph   *kreach.Graph
+	Reacher kreach.Reacher
 
 	// Loader rebuilds this dataset from its source of truth (for kreachd,
 	// the -dataset spec: graph and index files are re-read, indexes
@@ -52,35 +55,62 @@ type Dataset struct {
 	Loader func() (*Dataset, error)
 }
 
-// Kind reports which index variant the dataset holds.
-func (d *Dataset) Kind() Kind {
-	switch {
-	case d.Dyn != nil:
-		return KindDynamic
-	case d.Multi != nil:
-		return KindMulti
-	case d.HK != nil:
-		return KindHK
-	default:
-		return KindPlain
-	}
-}
+// Kind reports which index variant the dataset holds, as tagged by the
+// Reacher itself.
+func (d *Dataset) Kind() Kind { return d.Reacher.Stats().Kind }
 
 // Epoch returns the process-unique generation of the dataset's index. The
 // query cache embeds it in every key, so swapping in a new snapshot (whose
 // index necessarily has a fresh generation) invalidates all cached answers
 // for the dataset without touching the cache.
-func (d *Dataset) Epoch() uint64 {
-	switch d.Kind() {
-	case KindDynamic:
-		return d.Dyn.Epoch()
-	case KindMulti:
-		return d.Multi.Epoch()
-	case KindHK:
-		return d.HK.Epoch()
-	default:
-		return d.Plain.Epoch()
+func (d *Dataset) Epoch() uint64 { return d.Reacher.Epoch() }
+
+// Mutable reports whether the dataset serves a mutable index, and returns
+// it for the write path (edge mutations, compaction) when so.
+func (d *Dataset) Mutable() (*kreach.DynamicIndex, bool) {
+	dyn, ok := d.Reacher.(*kreach.DynamicIndex)
+	return dyn, ok
+}
+
+// perQueryK is the capability contract of a Reacher that answers arbitrary
+// per-query hop bounds (a rung ladder): it exposes its rungs and, crucially
+// for the cache, its own request-bound canonicalization — two request ks
+// with the same NormalizeK image always produce the same answer, so cache
+// keys use the normalized bound. Detecting the capability behaviorally lets
+// future ladder-like backends inherit it without touching the server.
+type perQueryK interface {
+	Rungs() []int
+	NormalizeK(k int) int
+}
+
+// PerQueryK reports whether the dataset's Reacher answers arbitrary
+// per-query hop bounds, as opposed to one fixed k.
+func (d *Dataset) PerQueryK() bool {
+	_, ok := d.Reacher.(perQueryK)
+	return ok
+}
+
+// NormalizeK canonicalizes a per-query request bound via the Reacher's own
+// rules; on fixed-k datasets it returns k unchanged (their cache keys do
+// not carry a k at all).
+func (d *Dataset) NormalizeK(k int) int {
+	if pq, ok := d.Reacher.(perQueryK); ok {
+		return pq.NormalizeK(k)
 	}
+	return k
+}
+
+// CheckK rejects a request hop bound the dataset cannot answer, before any
+// cache or index work happens. A nil reqK (absent in the request body)
+// always passes: it means the Reacher's native bound. Validation delegates
+// to kreach.ResolveK, so it can never drift from what the index itself
+// would accept.
+func (d *Dataset) CheckK(reqK *int) error {
+	if reqK == nil || d.PerQueryK() {
+		return nil
+	}
+	_, err := kreach.ResolveK(d.Reacher.K(), *reqK)
+	return err
 }
 
 func (d *Dataset) valid() error {
@@ -90,21 +120,8 @@ func (d *Dataset) valid() error {
 	if d.Graph == nil {
 		return fmt.Errorf("server: dataset %q has no graph", d.Name)
 	}
-	count := 0
-	if d.Plain != nil {
-		count++
-	}
-	if d.HK != nil {
-		count++
-	}
-	if d.Multi != nil {
-		count++
-	}
-	if d.Dyn != nil {
-		count++
-	}
-	if count != 1 {
-		return fmt.Errorf("server: dataset %q must hold exactly one index, has %d", d.Name, count)
+	if d.Reacher == nil {
+		return fmt.Errorf("server: dataset %q has no index", d.Name)
 	}
 	return nil
 }
@@ -222,8 +239,15 @@ func (r *Registry) Swap(d *Dataset) (*Dataset, error) {
 // unpublished index and silently vanishing. Queries against the old
 // snapshot keep answering its frozen state.
 func retireDisplaced(old, repl *Dataset) {
-	if old != nil && old.Dyn != nil && old.Dyn != repl.Dyn {
-		old.Dyn.Retire()
+	if old == nil {
+		return
+	}
+	oldDyn, ok := old.Mutable()
+	if !ok {
+		return
+	}
+	if newDyn, _ := repl.Mutable(); oldDyn != newDyn {
+		oldDyn.Retire()
 	}
 }
 

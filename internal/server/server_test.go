@@ -42,9 +42,9 @@ func newTestServer(t *testing.T, cfg server.Config) (*httptest.Server, *kreach.G
 	}
 	reg := server.NewRegistry()
 	for _, d := range []*server.Dataset{
-		{Name: "plain", Graph: g, Plain: plain},
-		{Name: "hk", Graph: g, HK: hk},
-		{Name: "multi", Graph: g, Multi: multi},
+		{Name: "plain", Graph: g, Reacher: plain},
+		{Name: "hk", Graph: g, Reacher: hk},
+		{Name: "multi", Graph: g, Reacher: multi},
 	} {
 		if err := reg.Add(d); err != nil {
 			t.Fatal(err)
@@ -390,19 +390,19 @@ func TestRegistryValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	reg := server.NewRegistry()
-	if err := reg.Add(&server.Dataset{Name: "", Graph: g, Plain: plain}); err == nil {
+	if err := reg.Add(&server.Dataset{Name: "", Graph: g, Reacher: plain}); err == nil {
 		t.Error("nameless dataset accepted")
 	}
 	if err := reg.Add(&server.Dataset{Name: "x", Graph: g}); err == nil {
 		t.Error("index-less dataset accepted")
 	}
-	if err := reg.Add(&server.Dataset{Name: "x", Graph: g, Plain: plain, HK: hk}); err == nil {
-		t.Error("two-index dataset accepted")
+	if err := reg.Add(&server.Dataset{Name: "x", Reacher: plain}); err == nil {
+		t.Error("graph-less dataset accepted")
 	}
-	if err := reg.Add(&server.Dataset{Name: "x", Graph: g, Plain: plain}); err != nil {
+	if err := reg.Add(&server.Dataset{Name: "x", Graph: g, Reacher: plain}); err != nil {
 		t.Fatal(err)
 	}
-	if err := reg.Add(&server.Dataset{Name: "x", Graph: g, Plain: plain}); err == nil {
+	if err := reg.Add(&server.Dataset{Name: "x", Graph: g, Reacher: hk}); err == nil {
 		t.Error("duplicate name accepted")
 	}
 	if _, err := reg.Lookup(""); err != nil {

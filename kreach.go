@@ -33,12 +33,21 @@
 //     online edge insertions and deletions with incremental maintenance,
 //     plus compaction back into a fresh immutable snapshot.
 //
+// All four variants implement the Reacher interface — the recommended way
+// to consume them: one context-aware query contract (ReachK, ReachBatch)
+// plus a uniform IndexInfo surface (K, Epoch, CoverSize, SizeBytes, Stats),
+// so serving layers and tools work with any variant, current or future,
+// through a single code path. The per-variant Reach methods remain as thin
+// wrappers for callers that know their concrete type.
+//
 // All public query methods are safe for concurrent use; construction
 // parallelizes across cover vertices (Section 4.1.3 of the paper).
 package kreach
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -240,7 +249,9 @@ func checkPairs(g *Graph, pairs []Pair) []core.Pair {
 }
 
 // Reach reports whether t is reachable from s within the index's k hops
-// (Algorithm 2 of the paper). Safe for concurrent use.
+// (Algorithm 2 of the paper). Safe for concurrent use. It is the
+// concrete-type shorthand for ReachK with UseIndexK; new code that may hold
+// any Reacher should prefer ReachK.
 func (ix *Index) Reach(s, t int) bool {
 	ix.g.check(s)
 	ix.g.check(t)
@@ -250,13 +261,17 @@ func (ix *Index) Reach(s, t int) bool {
 	return ok
 }
 
-// ReachBatch answers every (S, T) pair at once with a worker pool that
-// reuses per-worker query scratch, the hot path shared by kreachd and the
-// bench harness. parallelism bounds the workers (0 = GOMAXPROCS, 1 =
-// sequential). The result is positionally aligned with pairs. Safe for
-// concurrent use, including concurrently with Reach.
-func (ix *Index) ReachBatch(pairs []Pair, parallelism int) []bool {
-	return ix.ix.ReachBatch(checkPairs(ix.g, pairs), parallelism)
+// ReachBools answers every (S, T) pair at once with a worker pool that
+// reuses per-worker query scratch. parallelism bounds the workers
+// (0 = GOMAXPROCS, 1 = sequential). The result is positionally aligned
+// with pairs. Safe for concurrent use, including concurrently with Reach.
+//
+// Deprecated: use ReachBatch, which adds context cancellation and the
+// uniform BatchVerdict answer shape. ReachBools remains for callers that
+// predate the Reacher interface.
+func (ix *Index) ReachBools(pairs []Pair, parallelism int) []bool {
+	out, _ := ix.ix.ReachBatch(context.Background(), checkPairs(ix.g, pairs), parallelism)
+	return out
 }
 
 // K returns the hop bound (Unbounded for classic reachability).
@@ -339,10 +354,13 @@ func (ix *HKIndex) Reach(s, t int) bool {
 	return ok
 }
 
-// ReachBatch answers every (S, T) pair at once with a worker pool; see
-// Index.ReachBatch. parallelism: 0 = GOMAXPROCS, 1 = sequential.
-func (ix *HKIndex) ReachBatch(pairs []Pair, parallelism int) []bool {
-	return ix.ix.ReachBatch(checkPairs(ix.g, pairs), parallelism)
+// ReachBools answers every (S, T) pair at once with a worker pool; see
+// Index.ReachBools. parallelism: 0 = GOMAXPROCS, 1 = sequential.
+//
+// Deprecated: use ReachBatch (context cancellation, uniform verdicts).
+func (ix *HKIndex) ReachBools(pairs []Pair, parallelism int) []bool {
+	out, _ := ix.ix.ReachBatch(context.Background(), checkPairs(ix.g, pairs), parallelism)
+	return out
 }
 
 // H returns the hop-cover radius.
@@ -367,11 +385,17 @@ func (ix *HKIndex) Save(w io.Writer) error { return ix.ix.WriteBinary(w) }
 // LoadAutoIndex reads an index written by Index.Save or HKIndex.Save,
 // detecting the variant by a 4-byte magic peek, and attaches it to g.
 // Exactly one of the returned indexes is non-nil on success; a stream with
-// neither magic errors without being parsed.
+// neither magic errors without being parsed, and a stream too short to even
+// hold a magic reports a truncated index file. Callers that do not need
+// the concrete type should prefer LoadAutoReacher.
 func LoadAutoIndex(r io.Reader, g *Graph) (*Index, *HKIndex, error) {
 	br := bufio.NewReader(r)
 	head, err := br.Peek(4)
 	if err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, nil, fmt.Errorf("kreach: truncated index file: %d byte(s), need 4 for the magic: %w",
+				len(head), io.ErrUnexpectedEOF)
+		}
 		return nil, nil, fmt.Errorf("kreach: reading index magic: %w", err)
 	}
 	switch core.SniffIndexMagic([4]byte(head)) {
@@ -383,6 +407,21 @@ func LoadAutoIndex(r io.Reader, g *Graph) (*Index, *HKIndex, error) {
 		return nil, hk, err
 	}
 	return nil, nil, fmt.Errorf("kreach: magic %q is neither a plain nor an (h,k) index", head)
+}
+
+// LoadAutoReacher reads an index written by Index.Save or HKIndex.Save —
+// detecting the variant from its magic like LoadAutoIndex — and returns it
+// behind the unified Reacher interface, so loaders need no per-variant
+// plumbing.
+func LoadAutoReacher(r io.Reader, g *Graph) (Reacher, error) {
+	ix, hk, err := LoadAutoIndex(r, g)
+	if err != nil {
+		return nil, err
+	}
+	if ix != nil {
+		return ix, nil
+	}
+	return hk, nil
 }
 
 // LoadHKIndex reads an index written by HKIndex.Save and attaches it to g,
@@ -459,7 +498,10 @@ func BuildMultiIndex(g *Graph, opts MultiOptions) (*MultiIndex, error) {
 // Reach answers whether t is reachable from s within k hops (k < 0 means
 // classic reachability). The verdict is exact when k matches a rung or the
 // bracketing rungs agree; otherwise YesWithin reports the rung k' ≤
-// 2^⌈lg k⌉ within which reachability is certain.
+// 2^⌈lg k⌉ within which reachability is certain. It is the concrete-type
+// shorthand for ReachK; new code that may hold any Reacher should prefer
+// ReachK (note ReachK treats k = 0 as UseIndexK, i.e. classic
+// reachability, where Reach answers the literal 0-hop query).
 func (ix *MultiIndex) Reach(s, t, k int) (Verdict, int) {
 	ix.g.check(s)
 	ix.g.check(t)
@@ -469,18 +511,24 @@ func (ix *MultiIndex) Reach(s, t, k int) (Verdict, int) {
 	return res.Verdict, res.EffectiveK
 }
 
-// BatchVerdict is one MultiIndex.ReachBatch answer: a verdict plus, for
-// YesWithin, the rung the positive answer is certain for.
+// BatchVerdict is one ReachBatch answer. EffectiveK is the hop bound the
+// verdict is certain for: the resolved query bound for exact Yes/No
+// answers, or — for YesWithin — the rung above the queried k within which
+// reachability is guaranteed.
 type BatchVerdict struct {
 	Verdict    Verdict
 	EffectiveK int
 }
 
-// ReachBatch answers every (S, T) pair for hop bound k (k < 0 means classic
-// reachability) with a worker pool; see Index.ReachBatch. parallelism:
-// 0 = GOMAXPROCS, 1 = sequential.
-func (ix *MultiIndex) ReachBatch(pairs []Pair, k, parallelism int) []BatchVerdict {
-	res := ix.m.ReachBatch(checkPairs(ix.g, pairs), k, parallelism)
+// ReachVerdicts answers every (S, T) pair for hop bound k (k < 0 means
+// classic reachability) with a worker pool; parallelism: 0 = GOMAXPROCS,
+// 1 = sequential. EffectiveK is set only for YesWithin answers, matching
+// Reach.
+//
+// Deprecated: use ReachBatch with BatchOptions.K (context cancellation,
+// uniform verdicts across all Reacher variants).
+func (ix *MultiIndex) ReachVerdicts(pairs []Pair, k, parallelism int) []BatchVerdict {
+	res, _ := ix.m.ReachBatch(context.Background(), checkPairs(ix.g, pairs), k, parallelism)
 	out := make([]BatchVerdict, len(res))
 	for i, r := range res {
 		out[i] = BatchVerdict{Verdict: r.Verdict, EffectiveK: r.EffectiveK}
