@@ -9,7 +9,14 @@ GO ?= go
 BENCH_SCALE   ?= 20
 BENCH_QUERIES ?= 10000
 
-.PHONY: all build test race lint bench-tables bench-cache bench-smoke
+# bench-json datasets: one per structural family keeps the trajectory
+# comparable commit-to-commit without a full 15-dataset run.
+BENCH_JSON_DATASETS ?= AgroCyc,CiteSeer,Xmark
+
+# fuzz-smoke budget per target; CI runs the same thing on every push.
+FUZZTIME ?= 30s
+
+.PHONY: all build test race lint bench-tables bench-cache bench-smoke bench-json fuzz-smoke
 
 all: build test
 
@@ -52,3 +59,18 @@ bench-cache:
 # benchmark, so bench-only code cannot rot without failing the build.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/bench
+
+# bench-json writes the machine-readable benchmark trajectory
+# (reach/batch/cached/mutate/neighbors); CI uploads it as an artifact so
+# every commit carries its own performance snapshot.
+bench-json:
+	$(GO) run ./cmd/kbench -json BENCH_kreach.json \
+		-scale $(BENCH_SCALE) -queries $(BENCH_QUERIES) -datasets $(BENCH_JSON_DATASETS)
+	@echo "wrote BENCH_kreach.json"
+
+# fuzz-smoke runs each native fuzz target for $(FUZZTIME) — corrupt
+# KRI1/KRH1/KRG1 streams and hostile edge lists must error, never crash.
+# (Go allows one -fuzz pattern per package invocation.)
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzLoadAutoIndex -fuzztime=$(FUZZTIME) -run='^$$' .
+	$(GO) test -fuzz=FuzzReadEdgeList -fuzztime=$(FUZZTIME) -run='^$$' ./internal/graph

@@ -9,6 +9,8 @@
 //	kreach query -graph g.txt -index out.kri pairs.txt       (query pairs from a file)
 //	kreach query -graph g.txt -index out.kri -               (pairs on stdin, "s t" per line)
 //	kreach query -graph g.txt -index out.kri -json < pairs   (JSON object per answer)
+//	kreach neighbors -graph g.txt -index out.kri -s 3        (the k-hop ball around 3)
+//	kreach neighbors -graph g.txt -index out.kri -s 3 -dir in -limit 10 -json
 //	kreach stats -graph g.txt
 //
 // Graphs are text edge lists (or .krg binary, detected by extension).
@@ -43,6 +45,8 @@ func main() {
 		cmdBuild(os.Args[2:])
 	case "query":
 		cmdQuery(os.Args[2:])
+	case "neighbors":
+		cmdNeighbors(os.Args[2:])
 	case "stats":
 		cmdStats(os.Args[2:])
 	default:
@@ -51,9 +55,10 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: kreach <build|query|stats> [flags]
+	fmt.Fprintln(os.Stderr, `usage: kreach <build|query|neighbors|stats> [flags]
   build -graph FILE -k K -index OUT [-cover degree|random|greedy] [-seed S] [-hop H]
   query -graph FILE -index FILE [-s S -t T] [-k K] [-json] [PAIRS|-]
+  neighbors -graph FILE -index FILE -s S [-k K] [-dir out|in] [-limit N] [-json]
   stats -graph FILE`)
 	os.Exit(2)
 }
@@ -234,6 +239,78 @@ func answerPairs(r kreach.Reacher, in io.Reader, out io.Writer, k int, jsonOut b
 		}
 	}
 	return sc.Err()
+}
+
+// neighborAnswer is one line of `kreach neighbors -json` output.
+type neighborAnswer struct {
+	ID     int    `json:"id"`
+	Bucket string `json:"bucket"`
+}
+
+func cmdNeighbors(args []string) {
+	fs := flag.NewFlagSet("neighbors", flag.ExitOnError)
+	var (
+		graphPath = fs.String("graph", "", "input graph")
+		indexPath = fs.String("index", "", "index file from `kreach build`")
+		s         = fs.Int("s", -1, "query vertex")
+		k         = fs.Int("k", kreach.UseIndexK, "hop bound (default: the index's own k)")
+		dir       = fs.String("dir", "out", `"out" = vertices s reaches, "in" = vertices that reach s`)
+		limit     = fs.Int("limit", 0, "cap the listed neighbors (0 = all); the total is always reported")
+		jsonOut   = fs.Bool("json", false, "emit one JSON object per neighbor instead of \"id bucket\" lines")
+	)
+	fs.Parse(args)
+	if *graphPath == "" || *indexPath == "" || *s < 0 {
+		fatal(fmt.Errorf("neighbors: -graph, -index and -s are required"))
+	}
+	g := loadGraph(*graphPath)
+	f, err := os.Open(*indexPath)
+	if err != nil {
+		fatal(err)
+	}
+	r, err := kreach.LoadAutoReacher(f, g)
+	f.Close()
+	if err != nil {
+		fatal(fmt.Errorf("neighbors: %s: %w", *indexPath, err))
+	}
+	enum, ok := r.(kreach.NeighborEnumerator)
+	if !ok {
+		fatal(fmt.Errorf("neighbors: index kind %q does not support enumeration", r.Stats().Kind))
+	}
+	reach := enum.ReachFrom
+	switch *dir {
+	case "out":
+	case "in":
+		reach = enum.ReachInto
+	default:
+		fatal(fmt.Errorf("neighbors: -dir %q is neither \"out\" nor \"in\"", *dir))
+	}
+	ball, err := reach(context.Background(), *s, *k, kreach.EnumOptions{Limit: *limit, SortByDistance: true})
+	if err != nil {
+		fatal(fmt.Errorf("neighbors: %w", err))
+	}
+	if err := printBall(os.Stdout, ball, *jsonOut); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "kreach: %d of %d member(s) of the k=%d ball around %d\n",
+		len(ball.Neighbors), ball.Total, ball.K, ball.Source)
+}
+
+// printBall writes one neighbor per line — "id bucket" text, or a
+// neighborAnswer JSON object with -json — nearest first.
+func printBall(out io.Writer, ball *kreach.Ball, jsonOut bool) error {
+	enc := json.NewEncoder(out)
+	for _, nb := range ball.Neighbors {
+		if jsonOut {
+			if err := enc.Encode(neighborAnswer{ID: nb.ID, Bucket: nb.Bucket.String()}); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(out, "%d %s\n", nb.ID, nb.Bucket); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func cmdStats(args []string) {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -70,5 +71,46 @@ func TestAnswerPairsErrors(t *testing.T) {
 	err := answerPairs(r, strings.NewReader("0 3\n"), &out, 5, false)
 	if err == nil || !strings.Contains(err.Error(), "cannot answer k=5") {
 		t.Errorf("k mismatch error = %v", err)
+	}
+}
+
+func TestPrintBallText(t *testing.T) {
+	r := buildChainIndex(t)
+	enum := r.(kreach.NeighborEnumerator)
+	ball, err := enum.ReachFrom(context.Background(), 0, kreach.UseIndexK, kreach.EnumOptions{SortByDistance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := printBall(&out, ball, false); err != nil {
+		t.Fatal(err)
+	}
+	// Chain 0→1→2→3 at k=3: 1 and 2 are within, 3 is the frontier.
+	if got, want := out.String(), "1 within\n2 within\n3 frontier\n"; got != want {
+		t.Fatalf("output %q, want %q", got, want)
+	}
+}
+
+func TestPrintBallJSON(t *testing.T) {
+	r := buildChainIndex(t)
+	enum := r.(kreach.NeighborEnumerator)
+	ball, err := enum.ReachInto(context.Background(), 3, kreach.UseIndexK, kreach.EnumOptions{SortByDistance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := printBall(&out, ball, true); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 3 { // 2 and 1 within, 0 on the frontier
+		t.Fatalf("%d JSON lines, want 3: %q", len(lines), out.String())
+	}
+	var nb neighborAnswer
+	if err := json.Unmarshal([]byte(lines[2]), &nb); err != nil {
+		t.Fatal(err)
+	}
+	if nb.ID != 0 || nb.Bucket != "frontier" {
+		t.Errorf("last JSON neighbor %+v, want {0 frontier}", nb)
 	}
 }

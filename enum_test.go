@@ -1,0 +1,230 @@
+package kreach_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"kreach"
+)
+
+// randomPublicGraph builds a seeded random graph through the public
+// Builder, so these tests exercise only exported surface.
+func randomPublicGraph(n, m int, seed uint64) *kreach.Graph {
+	rng := rand.New(rand.NewPCG(seed, 0xba11))
+	b := kreach.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		u, v := rng.IntN(n), rng.IntN(n)
+		if u != v {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.Build()
+}
+
+// publicOracleBall is the BFS ground truth over the public Graph surface.
+func publicOracleBall(g *kreach.Graph, src, k int, forward bool) map[int]kreach.DistBucket {
+	adj := g.OutNeighbors
+	if !forward {
+		adj = g.InNeighbors
+	}
+	dist := map[int]int{src: 0}
+	queue := []int{src}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		if k >= 0 && dist[u] >= k {
+			continue
+		}
+		for _, w := range adj(u) {
+			if _, ok := dist[w]; !ok {
+				dist[w] = dist[u] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	out := make(map[int]kreach.DistBucket)
+	for v, d := range dist {
+		if v == src {
+			continue
+		}
+		b := kreach.DistWithin
+		if k >= 0 && d == k {
+			b = kreach.DistFrontier
+		}
+		out[v] = b
+	}
+	return out
+}
+
+func checkBall(t *testing.T, label string, b *kreach.Ball, want map[int]kreach.DistBucket) {
+	t.Helper()
+	if b.Total != len(want) || len(b.Neighbors) != len(want) {
+		t.Fatalf("%s: total=%d len=%d, oracle %d", label, b.Total, len(b.Neighbors), len(want))
+	}
+	for _, nb := range b.Neighbors {
+		wb, ok := want[nb.ID]
+		if !ok || wb != nb.Bucket {
+			t.Fatalf("%s: member %d bucket %v, oracle (%v, present=%v)", label, nb.ID, nb.Bucket, wb, ok)
+		}
+	}
+	if !b.Complete() {
+		t.Fatalf("%s: ball not complete without Limit", label)
+	}
+}
+
+// TestNeighborEnumeratorAllVariants checks every variant's ReachFrom and
+// ReachInto against the BFS oracle through the public API.
+func TestNeighborEnumeratorAllVariants(t *testing.T) {
+	const n, k = 60, 3
+	g := randomPublicGraph(n, 200, 42)
+	ctx := context.Background()
+
+	plain, err := kreach.BuildIndex(g, kreach.IndexOptions{K: k, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hk, err := kreach.BuildHKIndex(g, kreach.HKOptions{H: 1, K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := kreach.BuildMultiIndex(g, kreach.MultiOptions{Rungs: kreach.ExactRungs(4), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, err := kreach.NewDynamicIndex(g, kreach.DynamicOptions{K: k, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	enums := map[string]kreach.NeighborEnumerator{
+		"plain": plain, "hk": hk, "multi": multi, "dynamic": dyn,
+	}
+	for name, e := range enums {
+		for src := 0; src < n; src += 7 {
+			from, err := e.ReachFrom(ctx, src, k, kreach.EnumOptions{SortByDistance: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if from.Source != src || from.K != k {
+				t.Fatalf("%s: ball metadata %+v", name, from)
+			}
+			checkBall(t, fmt.Sprintf("%s ReachFrom src=%d", name, src), from, publicOracleBall(g, src, k, true))
+			into, err := e.ReachInto(ctx, src, k, kreach.EnumOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkBall(t, fmt.Sprintf("%s ReachInto t=%d", name, src), into, publicOracleBall(g, src, k, false))
+		}
+	}
+
+	// UseIndexK resolves to the native bound on fixed-k variants, and to
+	// classic reachability on the ladder.
+	b, err := plain.ReachFrom(ctx, 0, kreach.UseIndexK, kreach.EnumOptions{})
+	if err != nil || b.K != k {
+		t.Fatalf("UseIndexK plain: K=%d err=%v, want %d", b.K, err, k)
+	}
+	mb, err := multi.ReachFrom(ctx, 0, kreach.UseIndexK, kreach.EnumOptions{})
+	if err != nil || mb.K != kreach.Unbounded {
+		t.Fatalf("UseIndexK multi: K=%d err=%v, want Unbounded", mb.K, err)
+	}
+	checkBall(t, "multi classic", mb, publicOracleBall(g, 0, kreach.Unbounded, true))
+}
+
+func TestReachFromKMismatch(t *testing.T) {
+	g := randomPublicGraph(20, 50, 3)
+	ix, err := kreach.BuildIndex(g, kreach.IndexOptions{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.ReachFrom(context.Background(), 0, 5, kreach.EnumOptions{}); !errors.Is(err, kreach.ErrKMismatch) {
+		t.Fatalf("err %v, want ErrKMismatch", err)
+	}
+	var km *kreach.KMismatchError
+	_, err = ix.ReachInto(context.Background(), 0, 7, kreach.EnumOptions{})
+	if !errors.As(err, &km) || km.IndexK != 2 || km.QueryK != 7 {
+		t.Fatalf("err %v, want *KMismatchError{2,7}", err)
+	}
+}
+
+func TestReachFromMultiNonRungExact(t *testing.T) {
+	g := randomPublicGraph(50, 160, 8)
+	multi, err := kreach.BuildMultiIndex(g, kreach.MultiOptions{Rungs: kreach.PowerOfTwoRungs(8), Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k=3 sits between the 2 and 4 rungs: the ball must still be exact.
+	for src := 0; src < 50; src += 11 {
+		b, err := multi.ReachFrom(context.Background(), src, 3, kreach.EnumOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.K != 3 {
+			t.Fatalf("effective K %d, want 3", b.K)
+		}
+		checkBall(t, fmt.Sprintf("multi k=3 src=%d", src), b, publicOracleBall(g, src, 3, true))
+	}
+}
+
+func TestReachFromLimitAndSort(t *testing.T) {
+	g := randomPublicGraph(80, 400, 9)
+	ix, err := kreach.BuildIndex(g, kreach.IndexOptions{K: 3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := ix.ReachFrom(context.Background(), 1, 3, kreach.EnumOptions{SortByDistance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Neighbors) < 3 {
+		t.Skip("ball too small for a truncation check")
+	}
+	lim, err := ix.ReachFrom(context.Background(), 1, 3, kreach.EnumOptions{SortByDistance: true, Limit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lim.Total != full.Total || len(lim.Neighbors) != 2 || lim.Complete() {
+		t.Fatalf("limited ball %+v (full total %d)", lim, full.Total)
+	}
+	for i := range lim.Neighbors {
+		if lim.Neighbors[i] != full.Neighbors[i] {
+			t.Fatalf("limited[%d] = %v, full %v", i, lim.Neighbors[i], full.Neighbors[i])
+		}
+	}
+}
+
+func TestReachFromDynamicFollowsMutations(t *testing.T) {
+	b := kreach.NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g := b.Build()
+	dyn, err := kreach.NewDynamicIndex(g, kreach.DynamicOptions{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ball, err := dyn.ReachFrom(context.Background(), 0, kreach.UseIndexK, kreach.EnumOptions{SortByDistance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ball.Total != 2 { // {1 within, 2 frontier}
+		t.Fatalf("pre-mutation ball %+v", ball)
+	}
+	if _, err := dyn.Mutate([][2]int{{2, 3}, {0, 4}}, [][2]int{{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	ball, err = dyn.ReachFrom(context.Background(), 0, kreach.UseIndexK, kreach.EnumOptions{SortByDistance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Live edges now 0→1, 0→4, 2→3: ball of 0 = {1 within, 4 within}.
+	want := []kreach.Neighbor{{ID: 1, Bucket: kreach.DistWithin}, {ID: 4, Bucket: kreach.DistWithin}}
+	if len(ball.Neighbors) != len(want) {
+		t.Fatalf("post-mutation ball %+v, want %v", ball, want)
+	}
+	for i := range want {
+		if ball.Neighbors[i] != want[i] {
+			t.Fatalf("post-mutation ball[%d] = %v, want %v", i, ball.Neighbors[i], want[i])
+		}
+	}
+}

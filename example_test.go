@@ -81,3 +81,38 @@ func ExampleReacher() {
 	// batch pair 1 within 3 hops: no
 	// fixed index asked k=4: true
 }
+
+// ExampleNeighborEnumerator answers the paper's title question as a set:
+// who is in a vertex's small world? Every variant implements the optional
+// capability; serving layers probe for it with a type assertion.
+func ExampleNeighborEnumerator() {
+	// 0 → 1 → 2 → 3 → 4, plus 0 → 2
+	b := kreach.NewBuilder(5)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 2}} {
+		b.AddEdge(e[0], e[1])
+	}
+	ix, err := kreach.BuildIndex(b.Build(), kreach.IndexOptions{K: 2})
+	if err != nil {
+		panic(err)
+	}
+
+	var r kreach.Reacher = ix
+	enum, ok := r.(kreach.NeighborEnumerator)
+	if !ok {
+		panic("every built-in variant enumerates")
+	}
+	ball, err := enum.ReachFrom(context.Background(), 0, kreach.UseIndexK,
+		kreach.EnumOptions{SortByDistance: true})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d vertices in 0's %d-hop small world:\n", ball.Total, ball.K)
+	for _, nb := range ball.Neighbors {
+		fmt.Printf("  %d (%s)\n", nb.ID, nb.Bucket)
+	}
+	// Output:
+	// 3 vertices in 0's 2-hop small world:
+	//   1 (within)
+	//   2 (within)
+	//   3 (frontier)
+}

@@ -84,16 +84,45 @@ func main() {
 	}
 	fmt.Printf("celebrities in cover: %d of %d\n", inCover, celebrities)
 
-	// Influence sphere of celebrity 0: how many users see a post within k
-	// retweet hops?
+	// Influence sphere of celebrity 0: *who* sees a post within k retweet
+	// hops — the paper's title question, asked as a set. ReachFrom
+	// materializes the whole k-hop ball in one call (celebrity 0 is in the
+	// cover, so the index row already lists the ball's cover members and no
+	// BFS runs); the frontier bucket separates the users who would be lost
+	// if the hop budget shrank by one.
+	t0 = time.Now()
+	ball, err := ix.ReachFrom(context.Background(), 0, kreach.UseIndexK, kreach.EnumOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dBall := time.Since(t0)
+	frontier := 0
+	for _, nb := range ball.Neighbors {
+		if nb.Bucket == kreach.DistFrontier {
+			frontier++
+		}
+	}
+	fmt.Printf("celebrity 0's posts reach %d users (%.1f%%) within %d hops — %d only at exactly %d hops — enumerated in %v\n",
+		ball.Total, 100*float64(ball.Total)/users, k, frontier, k, dBall.Round(time.Microsecond))
+
+	// The old way for comparison: n pairwise queries over every user id —
+	// same membership, but no distance buckets and a full graph-sized scan
+	// per question asked.
 	reached := 0
-	for u := 0; u < users; u++ {
+	for u := 1; u < users; u++ {
 		if ix.Reach(0, u) {
 			reached++
 		}
 	}
-	fmt.Printf("celebrity 0's posts reach %d users (%.1f%%) within %d hops\n",
-		reached, 100*float64(reached)/users, k)
+	fmt.Printf("pairwise cross-check over all %d users agrees: %v\n",
+		users-1, reached == ball.Total)
+
+	// And the reverse ball: whose posts reach celebrity 0 within k hops?
+	into, err := ix.ReachInto(context.Background(), 0, kreach.UseIndexK, kreach.EnumOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d users have celebrity 0 in their %d-hop small world\n", into.Total, k)
 
 	// Interactive workload: 200k random "are we in each other's small
 	// world?" checks, batched through the Reacher worker pool (the same

@@ -1,0 +1,182 @@
+package kreach_test
+
+// Backward-compatibility proof for the serialized formats: the files under
+// testdata/golden/ were written by the KRG1/KRI1/KRH1 writers at the time
+// this test was introduced and are never regenerated casually. Every
+// future revision must (a) still load them, (b) answer the pinned queries
+// identically, and (c) re-serialize them byte-for-byte — so any format
+// change that breaks on-disk compatibility fails here before it ships,
+// and deliberate format revisions are forced to add a new version (and a
+// new golden file) instead of silently rewriting the old one.
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"kreach"
+)
+
+func readGolden(t *testing.T, name string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", "golden", name))
+	if err != nil {
+		t.Fatalf("golden file missing (never delete or regenerate these): %v", err)
+	}
+	return data
+}
+
+// loadGoldenGraph loads tiny.krg: the paper's Figure 1 graph (a..j as
+// 0..9), the fixture every golden index attaches to.
+func loadGoldenGraph(t *testing.T) *kreach.Graph {
+	t.Helper()
+	g, err := kreach.LoadBinary(bytes.NewReader(readGolden(t, "tiny.krg")))
+	if err != nil {
+		t.Fatalf("golden graph no longer loads: %v", err)
+	}
+	return g
+}
+
+func TestGoldenGraphLoadsByteForByte(t *testing.T) {
+	raw := readGolden(t, "tiny.krg")
+	g, err := kreach.LoadBinary(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("golden graph no longer loads: %v", err)
+	}
+	if g.NumVertices() != 10 || g.NumEdges() != 9 {
+		t.Fatalf("golden graph is %d vertices / %d edges, want 10/9", g.NumVertices(), g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(8, 9) || g.HasEdge(1, 0) {
+		t.Fatal("golden graph edges changed")
+	}
+	var out bytes.Buffer
+	if err := g.SaveBinary(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), raw) {
+		t.Fatal("KRG1 round-trip is no longer byte-identical: the graph format drifted")
+	}
+}
+
+// goldenPinnedQueries are hand-derived 3-hop facts on Figure 1:
+// b→d→e→g makes g reachable from b in 3; h needs 4 hops from b; a→b→d→e.
+var goldenPinnedQueries = []struct {
+	s, t int
+	want bool
+}{
+	{1, 3, true},  // b→d, 1 hop
+	{1, 6, true},  // b→d→e→g, exactly 3
+	{1, 7, false}, // b→…→h needs 4
+	{0, 4, true},  // a→b→d→e, exactly 3
+	{0, 6, false}, // a→…→g needs 4
+	{9, 0, false}, // j reaches nothing
+}
+
+func checkGoldenReacher(t *testing.T, r kreach.Reacher) {
+	t.Helper()
+	ctx := context.Background()
+	for _, q := range goldenPinnedQueries {
+		verdict, _, err := r.ReachK(ctx, q.s, q.t, kreach.UseIndexK)
+		if err != nil {
+			t.Fatalf("ReachK(%d,%d): %v", q.s, q.t, err)
+		}
+		if got := verdict != kreach.No; got != q.want {
+			t.Fatalf("golden index answers Reach(%d,%d) = %v, want %v", q.s, q.t, got, q.want)
+		}
+	}
+}
+
+func TestGoldenPlainIndexLoadsByteForByte(t *testing.T) {
+	g := loadGoldenGraph(t)
+	raw := readGolden(t, "tiny.kri")
+	ix, err := kreach.LoadIndex(bytes.NewReader(raw), g)
+	if err != nil {
+		t.Fatalf("golden KRI1 index no longer loads: %v", err)
+	}
+	if ix.K() != 3 {
+		t.Fatalf("golden index k = %d, want 3", ix.K())
+	}
+	checkGoldenReacher(t, ix)
+	var out bytes.Buffer
+	if err := ix.Save(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), raw) {
+		t.Fatal("KRI1 round-trip is no longer byte-identical: the index format drifted")
+	}
+}
+
+func TestGoldenUnboundedIndexLoadsByteForByte(t *testing.T) {
+	g := loadGoldenGraph(t)
+	raw := readGolden(t, "tiny-unbounded.kri")
+	ix, err := kreach.LoadIndex(bytes.NewReader(raw), g)
+	if err != nil {
+		t.Fatalf("golden n-reach index no longer loads: %v", err)
+	}
+	if ix.K() != kreach.Unbounded {
+		t.Fatalf("golden n-reach index k = %d, want Unbounded", ix.K())
+	}
+	// Classic reachability: everything below b is reachable from a.
+	for _, q := range []struct {
+		s, t int
+		want bool
+	}{{0, 9, true}, {1, 7, true}, {9, 0, false}, {5, 6, false}} {
+		v, _, err := ix.ReachK(context.Background(), q.s, q.t, kreach.Unbounded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := v != kreach.No; got != q.want {
+			t.Fatalf("golden n-reach Reach(%d,%d) = %v, want %v", q.s, q.t, got, q.want)
+		}
+	}
+	var out bytes.Buffer
+	if err := ix.Save(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), raw) {
+		t.Fatal("unbounded KRI1 round-trip is no longer byte-identical")
+	}
+}
+
+func TestGoldenHKIndexLoadsByteForByte(t *testing.T) {
+	g := loadGoldenGraph(t)
+	raw := readGolden(t, "tiny.krh")
+	hk, err := kreach.LoadHKIndex(bytes.NewReader(raw), g)
+	if err != nil {
+		t.Fatalf("golden KRH1 index no longer loads: %v", err)
+	}
+	if hk.H() != 1 || hk.K() != 3 {
+		t.Fatalf("golden (h,k) = (%d,%d), want (1,3)", hk.H(), hk.K())
+	}
+	checkGoldenReacher(t, hk)
+	var out bytes.Buffer
+	if err := hk.Save(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), raw) {
+		t.Fatal("KRH1 round-trip is no longer byte-identical: the (h,k) format drifted")
+	}
+}
+
+// TestGoldenAutoDetect proves the magic-sniffing loader still dispatches
+// both golden index files correctly.
+func TestGoldenAutoDetect(t *testing.T) {
+	g := loadGoldenGraph(t)
+	r, err := kreach.LoadAutoReacher(bytes.NewReader(readGolden(t, "tiny.kri")), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind := r.Stats().Kind; kind != kreach.KindPlain {
+		t.Fatalf("tiny.kri sniffed as %q", kind)
+	}
+	r, err = kreach.LoadAutoReacher(bytes.NewReader(readGolden(t, "tiny.krh")), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind := r.Stats().Kind; kind != kreach.KindHK {
+		t.Fatalf("tiny.krh sniffed as %q", kind)
+	}
+	checkGoldenReacher(t, r)
+}

@@ -626,18 +626,49 @@ func (r *Runner) TableMutate() error {
 	return w.Flush()
 }
 
-// Run executes the requested tables ("2".."9", "batch", "cache", "mutate"
-// or "all") in order.
+// TableNeighbors drives the neighborhood-enumeration path: a
+// NeighborStream of k-hop ball queries (celebrity-biased sources, both
+// directions) answered by the plain index's Enumerate — cover sources ride
+// the accelerated cover-arc path — against the direct bounded-BFS
+// baseline, with every 16th ball cross-checked member-for-member (and
+// bucket-for-bucket) against the stream's own oracle. The "oracle errs"
+// column must read 0. Not a paper table: the paper's queries are pairwise;
+// this measures the set-query workload /v1/neighbors serves.
+func (r *Runner) TableNeighbors() error {
+	balls := max(r.cfg.Queries/100, 100)
+	fmt.Fprintf(r.cfg.Out, "Neighbors: k-hop ball enumeration, %d balls (celebrity bias 0.5, both directions)\n", balls)
+	w := r.tab()
+	fmt.Fprintln(w, "\tk\tavg |ball|\tindex kballs/s\tbfs kballs/s\toracle errs\t")
+	for _, name := range r.cfg.Datasets {
+		d, err := r.dataset(name)
+		if err != nil {
+			return err
+		}
+		// One measurement methodology for the text table and the JSON
+		// trajectory: neighborRow (report.go) owns it.
+		row, err := r.neighborRow(context.Background(), name, d, max(d.st.MedianPath, 2))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s\t%d\t%.1f\t%.1f\t%.1f\t%d\t\n",
+			name, row.K, row.AvgBall, row.IndexKBalls, row.BFSKBalls, row.OracleErrs)
+	}
+	return w.Flush()
+}
+
+// Run executes the requested tables ("2".."9", "batch", "cache", "mutate",
+// "neighbors" or "all") in order.
 func (r *Runner) Run(tables []string) error {
 	fns := map[string]func() error{
 		"2": r.Table2, "3": r.Table3, "4": r.Table4, "5": r.Table5,
 		"6": r.Table6, "7": r.Table7, "8": r.Table8, "9": r.Table9,
 		"batch": r.TableBatch, "cache": r.TableCache, "mutate": r.TableMutate,
+		"neighbors": r.TableNeighbors,
 	}
 	var order []string
 	for _, t := range tables {
 		if t == "all" {
-			order = []string{"2", "3", "4", "5", "6", "7", "8", "9", "batch", "cache", "mutate"}
+			order = []string{"2", "3", "4", "5", "6", "7", "8", "9", "batch", "cache", "mutate", "neighbors"}
 			break
 		}
 		order = append(order, t)

@@ -1,0 +1,106 @@
+package bench_test
+
+import (
+	"context"
+	"testing"
+
+	"kreach"
+	"kreach/internal/core"
+	"kreach/internal/cover"
+	"kreach/internal/dynamic"
+	"kreach/internal/gen"
+	"kreach/internal/graph"
+	"kreach/internal/workload"
+)
+
+// BenchmarkReachFrom measures k-hop ball enumeration on a generated
+// citation graph: the accelerated cover-arc path (cover sources), the
+// bounded-BFS fallback (non-cover sources and backward balls), and the
+// dynamic index's live-overlay enumeration. Run with e.g.
+//
+//	go test ./internal/bench -bench ReachFrom -benchtime 2s
+func BenchmarkReachFrom(b *testing.B) {
+	g := gen.Spec{Family: gen.Citation, N: 30000, M: 120000, Seed: 3, Window: 3000, DegMax: 400, Notable: 0.4}.Generate()
+	const k = 4
+	ix, err := core.Build(g, core.Options{K: k, Strategy: cover.DegreePrioritized, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Partition a deterministic source sample by cover membership.
+	var coverSrc, fringeSrc []graph.Vertex
+	for v := 0; v < g.NumVertices() && (len(coverSrc) < 256 || len(fringeSrc) < 256); v += 7 {
+		if ix.InCover(graph.Vertex(v)) {
+			if len(coverSrc) < 256 {
+				coverSrc = append(coverSrc, graph.Vertex(v))
+			}
+		} else if len(fringeSrc) < 256 {
+			fringeSrc = append(fringeSrc, graph.Vertex(v))
+		}
+	}
+	ctx := context.Background()
+	run := func(b *testing.B, srcs []graph.Vertex, dir graph.Direction) {
+		sc := core.NewEnumScratch()
+		members := 0
+		for n := 0; n < b.N; n++ {
+			src := srcs[n%len(srcs)]
+			res, _, err := ix.Enumerate(ctx, src, core.EnumOptions{Direction: dir}, sc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			members += len(res)
+		}
+		b.ReportMetric(float64(members)/float64(b.N), "members/ball")
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "balls/s")
+	}
+	b.Run("cover-src", func(b *testing.B) { run(b, coverSrc, graph.Forward) })
+	b.Run("fringe-src", func(b *testing.B) { run(b, fringeSrc, graph.Forward) })
+	b.Run("reach-into", func(b *testing.B) { run(b, coverSrc, graph.Backward) })
+
+	dyn, err := dynamic.New(g, dynamic.Options{K: k, Strategy: cover.DegreePrioritized, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("dynamic", func(b *testing.B) {
+		sc := core.NewEnumScratch()
+		for n := 0; n < b.N; n++ {
+			src := coverSrc[n%len(coverSrc)]
+			if _, _, err := dyn.Enumerate(ctx, src, core.EnumOptions{Direction: graph.Forward}, sc); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "balls/s")
+	})
+}
+
+// BenchmarkNeighborStreamOracle prices the BFS-ball oracle itself, the
+// baseline TableNeighbors compares the index against.
+func BenchmarkNeighborStreamOracle(b *testing.B) {
+	g := gen.Spec{Family: gen.Citation, N: 30000, M: 120000, Seed: 3, Window: 3000, DegMax: 400, Notable: 0.4}.Generate()
+	stream := workload.NewNeighborStream(g, 5, []int{4}, 0.5)
+	queries := make([]workload.NeighborQuery, 512)
+	for i := range queries {
+		queries[i] = stream.Next()
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		_ = stream.Ball(queries[n%len(queries)])
+	}
+}
+
+// BenchmarkReachFromPublic prices the public-API wrapper (scratch pooling,
+// ball conversion) over the core path, on the same graph.
+func BenchmarkReachFromPublic(b *testing.B) {
+	g := gen.Spec{Family: gen.Citation, N: 30000, M: 120000, Seed: 3, Window: 3000, DegMax: 400, Notable: 0.4}.Generate()
+	pub := kreach.WrapInternal(g)
+	ix, err := kreach.BuildIndex(pub, kreach.IndexOptions{K: 4, Cover: kreach.DegreePrioritizedCover, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if _, err := ix.ReachFrom(ctx, n%pub.NumVertices(), kreach.UseIndexK, kreach.EnumOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

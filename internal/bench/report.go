@@ -1,0 +1,287 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"time"
+
+	"kreach/internal/cache"
+	"kreach/internal/core"
+	"kreach/internal/cover"
+	"kreach/internal/dynamic"
+	"kreach/internal/graph"
+	"kreach/internal/workload"
+)
+
+// Machine-readable benchmark trajectory. `kbench -json FILE` (and `make
+// bench-json`) emits one Report per run — the reach/batch/cached/mutate/
+// neighbors hot paths measured on the same scaled dataset suite the text
+// tables use — so CI can archive BENCH_kreach.json per commit and the
+// performance trajectory of the repo is a diffable artifact instead of
+// prose. Schema changes bump Schema.
+
+// Report is the top-level BENCH_kreach.json document.
+type Report struct {
+	Schema    int           `json:"schema"`
+	Queries   int           `json:"queries"`
+	Scale     int           `json:"scale"`
+	Datasets  []string      `json:"datasets"`
+	Reach     []ReachRow    `json:"reach"`
+	Batch     []BatchRow    `json:"batch"`
+	Cached    []CacheRow    `json:"cached"`
+	Mutate    []MutateRow   `json:"mutate"`
+	Neighbors []NeighborRow `json:"neighbors"`
+}
+
+// ReachRow is sequential single-query throughput on the k=µ index.
+type ReachRow struct {
+	Dataset string  `json:"dataset"`
+	K       int     `json:"k"`
+	KQPS    float64 `json:"kqps"`
+}
+
+// BatchRow is ReachBatch worker-pool throughput on the n-reach index.
+type BatchRow struct {
+	Dataset string  `json:"dataset"`
+	Workers int     `json:"workers"`
+	KQPS    float64 `json:"kqps"`
+}
+
+// CacheRow is the serve-time result-cache economics on the celebrity
+// workload against the (3,8)-reach index.
+type CacheRow struct {
+	Dataset      string  `json:"dataset"`
+	CelebHitPct  float64 `json:"celeb_hit_pct"`
+	UncachedKQPS float64 `json:"uncached_kqps"`
+	CachedKQPS   float64 `json:"cached_kqps"`
+	Speedup      float64 `json:"speedup"`
+}
+
+// MutateRow is mixed read/write throughput on the dynamic index with the
+// oracle cross-check tally (must be 0).
+type MutateRow struct {
+	Dataset    string  `json:"dataset"`
+	K          int     `json:"k"`
+	KOPS       float64 `json:"kops"`
+	OracleErrs int     `json:"oracle_errs"`
+}
+
+// NeighborRow is k-hop ball enumeration throughput with the oracle
+// cross-check tally (must be 0).
+type NeighborRow struct {
+	Dataset     string  `json:"dataset"`
+	K           int     `json:"k"`
+	AvgBall     float64 `json:"avg_ball"`
+	IndexKBalls float64 `json:"index_kballs"`
+	BFSKBalls   float64 `json:"bfs_kballs"`
+	OracleErrs  int     `json:"oracle_errs"`
+}
+
+// RunJSON measures every section and writes the indented Report to w.
+func (r *Runner) RunJSON(w io.Writer) error {
+	rep := Report{
+		Schema:   1,
+		Queries:  r.cfg.Queries,
+		Scale:    r.cfg.Scale,
+		Datasets: r.cfg.Datasets,
+	}
+	ctx := context.Background()
+	for _, name := range r.cfg.Datasets {
+		d, err := r.dataset(name)
+		if err != nil {
+			return err
+		}
+		mu := max(d.st.MedianPath, 2)
+
+		// reach: sequential queries on the k=µ index.
+		ix, err := core.Build(d.g, core.Options{K: mu, Strategy: cover.DegreePrioritized, Seed: r.cfg.Seed})
+		if err != nil {
+			return err
+		}
+		scratch := core.NewQueryScratch()
+		t0 := time.Now()
+		for i := 0; i < d.q.Len(); i++ {
+			ix.Reach(d.q.S[i], d.q.T[i], scratch)
+		}
+		rep.Reach = append(rep.Reach, ReachRow{
+			Dataset: name, K: mu,
+			KQPS: float64(d.q.Len()) / time.Since(t0).Seconds() / 1000,
+		})
+
+		// batch: the worker pool at 1 and GOMAXPROCS-ish parallelism on
+		// the n-reach index.
+		nix, err := core.Build(d.g, core.Options{K: core.Unbounded, Strategy: cover.DegreePrioritized, Seed: r.cfg.Seed})
+		if err != nil {
+			return err
+		}
+		pairs := make([]core.Pair, d.q.Len())
+		for i := range pairs {
+			pairs[i] = core.Pair{S: d.q.S[i], T: d.q.T[i]}
+		}
+		for _, workers := range []int{1, 4} {
+			t0 = time.Now()
+			if _, err := nix.ReachBatch(ctx, pairs, workers); err != nil {
+				return err
+			}
+			rep.Batch = append(rep.Batch, BatchRow{
+				Dataset: name, Workers: workers,
+				KQPS: float64(len(pairs)) / time.Since(t0).Seconds() / 1000,
+			})
+		}
+
+		// cached: celebrity workload against the (3,8)-reach index.
+		row, err := r.cacheRow(name, d)
+		if err != nil {
+			return err
+		}
+		rep.Cached = append(rep.Cached, row)
+
+		// mutate: the mixed read/write stream with oracle checks.
+		mrow, err := r.mutateRow(name, d, mu)
+		if err != nil {
+			return err
+		}
+		rep.Mutate = append(rep.Mutate, mrow)
+
+		// neighbors: ball enumeration, index vs BFS, oracle-checked.
+		nrow, err := r.neighborRow(ctx, name, d, mu)
+		if err != nil {
+			return err
+		}
+		rep.Neighbors = append(rep.Neighbors, nrow)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+func (r *Runner) cacheRow(name string, d *dataset) (CacheRow, error) {
+	hk, err := core.BuildHK(d.g, core.HKOptions{H: 3, K: 8})
+	if err != nil {
+		return CacheRow{}, err
+	}
+	celeb := workload.CelebrityBiased(d.g, r.cfg.Queries, 64, 0.9, r.cfg.Seed+13)
+	scratch := core.NewHKQueryScratch(hk)
+	t0 := time.Now()
+	for i := 0; i < celeb.Len(); i++ {
+		hk.Reach(celeb.S[i], celeb.T[i], scratch)
+	}
+	uncached := time.Since(t0)
+
+	type cacheKey struct{ s, t graph.Vertex }
+	c := cache.New[cacheKey, bool](cache.Config{Capacity: 1 << 13})
+	probe := func(s, t graph.Vertex) (bool, error) { return hk.Reach(s, t, scratch), nil }
+	for i := 0; i < celeb.Len(); i++ {
+		s, t := celeb.S[i], celeb.T[i]
+		c.Do(cacheKey{s, t}, func() (bool, error) { return probe(s, t) })
+	}
+	warm := c.Stats()
+	t0 = time.Now()
+	for i := 0; i < celeb.Len(); i++ {
+		s, t := celeb.S[i], celeb.T[i]
+		c.Do(cacheKey{s, t}, func() (bool, error) { return probe(s, t) })
+	}
+	cached := time.Since(t0)
+	st := c.Stats()
+	hits := st.Hits - warm.Hits
+	total := hits + st.Misses - warm.Misses
+	row := CacheRow{
+		Dataset:      name,
+		UncachedKQPS: float64(celeb.Len()) / uncached.Seconds() / 1000,
+		CachedKQPS:   float64(celeb.Len()) / cached.Seconds() / 1000,
+		Speedup:      uncached.Seconds() / cached.Seconds(),
+	}
+	if total > 0 {
+		row.CelebHitPct = 100 * float64(hits) / float64(total)
+	}
+	return row, nil
+}
+
+func (r *Runner) mutateRow(name string, d *dataset, k int) (MutateRow, error) {
+	ix, err := dynamic.New(d.g, dynamic.Options{
+		K: k, Strategy: cover.DegreePrioritized, Seed: r.cfg.Seed, CompactRatio: 1e18,
+	})
+	if err != nil {
+		return MutateRow{}, err
+	}
+	stream := workload.NewMutationStream(d.g, r.cfg.Seed+29, workload.DefaultMutationMix)
+	sc := dynamic.NewQueryScratch()
+	ops := max(r.cfg.Queries/10, 1000)
+	var queries, mismatches int
+	t0 := time.Now()
+	for i := 0; i < ops; i++ {
+		op := stream.Next()
+		switch op.Kind {
+		case workload.OpQuery:
+			got := ix.Reach(op.U, op.V, sc)
+			queries++
+			if queries%64 == 0 && got != stream.Reach(op.U, op.V, k) {
+				mismatches++
+			}
+		case workload.OpAdd:
+			if _, err := ix.Mutate([]graph.Edge{{Src: op.U, Dst: op.V}}, nil); err != nil {
+				return MutateRow{}, err
+			}
+		case workload.OpRemove:
+			if _, err := ix.Mutate(nil, []graph.Edge{{Src: op.U, Dst: op.V}}); err != nil {
+				return MutateRow{}, err
+			}
+		}
+	}
+	return MutateRow{
+		Dataset: name, K: k,
+		KOPS:       float64(ops) / time.Since(t0).Seconds() / 1000,
+		OracleErrs: mismatches,
+	}, nil
+}
+
+func (r *Runner) neighborRow(ctx context.Context, name string, d *dataset, k int) (NeighborRow, error) {
+	ix, err := core.Build(d.g, core.Options{K: k, Strategy: cover.DegreePrioritized, Seed: r.cfg.Seed})
+	if err != nil {
+		return NeighborRow{}, err
+	}
+	balls := max(r.cfg.Queries/100, 100)
+	stream := workload.NewNeighborStream(d.g, r.cfg.Seed+31, []int{k}, 0.5)
+	queries := make([]workload.NeighborQuery, balls)
+	for i := range queries {
+		queries[i] = stream.Next()
+	}
+	sc := core.NewEnumScratch()
+	members := 0
+	t0 := time.Now()
+	for _, q := range queries {
+		res, _, err := ix.Enumerate(ctx, q.Src, core.EnumOptions{Direction: q.Dir}, sc)
+		if err != nil {
+			return NeighborRow{}, err
+		}
+		members += len(res)
+	}
+	idxTime := time.Since(t0)
+	bfsScratch := graph.NewBFSScratch(d.g.NumVertices())
+	t0 = time.Now()
+	for _, q := range queries {
+		graph.KHopBFS(d.g, q.Src, q.K, q.Dir, bfsScratch)
+	}
+	bfsTime := time.Since(t0)
+	mismatches := 0
+	for i, q := range queries {
+		if i%16 != 0 {
+			continue
+		}
+		res, _, err := ix.Enumerate(ctx, q.Src, core.EnumOptions{Direction: q.Dir}, sc)
+		if err != nil {
+			return NeighborRow{}, err
+		}
+		if !stream.MatchesBall(q, res) {
+			mismatches++
+		}
+	}
+	return NeighborRow{
+		Dataset: name, K: k,
+		AvgBall:     float64(members) / float64(balls),
+		IndexKBalls: float64(balls) / idxTime.Seconds() / 1000,
+		BFSKBalls:   float64(balls) / bfsTime.Seconds() / 1000,
+		OracleErrs:  mismatches,
+	}, nil
+}

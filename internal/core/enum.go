@@ -1,0 +1,346 @@
+package core
+
+import (
+	"context"
+	"sort"
+
+	"kreach/internal/graph"
+)
+
+// This file is the neighborhood-enumeration engine: instead of asking
+// whether one pair (s, t) is k-hop reachable (Algorithm 2), it answers the
+// paper's title question directly — *who* is in s's small world — by
+// materializing the whole k-hop ball around a vertex.
+//
+// Two evaluation strategies share one output contract:
+//
+//   - a bounded frontier BFS over the adjacency (BallBFS), the exact
+//     fallback that works for every variant and direction; and
+//   - a cover-arc accelerated path on the plain index (Index.Enumerate,
+//     forward from a cover source): the index row already lists every cover
+//     vertex of the ball with its weight bucket, and — because every
+//     non-cover vertex has all its in-neighbors in the cover — one
+//     adjacency sweep over the row's ≤k-1 entries completes the fringe.
+//
+// The accelerated path is used only where the 2-bit weight buckets prove
+// the exact answer. From a non-cover source the buckets are shifted by one
+// hop and no longer align with the k-1/k boundary, and the (h,k) index
+// blurs that boundary further (bucketed low weights plus up-to-h hops of
+// slack on each side — the same reason HKIndex answers only its own k
+// pairwise), so those cases run the BFS fallback. Backward enumeration
+// ("who reaches t") always falls back: index arcs are stored as a forward
+// CSR only.
+
+// DistBucket classifies a ball member's shortest distance from the source
+// relative to the hop bound k. Only the bucket — not the exact distance —
+// is reported: it is what the index's 2-bit arc weights can prove without
+// re-running a BFS, and it answers the questions set queries ask (strictly
+// inside the ball vs. on its rim).
+type DistBucket uint8
+
+const (
+	// BucketWithin: 0 < dist ≤ k-1 (strictly inside the ball; for an
+	// Unbounded enumeration every reachable vertex is Within).
+	BucketWithin DistBucket = iota
+	// BucketFrontier: dist == k exactly (on the ball's rim; unreachable in
+	// one hop fewer).
+	BucketFrontier
+)
+
+func (b DistBucket) String() string {
+	switch b {
+	case BucketWithin:
+		return "within"
+	case BucketFrontier:
+		return "frontier"
+	}
+	return "?"
+}
+
+// Neighbor is one ball member: a vertex and its distance bucket. The source
+// itself (distance 0) is never listed.
+type Neighbor struct {
+	V      graph.Vertex
+	Bucket DistBucket
+}
+
+// EnumOptions configures one enumeration.
+type EnumOptions struct {
+	// Direction selects the ball: Forward enumerates the vertices the
+	// source reaches within k hops (ReachFrom), Backward the vertices that
+	// reach it (ReachInto).
+	Direction graph.Direction
+	// Limit caps the returned slice (0 = no cap). The pre-truncation ball
+	// size is always reported alongside the slice.
+	Limit int
+	// SortByDistance orders the result bucket-major (within before
+	// frontier), vertex-id-minor — nearest first, deterministically. The
+	// default order is the evaluation order, which is deterministic for a
+	// fixed index state but unspecified across variants.
+	SortByDistance bool
+}
+
+// EnumScratch holds reusable per-goroutine enumeration state (visited
+// stamps, BFS queue, output staging); create one per goroutine. Buffers
+// grow lazily to the graph size on first use.
+type EnumScratch struct {
+	stamp []uint32
+	epoch uint32
+	queue []graph.Vertex
+	out   []Neighbor
+}
+
+// NewEnumScratch returns scratch space for enumerations against any index.
+func NewEnumScratch() *EnumScratch { return &EnumScratch{} }
+
+// reset prepares the scratch for a graph with n vertices and bumps the
+// visitation epoch.
+func (sc *EnumScratch) reset(n int) {
+	if len(sc.stamp) < n {
+		sc.stamp = make([]uint32, n)
+		sc.epoch = 0
+	}
+	sc.epoch++
+	if sc.epoch == 0 { // wrapped: clear stamps and restart
+		for i := range sc.stamp {
+			sc.stamp[i] = 0
+		}
+		sc.epoch = 1
+	}
+	sc.queue = sc.queue[:0]
+	sc.out = sc.out[:0]
+}
+
+func (sc *EnumScratch) seen(v graph.Vertex) bool { return sc.stamp[v] == sc.epoch }
+func (sc *EnumScratch) mark(v graph.Vertex)      { sc.stamp[v] = sc.epoch }
+
+// Finish applies SortByDistance and Limit to the staged result and copies
+// it out of the scratch. It returns the (possibly truncated) slice and the
+// full ball size.
+func (sc *EnumScratch) Finish(opts EnumOptions) ([]Neighbor, int) {
+	total := len(sc.out)
+	if opts.SortByDistance {
+		sort.Slice(sc.out, func(i, j int) bool {
+			if sc.out[i].Bucket != sc.out[j].Bucket {
+				return sc.out[i].Bucket < sc.out[j].Bucket
+			}
+			return sc.out[i].V < sc.out[j].V
+		})
+	}
+	res := sc.out
+	if opts.Limit > 0 && len(res) > opts.Limit {
+		res = res[:opts.Limit]
+	}
+	out := make([]Neighbor, len(res))
+	copy(out, res)
+	return out, total
+}
+
+// BallBFS enumerates the k-hop ball around src (src excluded) with a
+// level-synchronous bounded BFS over an adjacency callback, staging results
+// in sc. k < 0 means unbounded (classic reachability: everything is
+// Within). forEach must invoke its yield function once per neighbor of v in
+// the chosen direction. ctx is polled between frontier levels; on
+// cancellation the staged result is discarded and ctx.Err() returned.
+//
+// It is exported within the module so every index variant — including the
+// dynamic overlay, whose adjacency is not a *graph.Graph — shares one
+// fallback engine. n is the vertex count the scratch must cover.
+func BallBFS(ctx context.Context, n int, src graph.Vertex, k int,
+	forEach func(v graph.Vertex, yield func(w graph.Vertex)), sc *EnumScratch) error {
+	sc.reset(n)
+	sc.mark(src)
+	sc.queue = append(sc.queue, src)
+	done := ctx.Done()
+	frontierEnd := len(sc.queue) // index one past the current level
+	depth := 0
+	for head := 0; head < len(sc.queue); head++ {
+		if head == frontierEnd {
+			depth++
+			frontierEnd = len(sc.queue)
+			if cancelled(done) {
+				return ctx.Err()
+			}
+		}
+		if k >= 0 && depth >= k {
+			break // the last level is not expanded
+		}
+		u := sc.queue[head]
+		bucket := BucketWithin
+		if k >= 0 && depth+1 == k {
+			bucket = BucketFrontier
+		}
+		forEach(u, func(w graph.Vertex) {
+			if !sc.seen(w) {
+				sc.mark(w)
+				sc.queue = append(sc.queue, w)
+				sc.out = append(sc.out, Neighbor{V: w, Bucket: bucket})
+			}
+		})
+	}
+	return nil
+}
+
+// graphAdjacency adapts a CSR graph to the BallBFS callback shape.
+func graphAdjacency(g *graph.Graph, dir graph.Direction) func(graph.Vertex, func(graph.Vertex)) {
+	return func(v graph.Vertex, yield func(graph.Vertex)) {
+		for _, w := range neighborsOf(g, v, dir) {
+			yield(w)
+		}
+	}
+}
+
+func neighborsOf(g *graph.Graph, v graph.Vertex, dir graph.Direction) []graph.Vertex {
+	if dir == graph.Forward {
+		return g.OutNeighbors(v)
+	}
+	return g.InNeighbors(v)
+}
+
+// Enumerate materializes the k-hop ball around src for the index's own k
+// (Unbounded = everything reachable). It returns the ball members (source
+// excluded, Limit applied) and the full ball size. Safe for concurrent use;
+// pass nil scratch to allocate internally.
+//
+// Forward enumeration from a cover source takes the accelerated path: the
+// source's index row IS the ball's cover portion, and one out-adjacency
+// sweep over its ≤k-1 rows adds the non-cover fringe. All other cases run
+// the exact bounded frontier BFS. ctx is honored between frontier levels
+// (and between the accelerated path's phases).
+func (ix *Index) Enumerate(ctx context.Context, src graph.Vertex, opts EnumOptions, sc *EnumScratch) ([]Neighbor, int, error) {
+	if sc == nil {
+		sc = NewEnumScratch()
+	}
+	if opts.Direction == graph.Forward && ix.InCover(src) {
+		if err := ix.enumerateCoverSource(ctx, src, sc); err != nil {
+			return nil, 0, err
+		}
+	} else {
+		if err := BallBFS(ctx, ix.g.NumVertices(), src, ix.k, graphAdjacency(ix.g, opts.Direction), sc); err != nil {
+			return nil, 0, err
+		}
+	}
+	res, total := sc.Finish(opts)
+	return res, total, nil
+}
+
+// enumerateCoverSource is the accelerated forward path for a cover source.
+// Exactness rests on two facts: the row's weight buckets are exact
+// classifications of the cover distances (w ≤ k-1 ⟺ dist ≤ k-1, w = k ⟺
+// dist = k), and every non-cover vertex has all of its in-neighbors in the
+// cover — so a fringe vertex is Within iff some in-neighbor sits at
+// distance ≤ k-2 (a ≤k-2 row entry, or the source itself when k ≥ 2), and
+// on the Frontier iff it is reached only from distance-(k-1) entries.
+func (ix *Index) enumerateCoverSource(ctx context.Context, src graph.Vertex, sc *EnumScratch) error {
+	n := ix.g.NumVertices()
+	sc.reset(n)
+	sc.mark(src)
+	done := ctx.Done()
+	cs := ix.coverID[src]
+	list := ix.coverSet.List()
+	row := ix.outAdj[ix.outHead[cs]:ix.outHead[cs+1]]
+	base := int(ix.outHead[cs])
+
+	// Phase 1: the row is the ball's cover portion, buckets straight from
+	// the 2-bit weights. Collect the fringe expansion sources as we go.
+	// sc.queue stages the ≤k-2 sources first, then the =k-1 sources, so the
+	// two fringe sweeps below can share it.
+	near := 0 // sc.queue[:near] holds the ≤k-2 cover vertices
+	if ix.k == Unbounded || ix.k >= 2 {
+		sc.queue = append(sc.queue, src) // distance 0 ≤ k-2 for k ≥ 2
+		near++
+	}
+	for p, cv := range row {
+		v := list[cv]
+		w := ix.weights.get(base + p)
+		bucket := BucketWithin
+		if ix.k != Unbounded && w == weightK {
+			bucket = BucketFrontier
+		}
+		sc.mark(v)
+		sc.out = append(sc.out, Neighbor{V: v, Bucket: bucket})
+		if w == weightLEKm2 { // the unbounded index stores only this bucket
+			sc.queue = append(sc.queue, v)
+			near++
+		}
+	}
+	if cancelled(done) {
+		return ctx.Err()
+	}
+	// Phase 2a: fringe reachable through a ≤k-2 cover vertex is Within.
+	for _, u := range sc.queue[:near] {
+		for _, x := range ix.g.OutNeighbors(u) {
+			if ix.coverID[x] < 0 && !sc.seen(x) {
+				sc.mark(x)
+				sc.out = append(sc.out, Neighbor{V: x, Bucket: BucketWithin})
+			}
+		}
+	}
+	if ix.k == Unbounded {
+		return nil // no rim on an unbounded ball
+	}
+	if cancelled(done) {
+		return ctx.Err()
+	}
+	// Phase 2b: fringe first reached through a k-1 entry is the rim. For
+	// k = 1 the source itself is the only distance-(k-1) vertex.
+	if ix.k == 1 {
+		sc.queue = append(sc.queue, src)
+	} else {
+		for p, cv := range row {
+			if ix.weights.get(base+p) == weightKm1 {
+				sc.queue = append(sc.queue, list[cv])
+			}
+		}
+	}
+	for _, u := range sc.queue[near:] {
+		for _, x := range ix.g.OutNeighbors(u) {
+			if ix.coverID[x] < 0 && !sc.seen(x) {
+				sc.mark(x)
+				sc.out = append(sc.out, Neighbor{V: x, Bucket: BucketFrontier})
+			}
+		}
+	}
+	return nil
+}
+
+// Enumerate materializes the k-hop ball around src for the (h,k) index's
+// own k. The (h,k) arc weights cannot place the Within/Frontier boundary —
+// the low weights are bucketed and each endpoint adds up to h hops of
+// slack, the same blur that restricts HKIndex to its own k pairwise — so
+// every (h,k) enumeration runs the exact bounded frontier BFS. Semantics
+// and options as in Index.Enumerate.
+func (ix *HKIndex) Enumerate(ctx context.Context, src graph.Vertex, opts EnumOptions, sc *EnumScratch) ([]Neighbor, int, error) {
+	if sc == nil {
+		sc = NewEnumScratch()
+	}
+	if err := BallBFS(ctx, ix.g.NumVertices(), src, ix.k, graphAdjacency(ix.g, opts.Direction), sc); err != nil {
+		return nil, 0, err
+	}
+	res, total := sc.Finish(opts)
+	return res, total, nil
+}
+
+// Enumerate materializes the k-hop ball around src for an arbitrary
+// per-query k (k < 0 = classic reachability). A k that lands on a rung is
+// answered by that rung's index — sharing the accelerated cover path — and
+// classic reachability by the unbounded rung. Between rungs the ladder's
+// one-sided approximation is useless for a set query (it cannot even bound
+// the ball's membership), so those bounds run the exact BFS at the
+// requested k.
+func (m *MultiIndex) Enumerate(ctx context.Context, src graph.Vertex, k int, opts EnumOptions, sc *EnumScratch) ([]Neighbor, int, error) {
+	if sc == nil {
+		sc = NewEnumScratch()
+	}
+	if k < 0 || k >= m.g.NumVertices()-1 {
+		return m.unbnd.Enumerate(ctx, src, opts, sc)
+	}
+	if ix, ok := m.byK[k]; ok {
+		return ix.Enumerate(ctx, src, opts, sc)
+	}
+	if err := BallBFS(ctx, m.g.NumVertices(), src, k, graphAdjacency(m.g, opts.Direction), sc); err != nil {
+		return nil, 0, err
+	}
+	res, total := sc.Finish(opts)
+	return res, total, nil
+}

@@ -78,8 +78,16 @@ func ReadBinaryHKIndex(r io.Reader, g *graph.Graph) (*HKIndex, error) {
 		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadIndexFormat)
 	}
 	d := decoder{buf: payload}
-	h := int(d.uvarint())
-	k := int(d.uvarint())
+	// Bound h and k before any arithmetic: hostile values would otherwise
+	// overflow the k > 2h validation and the 2h+1 weight-width derivation.
+	h, err := d.count("hop-cover radius", 1<<20)
+	if err != nil {
+		return nil, err
+	}
+	k, err := d.count("hop bound", 1<<30)
+	if err != nil {
+		return nil, err
+	}
 	n := int(d.uvarint())
 	if n != g.NumVertices() {
 		return nil, fmt.Errorf("%w: index built for n=%d, graph has n=%d",
@@ -88,17 +96,18 @@ func ReadBinaryHKIndex(r io.Reader, g *graph.Graph) (*HKIndex, error) {
 	if h < 1 || k <= 2*h {
 		return nil, fmt.Errorf("%w: invalid (h,k)=(%d,%d)", ErrBadIndexFormat, h, k)
 	}
-	coverLen := int(d.uvarint())
-	list := make([]graph.Vertex, coverLen)
-	prev := graph.Vertex(0)
-	for i := range list {
-		prev += graph.Vertex(d.uvarint())
-		list[i] = prev
-		if int(prev) >= n {
-			return nil, fmt.Errorf("%w: cover vertex out of range", ErrBadIndexFormat)
-		}
+	coverLen, err := d.count("cover length", n)
+	if err != nil {
+		return nil, err
 	}
-	total := int(d.uvarint())
+	list, err := d.coverList(coverLen, n)
+	if err != nil {
+		return nil, err
+	}
+	total, err := d.count("arc count", len(payload))
+	if err != nil {
+		return nil, err
+	}
 	ix := &HKIndex{
 		g:        g,
 		h:        h,
@@ -115,34 +124,9 @@ func ReadBinaryHKIndex(r io.Reader, g *graph.Graph) (*HKIndex, error) {
 	for i, v := range list {
 		ix.coverID[v] = int32(i)
 	}
-	pos := 0
-	for u := 0; u < coverLen; u++ {
-		ix.outHead[u] = int32(pos)
-		deg := int(d.uvarint())
-		p := int32(0)
-		for j := 0; j < deg; j++ {
-			if pos >= total {
-				return nil, fmt.Errorf("%w: arc overflow", ErrBadIndexFormat)
-			}
-			p += int32(d.uvarint())
-			if int(p) >= coverLen {
-				return nil, fmt.Errorf("%w: arc target out of range", ErrBadIndexFormat)
-			}
-			ix.outAdj[pos] = p
-			pos++
-		}
-	}
-	ix.outHead[coverLen] = int32(pos)
-	if pos != total {
-		return nil, fmt.Errorf("%w: arc count mismatch", ErrBadIndexFormat)
-	}
-	words := int(d.uvarint())
 	ix.weights = newPackedArray(total, bitsFor(uint(2*h)))
-	if words != len(ix.weights.data) {
-		return nil, fmt.Errorf("%w: weight block size mismatch", ErrBadIndexFormat)
-	}
-	for i := 0; i < words; i++ {
-		ix.weights.data[i] = d.u64()
+	if err := d.arcRows(coverLen, total, ix.outHead, ix.outAdj, ix.weights); err != nil {
+		return nil, err
 	}
 	if d.err != nil {
 		return nil, d.err

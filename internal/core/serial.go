@@ -88,22 +88,28 @@ func ReadBinaryIndex(r io.Reader, g *graph.Graph) (*Index, error) {
 	}
 	d := decoder{buf: payload}
 	k := int(d.zigzag())
+	if k != Unbounded && k < 1 {
+		return nil, fmt.Errorf("%w: implausible hop bound %d", ErrBadIndexFormat, k)
+	}
 	n := int(d.uvarint())
 	if n != g.NumVertices() {
 		return nil, fmt.Errorf("%w: index built for n=%d, graph has n=%d",
 			ErrBadIndexFormat, n, g.NumVertices())
 	}
-	coverLen := int(d.uvarint())
-	list := make([]graph.Vertex, coverLen)
-	prev := graph.Vertex(0)
-	for i := range list {
-		prev += graph.Vertex(d.uvarint())
-		list[i] = prev
-		if int(prev) >= n {
-			return nil, fmt.Errorf("%w: cover vertex out of range", ErrBadIndexFormat)
-		}
+	coverLen, err := d.count("cover length", n)
+	if err != nil {
+		return nil, err
 	}
-	total := int(d.uvarint())
+	list, err := d.coverList(coverLen, n)
+	if err != nil {
+		return nil, err
+	}
+	// Every arc consumes at least one payload byte, so the declared arc
+	// count is bounded by the payload size — checked before allocating.
+	total, err := d.count("arc count", len(payload))
+	if err != nil {
+		return nil, err
+	}
 	ix := &Index{
 		g:        g,
 		k:        k,
@@ -119,39 +125,96 @@ func ReadBinaryIndex(r io.Reader, g *graph.Graph) (*Index, error) {
 	for i, v := range list {
 		ix.coverID[v] = int32(i)
 	}
-	pos := 0
-	for u := 0; u < coverLen; u++ {
-		ix.outHead[u] = int32(pos)
-		deg := int(d.uvarint())
-		p := int32(0)
-		for j := 0; j < deg; j++ {
-			if pos >= total {
-				return nil, fmt.Errorf("%w: arc overflow", ErrBadIndexFormat)
-			}
-			p += int32(d.uvarint())
-			if int(p) >= coverLen {
-				return nil, fmt.Errorf("%w: arc target out of range", ErrBadIndexFormat)
-			}
-			ix.outAdj[pos] = p
-			pos++
-		}
-	}
-	ix.outHead[coverLen] = int32(pos)
-	if pos != total {
-		return nil, fmt.Errorf("%w: arc count mismatch", ErrBadIndexFormat)
-	}
-	words := int(d.uvarint())
 	ix.weights = newPackedArray(total, 2)
-	if words != len(ix.weights.data) {
-		return nil, fmt.Errorf("%w: weight block size mismatch", ErrBadIndexFormat)
-	}
-	for i := 0; i < words; i++ {
-		ix.weights.data[i] = d.u64()
+	if err := d.arcRows(coverLen, total, ix.outHead, ix.outAdj, ix.weights); err != nil {
+		return nil, err
 	}
 	if d.err != nil {
 		return nil, d.err
 	}
 	return ix, nil
+}
+
+// count reads a non-negative size field and rejects values beyond limit
+// before any caller allocation can happen, so a corrupt stream can never
+// provoke a huge or negative make().
+func (d *decoder) count(label string, limit int) (int, error) {
+	v := d.uvarint()
+	if d.err != nil {
+		return 0, d.err
+	}
+	if v > uint64(limit) {
+		return 0, fmt.Errorf("%w: %s %d exceeds limit %d", ErrBadIndexFormat, label, v, limit)
+	}
+	return int(v), nil
+}
+
+// coverList decodes the delta-encoded, strictly ascending cover vertex
+// list, validating every entry against n. Deltas are checked before the
+// int32 accumulation, so hostile values cannot overflow into negative ids.
+func (d *decoder) coverList(coverLen, n int) ([]graph.Vertex, error) {
+	list := make([]graph.Vertex, coverLen)
+	prev := graph.Vertex(0)
+	for i := range list {
+		dv := d.uvarint()
+		if d.err != nil {
+			return nil, d.err
+		}
+		if dv > uint64(n) || (i > 0 && dv == 0) {
+			return nil, fmt.Errorf("%w: cover vertex out of range", ErrBadIndexFormat)
+		}
+		prev += graph.Vertex(dv)
+		if int(prev) >= n {
+			return nil, fmt.Errorf("%w: cover vertex out of range", ErrBadIndexFormat)
+		}
+		list[i] = prev
+	}
+	return list, nil
+}
+
+// arcRows decodes the per-cover-vertex CSR rows (delta-encoded ascending
+// ids) and the packed weight words shared by the plain and (h,k) formats.
+// outHead/outAdj must be pre-sized to coverLen+1/total.
+func (d *decoder) arcRows(coverLen, total int, outHead, outAdj []int32, weights *packedArray) error {
+	pos := 0
+	for u := 0; u < coverLen; u++ {
+		outHead[u] = int32(pos)
+		deg, err := d.count("row degree", total-pos)
+		if err != nil {
+			return fmt.Errorf("%w: arc overflow", ErrBadIndexFormat)
+		}
+		p := int32(0)
+		for j := 0; j < deg; j++ {
+			dv := d.uvarint()
+			if d.err != nil {
+				return d.err
+			}
+			if dv > uint64(coverLen) {
+				return fmt.Errorf("%w: arc target out of range", ErrBadIndexFormat)
+			}
+			p += int32(dv)
+			if int(p) >= coverLen {
+				return fmt.Errorf("%w: arc target out of range", ErrBadIndexFormat)
+			}
+			outAdj[pos] = p
+			pos++
+		}
+	}
+	outHead[coverLen] = int32(pos)
+	if pos != total {
+		return fmt.Errorf("%w: arc count mismatch", ErrBadIndexFormat)
+	}
+	words := int(d.uvarint())
+	if d.err != nil {
+		return d.err
+	}
+	if words != len(weights.data) {
+		return fmt.Errorf("%w: weight block size mismatch", ErrBadIndexFormat)
+	}
+	for i := 0; i < words; i++ {
+		weights.data[i] = d.u64()
+	}
+	return d.err
 }
 
 func appendZigzag(buf []byte, v int64) []byte {

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"testing"
+
+	"kreach/internal/graph"
+	"kreach/internal/testgraph"
+)
+
+// Hostile-stream tests: hand-crafted payloads with VALID checksums but
+// corrupt fields. Random fuzzing almost never clears the CRC gate, so the
+// decoder's size/overflow validation is pinned here deterministically —
+// every case must fail with ErrBadIndexFormat, never panic or allocate
+// unbounded memory.
+
+// frame wraps a payload in the given magic plus a correct CRC.
+func frame(magic string, payload []byte) []byte {
+	out := make([]byte, 8, 8+len(payload))
+	copy(out, magic)
+	binary.LittleEndian.PutUint32(out[4:], crc32.ChecksumIEEE(payload))
+	return append(out, payload...)
+}
+
+func uv(buf []byte, vs ...uint64) []byte {
+	for _, v := range vs {
+		buf = binary.AppendUvarint(buf, v)
+	}
+	return buf
+}
+
+func zz(buf []byte, v int64) []byte {
+	return binary.AppendUvarint(buf, uint64(v<<1)^uint64(v>>63))
+}
+
+func TestReadBinaryIndexHostile(t *testing.T) {
+	g := testgraph.PaperFigure1() // n = 10
+	n := uint64(g.NumVertices())
+	cases := map[string][]byte{
+		// k = 0 and k = -5 are bounds no writer produces.
+		"zero k":     uv(zz(nil, 0), n),
+		"negative k": uv(zz(nil, -5), n),
+		// coverLen far beyond n: must be rejected before the make().
+		"huge cover length": uv(zz(nil, 3), n, 1<<40),
+		// Cover delta that would overflow int32 into a negative id.
+		"cover delta overflow": uv(zz(nil, 3), n, 2, 0, 1<<33),
+		// Duplicate cover vertex (zero delta after the first).
+		"duplicate cover vertex": uv(zz(nil, 3), n, 2, 1, 0),
+		// Cover vertex beyond n.
+		"cover vertex out of range": uv(zz(nil, 3), n, 1, 99),
+		// Arc total far beyond what the payload could hold.
+		"huge arc count": uv(zz(nil, 3), n, 1, 0, 1<<50),
+		// Row degree beyond the declared total.
+		"row degree overflow": uv(zz(nil, 3), n, 1, 0, 1, 7),
+		// Arc target delta overflowing past coverLen.
+		"arc delta overflow": uv(zz(nil, 3), n, 2, 0, 1, 2, 2, 1<<34, 0),
+		// Truncated mid-stream (valid CRC over the truncation).
+		"truncated": uv(zz(nil, 3), n, 2, 0),
+	}
+	for name, payload := range cases {
+		t.Run(name, func(t *testing.T) {
+			_, err := ReadBinaryIndex(bytes.NewReader(frame("KRI1", payload)), g)
+			if err == nil {
+				t.Fatal("hostile stream accepted")
+			}
+			if !errors.Is(err, ErrBadIndexFormat) {
+				t.Fatalf("err %v, want ErrBadIndexFormat", err)
+			}
+		})
+	}
+}
+
+func TestReadBinaryHKIndexHostile(t *testing.T) {
+	g := testgraph.PaperFigure1()
+	n := uint64(g.NumVertices())
+	cases := map[string][]byte{
+		// h so large that 2h+1 weight bits would overflow the packed array.
+		"huge h": uv(nil, 1<<40, 1<<41, n),
+		// k ≤ 2h (Definition 2 violated), with values that would overflow
+		// a naive 2*h check.
+		"k below 2h":  uv(nil, 2, 3, n),
+		"overfling k": uv(nil, 1<<19, 1<<29, 123),
+		// Structural corruption behind valid (h,k).
+		"huge cover length":    uv(nil, 1, 3, n, 1<<40),
+		"cover delta overflow": uv(nil, 1, 3, n, 2, 0, 1<<33),
+		"huge arc count":       uv(nil, 1, 3, n, 1, 0, 1<<50),
+		"truncated":            uv(nil, 1, 3, n, 2, 0),
+	}
+	for name, payload := range cases {
+		t.Run(name, func(t *testing.T) {
+			_, err := ReadBinaryHKIndex(bytes.NewReader(frame("KRH1", payload)), g)
+			if err == nil {
+				t.Fatal("hostile stream accepted")
+			}
+			if !errors.Is(err, ErrBadIndexFormat) {
+				t.Fatalf("err %v, want ErrBadIndexFormat", err)
+			}
+		})
+	}
+}
+
+// TestReadBinaryGraphHostile pins the graph reader's size validation.
+func TestReadBinaryGraphHostile(t *testing.T) {
+	cases := map[string][]byte{
+		"huge n":            uv(nil, 1<<40, 0),
+		"m beyond payload":  uv(nil, 4, 1<<40),
+		"edge out of range": uv(nil, 2, 1, 5, 0),
+		"truncated edges":   uv(nil, 4, 3, 0, 1),
+	}
+	for name, payload := range cases {
+		t.Run(name, func(t *testing.T) {
+			_, err := graph.ReadBinary(bytes.NewReader(frame("KRG1", payload)))
+			if err == nil {
+				t.Fatal("hostile stream accepted")
+			}
+		})
+	}
+}

@@ -1,0 +1,41 @@
+package dynamic
+
+import (
+	"context"
+
+	"kreach/internal/core"
+	"kreach/internal/graph"
+)
+
+// Neighborhood enumeration against the live (overlay-applied) edge set.
+// The dynamic index shares core's frontier-BFS ball engine, driven by the
+// DeltaGraph's adjacency callbacks, and holds the read lock for the whole
+// traversal: the enumerated ball is a consistent snapshot of one epoch —
+// a mutation batch either precedes the whole ball or follows it, never
+// lands in the middle. (Readers holding the lock for a ball's duration is
+// the same trade ReachBatch makes per query; balls are bounded by k, so
+// writers wait at most one bounded traversal.)
+
+// Enumerate materializes the k-hop ball around src on the live edge set
+// (source excluded, EnumOptions.Limit applied) and returns the members and
+// the full ball size. The hop bound is the index's own k. Safe for
+// concurrent use, including concurrently with Mutate; pass nil scratch to
+// allocate internally. ctx is polled between frontier levels — a
+// cancelled enumeration releases the read lock promptly and returns
+// ctx.Err().
+func (ix *Index) Enumerate(ctx context.Context, src graph.Vertex, opts core.EnumOptions, sc *core.EnumScratch) ([]core.Neighbor, int, error) {
+	if sc == nil {
+		sc = core.NewEnumScratch()
+	}
+	ix.rw.RLock()
+	defer ix.rw.RUnlock()
+	adj := ix.dg.forEachOut
+	if opts.Direction == graph.Backward {
+		adj = ix.dg.forEachIn
+	}
+	if err := core.BallBFS(ctx, ix.dg.NumVertices(), src, ix.k, adj, sc); err != nil {
+		return nil, 0, err
+	}
+	res, total := sc.Finish(opts)
+	return res, total, nil
+}

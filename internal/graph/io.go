@@ -64,8 +64,10 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		first     Edge
 		sawFirst  bool
 		maxVertex = Vertex(-1)
+		bytesRead int
 	)
 	for sc.Scan() {
+		bytesRead += len(sc.Bytes()) + 1
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
@@ -104,8 +106,20 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 	if !sawFirst {
 		return FromEdges(0, nil), nil
 	}
+	// Sanity cap, mirroring the binary format's: a header (or stray id)
+	// declaring hundreds of millions of vertices would demand a
+	// multi-gigabyte CSR from a handful of bytes.
+	checkN := func(n int) error {
+		if n > maxBinaryVertices {
+			return fmt.Errorf("graph: implausible vertex count %d in a %d-byte edge list", n, bytesRead)
+		}
+		return nil
+	}
 	if int(maxVertex) < int(first.Src) && int(first.Dst) == len(edges) {
 		// The first pair is an "n m" header.
+		if err := checkN(int(first.Src)); err != nil {
+			return nil, err
+		}
 		return FromEdges(int(first.Src), edges), nil
 	}
 	// Header-less list: the first pair is an edge.
@@ -116,10 +130,18 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		maxVertex = first.Dst
 	}
 	edges = append(edges, first)
+	if err := checkN(int(maxVertex) + 1); err != nil {
+		return nil, err
+	}
 	return FromEdges(int(maxVertex)+1, edges), nil
 }
 
 var binaryMagic = [4]byte{'K', 'R', 'G', '1'}
+
+// maxBinaryVertices caps the vertex count a binary graph stream may
+// declare: far above every dataset this module targets, far below what
+// would let a corrupt 10-byte header demand a multi-gigabyte CSR.
+const maxBinaryVertices = 1 << 27
 
 // ErrBadFormat reports a corrupt or foreign binary graph stream.
 var ErrBadFormat = errors.New("graph: bad binary format")
@@ -196,7 +218,12 @@ func DecodeBinary(payload []byte) (*Graph, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	if n64 > 1<<31 || m64 > 1<<40 {
+	// Each edge consumes at least two payload bytes, so a declared m beyond
+	// half the payload is corrupt — checked before the edge slice is sized.
+	// The vertex cap bounds the CSR allocation a tiny hostile header could
+	// otherwise provoke (int32 vertex ids would admit allocations in the
+	// tens of gigabytes).
+	if n64 > maxBinaryVertices || m64 > uint64(len(payload))/2 {
 		return nil, 0, fmt.Errorf("%w: implausible sizes n=%d m=%d", ErrBadFormat, n64, m64)
 	}
 	n, m := int(n64), int(m64)

@@ -72,6 +72,17 @@ func (d *Dataset) Mutable() (*kreach.DynamicIndex, bool) {
 	return dyn, ok
 }
 
+// Enumerator reports whether the dataset's Reacher supports k-hop
+// neighborhood enumeration, and returns the capability for the
+// /v1/neighbors path when so. Like Mutable and PerQueryK it is a
+// behavioral probe: a future backend gains (or loses) the endpoint by
+// implementing (or not implementing) kreach.NeighborEnumerator, with no
+// serving-layer changes.
+func (d *Dataset) Enumerator() (kreach.NeighborEnumerator, bool) {
+	e, ok := d.Reacher.(kreach.NeighborEnumerator)
+	return e, ok
+}
+
 // perQueryK is the capability contract of a Reacher that answers arbitrary
 // per-query hop bounds (a rung ladder): it exposes its rungs and, crucially
 // for the cache, its own request-bound canonicalization — two request ks
@@ -372,6 +383,7 @@ func New(reg *Registry, cfg Config) *Server {
 	s.maxBody = 4096 + 64*int64(cfg.MaxBatch)
 	s.mux.HandleFunc("POST /v1/reach", s.handleReach)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/neighbors", s.handleNeighbors)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/datasets/{name}/reload", s.handleReload)
 	s.mux.HandleFunc("POST /v1/datasets/{name}/edges", s.handleEdges)

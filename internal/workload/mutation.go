@@ -106,6 +106,13 @@ func (m *MutationStream) link(e graph.Edge) {
 // NumEdges returns the current live edge count.
 func (m *MutationStream) NumEdges() int { return len(m.edges) }
 
+// Edges returns a copy of the current live edge set, in no particular
+// order. Conformance harnesses rebuild an oracle graph from it after
+// replaying the stream's mutations into a system under test.
+func (m *MutationStream) Edges() []graph.Edge {
+	return append([]graph.Edge(nil), m.edges...)
+}
+
 // Next produces the next operation and (for mutations) applies it to the
 // stream's own edge set. An add is always a fresh non-self edge; a remove
 // always names a live edge. When the mix asks for an impossible op (remove

@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"testing"
+
+	"kreach/internal/core"
+	"kreach/internal/graph"
+	"kreach/internal/testgraph"
+)
+
+func TestNeighborStreamDeterministic(t *testing.T) {
+	g := testgraph.Random(30, 90, 3)
+	a := NewNeighborStream(g, 7, []int{2, 3}, 0)
+	b := NewNeighborStream(g, 7, []int{2, 3}, 0)
+	for i := 0; i < 100; i++ {
+		if qa, qb := a.Next(), b.Next(); qa != qb {
+			t.Fatalf("query %d diverged: %+v vs %+v", i, qa, qb)
+		}
+	}
+}
+
+func TestNeighborStreamCyclesKAndDir(t *testing.T) {
+	g := testgraph.Random(20, 40, 1)
+	s := NewNeighborStream(g, 1, []int{2, 5}, 0)
+	sawK := map[int]bool{}
+	sawDir := map[graph.Direction]bool{}
+	for i := 0; i < 10; i++ {
+		q := s.Next()
+		sawK[q.K] = true
+		sawDir[q.Dir] = true
+	}
+	if !sawK[2] || !sawK[5] || !sawDir[graph.Forward] || !sawDir[graph.Backward] {
+		t.Fatalf("stream did not cycle bounds/directions: %v %v", sawK, sawDir)
+	}
+}
+
+// TestNeighborStreamOracle validates the oracle against a hand-checked
+// ball on the paper's Figure 1 graph.
+func TestNeighborStreamOracle(t *testing.T) {
+	g := testgraph.PaperFigure1()
+	s := NewNeighborStream(g, 1, []int{2}, 0)
+	ball := s.Ball(NeighborQuery{Src: testgraph.B, K: 2, Dir: graph.Forward})
+	want := map[graph.Vertex]core.DistBucket{
+		testgraph.D: core.BucketWithin,
+		testgraph.E: core.BucketFrontier,
+		testgraph.F: core.BucketFrontier,
+	}
+	if len(ball) != len(want) {
+		t.Fatalf("ball %v, want %v", ball, want)
+	}
+	for v, b := range want {
+		if ball[v] != b {
+			t.Fatalf("vertex %v bucket %v, want %v", v, ball[v], b)
+		}
+	}
+	got := []core.Neighbor{
+		{V: testgraph.D, Bucket: core.BucketWithin},
+		{V: testgraph.E, Bucket: core.BucketFrontier},
+		{V: testgraph.F, Bucket: core.BucketFrontier},
+	}
+	if !s.MatchesBall(NeighborQuery{Src: testgraph.B, K: 2, Dir: graph.Forward}, got) {
+		t.Fatal("MatchesBall rejected the oracle's own ball")
+	}
+	got[0].Bucket = core.BucketFrontier
+	if s.MatchesBall(NeighborQuery{Src: testgraph.B, K: 2, Dir: graph.Forward}, got) {
+		t.Fatal("MatchesBall accepted a wrong bucket")
+	}
+}
+
+// TestNeighborStreamAgainstIndex sweeps stream queries through a plain
+// index and the oracle together.
+func TestNeighborStreamAgainstIndex(t *testing.T) {
+	g := testgraph.Random(50, 160, 9)
+	for _, k := range []int{2, 3} {
+		ix, err := core.Build(g, core.Options{K: k, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := NewNeighborStream(g, 11, []int{k}, 0.3)
+		sc := core.NewEnumScratch()
+		for i := 0; i < 200; i++ {
+			q := s.Next()
+			got, _, err := ix.Enumerate(t.Context(), q.Src, core.EnumOptions{Direction: q.Dir}, sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !s.MatchesBall(q, got) {
+				t.Fatalf("query %d (%+v): index ball disagrees with oracle", i, q)
+			}
+		}
+	}
+}
