@@ -44,6 +44,9 @@ bench-tables:
 		echo "Regenerated with \`make bench-tables\` (scale $(BENCH_SCALE),"; \
 		echo "$(BENCH_QUERIES) queries — relative numbers, not paper scale;"; \
 		echo "use \`kbench -scale 1 -queries 1000000\` for the full run)."; \
+		echo "Batch-scaling rows are bounded by the host's GOMAXPROCS:"; \
+		echo "on a single-CPU runner extra workers cannot multiply"; \
+		echo "throughput (BENCH_kreach.json records gomaxprocs for this)."; \
 		echo; \
 		echo '```'; \
 		$(GO) run ./cmd/kbench -table all -scale $(BENCH_SCALE) -queries $(BENCH_QUERIES); \
@@ -56,9 +59,10 @@ bench-cache:
 	$(GO) test ./internal/bench -bench 'ReachCached|ReachUncached' -benchtime 2s -run XXX
 
 # bench-smoke mirrors the CI benchmark-compile gate: one iteration of every
-# benchmark, so bench-only code cannot rot without failing the build.
+# benchmark — the harness suite plus the word-parallel kernel micro-
+# benchmarks — so bench-only code cannot rot without failing the build.
 bench-smoke:
-	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/bench
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/bench ./internal/bitvec
 
 # bench-json writes the machine-readable benchmark trajectory
 # (reach/batch/cached/mutate/neighbors); CI uploads it as an artifact so

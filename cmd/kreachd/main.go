@@ -31,6 +31,9 @@
 // the old snapshot, and the epoch bump makes its cache entries
 // unreachable (LRU churn then evicts them).
 //
+// -pprof ADDR serves net/http/pprof on a separate address (keep it on
+// loopback); the query listener never exposes profiling endpoints.
+//
 // With -mutable every dataset is served as a dynamic k-reach index that
 // accepts online edge mutations: POST /v1/datasets/{name}/edges applies a
 // batched add/remove, POST /v1/datasets/{name}/compact merges the overlay
@@ -46,6 +49,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -65,6 +69,7 @@ func main() {
 		cacheSize   = flag.Int("cache", 0, "result cache entries, rounded to powers of two (0 = default, negative = disabled)")
 		cacheShards = flag.Int("cacheshards", 0, "result cache shard count (0 = derived from GOMAXPROCS)")
 		mutable     = flag.Bool("mutable", false, "serve datasets as dynamic indexes accepting edge mutations (requires k=, excludes index=/h=/rungs=)")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 		specs       []string
 	)
 	flag.Func("dataset", "dataset spec 'name,graph=PATH[,index=PATH][,k=K][,h=H][,rungs=A+B+C][,cover=S][,seed=N]' (repeatable)", func(s string) error {
@@ -106,6 +111,25 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	if *pprofAddr != "" {
+		// Profiling stays off the query listener: a separate mux on a
+		// separate (typically loopback-only) address, so exposing the API
+		// never exposes the profiler. Registered explicitly rather than via
+		// the net/http/pprof import side effect on DefaultServeMux.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			fmt.Fprintf(os.Stderr, "kreachd: pprof on %s\n", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "kreachd: pprof:", err)
+			}
+		}()
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()

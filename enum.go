@@ -2,7 +2,6 @@ package kreach
 
 import (
 	"context"
-	"sync"
 
 	"kreach/internal/core"
 	"kreach/internal/graph"
@@ -112,10 +111,6 @@ func ball(source, effK int, res []core.Neighbor, total int) *Ball {
 	return b
 }
 
-// enumScratch pools enumeration scratch across calls and variants; the
-// scratch sizes itself to whatever graph it meets, so one pool serves all.
-var enumScratch = sync.Pool{New: func() any { return core.NewEnumScratch() }}
-
 // ReachFrom implements NeighborEnumerator: the ball of vertices s reaches
 // within k hops (UseIndexK or the index's own k; see Index.ReachK for the
 // hop-bound rules). A cover source rides the accelerated cover-arc path.
@@ -135,13 +130,16 @@ func (ix *Index) enumerate(ctx context.Context, v, k int, opts EnumOptions, dir 
 	if err != nil {
 		return nil, err
 	}
-	sc := enumScratch.Get().(*core.EnumScratch)
+	sc := core.GetEnumScratch()
 	res, total, err := ix.ix.Enumerate(ctx, graph.Vertex(v), opts.core(dir), sc)
-	enumScratch.Put(sc)
 	if err != nil {
+		core.PutEnumScratch(sc)
 		return nil, err
 	}
-	return ball(v, effK, res, total), nil
+	// Convert before returning the scratch: res aliases sc's staging buffer.
+	b := ball(v, effK, res, total)
+	core.PutEnumScratch(sc)
+	return b, nil
 }
 
 // ReachFrom implements NeighborEnumerator for the (h,k) index (its own k
@@ -163,13 +161,16 @@ func (ix *HKIndex) enumerate(ctx context.Context, v, k int, opts EnumOptions, di
 	if err != nil {
 		return nil, err
 	}
-	sc := enumScratch.Get().(*core.EnumScratch)
+	sc := core.GetEnumScratch()
 	res, total, err := ix.ix.Enumerate(ctx, graph.Vertex(v), opts.core(dir), sc)
-	enumScratch.Put(sc)
 	if err != nil {
+		core.PutEnumScratch(sc)
 		return nil, err
 	}
-	return ball(v, effK, res, total), nil
+	// Convert before returning the scratch: res aliases sc's staging buffer.
+	b := ball(v, effK, res, total)
+	core.PutEnumScratch(sc)
+	return b, nil
 }
 
 // ReachFrom implements NeighborEnumerator: a ladder answers any hop bound,
@@ -190,13 +191,16 @@ func (ix *MultiIndex) ReachInto(ctx context.Context, t, k int, opts EnumOptions)
 func (ix *MultiIndex) enumerate(ctx context.Context, v, k int, opts EnumOptions, dir graph.Direction) (*Ball, error) {
 	ix.g.check(v)
 	effK := ix.NormalizeK(k)
-	sc := enumScratch.Get().(*core.EnumScratch)
+	sc := core.GetEnumScratch()
 	res, total, err := ix.m.Enumerate(ctx, graph.Vertex(v), effK, opts.core(dir), sc)
-	enumScratch.Put(sc)
 	if err != nil {
+		core.PutEnumScratch(sc)
 		return nil, err
 	}
-	return ball(v, effK, res, total), nil
+	// Convert before returning the scratch: res aliases sc's staging buffer.
+	b := ball(v, effK, res, total)
+	core.PutEnumScratch(sc)
+	return b, nil
 }
 
 // ReachFrom implements NeighborEnumerator against the live edge set (the
@@ -219,11 +223,14 @@ func (ix *DynamicIndex) enumerate(ctx context.Context, v, k int, opts EnumOption
 	if err != nil {
 		return nil, err
 	}
-	sc := enumScratch.Get().(*core.EnumScratch)
+	sc := core.GetEnumScratch()
 	res, total, err := ix.d.Enumerate(ctx, graph.Vertex(v), opts.core(dir), sc)
-	enumScratch.Put(sc)
 	if err != nil {
+		core.PutEnumScratch(sc)
 		return nil, err
 	}
-	return ball(v, effK, res, total), nil
+	// Convert before returning the scratch: res aliases sc's staging buffer.
+	b := ball(v, effK, res, total)
+	core.PutEnumScratch(sc)
+	return b, nil
 }

@@ -638,7 +638,7 @@ func (r *Runner) TableNeighbors() error {
 	balls := max(r.cfg.Queries/100, 100)
 	fmt.Fprintf(r.cfg.Out, "Neighbors: k-hop ball enumeration, %d balls (celebrity bias 0.5, both directions)\n", balls)
 	w := r.tab()
-	fmt.Fprintln(w, "\tk\tavg |ball|\tindex kballs/s\tbfs kballs/s\toracle errs\t")
+	fmt.Fprintln(w, "\tk\tavg |ball|\tindex kballs/s\tbfs kballs/s\tspeedup\toracle errs\t")
 	for _, name := range r.cfg.Datasets {
 		d, err := r.dataset(name)
 		if err != nil {
@@ -650,8 +650,8 @@ func (r *Runner) TableNeighbors() error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "%s\t%d\t%.1f\t%.1f\t%.1f\t%d\t\n",
-			name, row.K, row.AvgBall, row.IndexKBalls, row.BFSKBalls, row.OracleErrs)
+		fmt.Fprintf(w, "%s\t%d\t%.1f\t%.1f\t%.1f\t%.2fx\t%d\t\n",
+			name, row.K, row.AvgBall, row.IndexKBalls, row.BFSKBalls, row.EnumSpeedup, row.OracleErrs)
 	}
 	return w.Flush()
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"runtime"
 	"time"
 
 	"kreach/internal/cache"
@@ -21,17 +22,20 @@ import (
 // performance trajectory of the repo is a diffable artifact instead of
 // prose. Schema changes bump Schema.
 
-// Report is the top-level BENCH_kreach.json document.
+// Report is the top-level BENCH_kreach.json document. Schema 2 added
+// GOMAXPROCS (so the batch worker sweep can be judged against the cores
+// that were actually available) and NeighborRow.EnumSpeedup.
 type Report struct {
-	Schema    int           `json:"schema"`
-	Queries   int           `json:"queries"`
-	Scale     int           `json:"scale"`
-	Datasets  []string      `json:"datasets"`
-	Reach     []ReachRow    `json:"reach"`
-	Batch     []BatchRow    `json:"batch"`
-	Cached    []CacheRow    `json:"cached"`
-	Mutate    []MutateRow   `json:"mutate"`
-	Neighbors []NeighborRow `json:"neighbors"`
+	Schema     int           `json:"schema"`
+	Queries    int           `json:"queries"`
+	Scale      int           `json:"scale"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Datasets   []string      `json:"datasets"`
+	Reach      []ReachRow    `json:"reach"`
+	Batch      []BatchRow    `json:"batch"`
+	Cached     []CacheRow    `json:"cached"`
+	Mutate     []MutateRow   `json:"mutate"`
+	Neighbors  []NeighborRow `json:"neighbors"`
 }
 
 // ReachRow is sequential single-query throughput on the k=µ index.
@@ -68,23 +72,62 @@ type MutateRow struct {
 }
 
 // NeighborRow is k-hop ball enumeration throughput with the oracle
-// cross-check tally (must be 0).
+// cross-check tally (must be 0). EnumSpeedup is index_kballs/bfs_kballs —
+// ≥1 means the cover-arc path beats re-running the BFS.
 type NeighborRow struct {
 	Dataset     string  `json:"dataset"`
 	K           int     `json:"k"`
 	AvgBall     float64 `json:"avg_ball"`
 	IndexKBalls float64 `json:"index_kballs"`
 	BFSKBalls   float64 `json:"bfs_kballs"`
+	EnumSpeedup float64 `json:"enum_speedup"`
 	OracleErrs  int     `json:"oracle_errs"`
+}
+
+// timeBest runs fn once untimed (warmup: page in the index, train the
+// branch predictors) and then reps timed passes, returning the fastest.
+// The hot paths here finish in well under a millisecond at bench scale, so
+// a single-shot measurement is mostly scheduler and GC noise; best-of-N is
+// the standard cure and keeps the JSON trajectory diffable run-to-run.
+func timeBest(reps int, fn func()) time.Duration {
+	fn()
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < reps; i++ {
+		t0 := time.Now()
+		fn()
+		if d := time.Since(t0); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// batchSweep is the worker counts the batch section measures: fixed small
+// steps for cross-machine comparability plus GOMAXPROCS for "all cores",
+// deduplicated and ascending (on a 1-CPU machine it is just {1, 2, 4}).
+func batchSweep() []int {
+	sweep := []int{1, 2, 4}
+	p := runtime.GOMAXPROCS(0)
+	for _, w := range sweep {
+		if w == p {
+			return sweep
+		}
+	}
+	i := 0
+	for i < len(sweep) && sweep[i] < p {
+		i++
+	}
+	return append(append(append([]int{}, sweep[:i]...), p), sweep[i:]...)
 }
 
 // RunJSON measures every section and writes the indented Report to w.
 func (r *Runner) RunJSON(w io.Writer) error {
 	rep := Report{
-		Schema:   1,
-		Queries:  r.cfg.Queries,
-		Scale:    r.cfg.Scale,
-		Datasets: r.cfg.Datasets,
+		Schema:     2,
+		Queries:    r.cfg.Queries,
+		Scale:      r.cfg.Scale,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Datasets:   r.cfg.Datasets,
 	}
 	ctx := context.Background()
 	for _, name := range r.cfg.Datasets {
@@ -100,17 +143,18 @@ func (r *Runner) RunJSON(w io.Writer) error {
 			return err
 		}
 		scratch := core.NewQueryScratch()
-		t0 := time.Now()
-		for i := 0; i < d.q.Len(); i++ {
-			ix.Reach(d.q.S[i], d.q.T[i], scratch)
-		}
+		reachTime := timeBest(3, func() {
+			for i := 0; i < d.q.Len(); i++ {
+				ix.Reach(d.q.S[i], d.q.T[i], scratch)
+			}
+		})
 		rep.Reach = append(rep.Reach, ReachRow{
 			Dataset: name, K: mu,
-			KQPS: float64(d.q.Len()) / time.Since(t0).Seconds() / 1000,
+			KQPS: float64(d.q.Len()) / reachTime.Seconds() / 1000,
 		})
 
-		// batch: the worker pool at 1 and GOMAXPROCS-ish parallelism on
-		// the n-reach index.
+		// batch: the work-stealing pool across the worker sweep on the
+		// n-reach index.
 		nix, err := core.Build(d.g, core.Options{K: core.Unbounded, Strategy: cover.DegreePrioritized, Seed: r.cfg.Seed})
 		if err != nil {
 			return err
@@ -119,14 +163,20 @@ func (r *Runner) RunJSON(w io.Writer) error {
 		for i := range pairs {
 			pairs[i] = core.Pair{S: d.q.S[i], T: d.q.T[i]}
 		}
-		for _, workers := range []int{1, 4} {
-			t0 = time.Now()
-			if _, err := nix.ReachBatch(ctx, pairs, workers); err != nil {
-				return err
+		for _, workers := range batchSweep() {
+			var batchErr error
+			w := workers
+			batchTime := timeBest(3, func() {
+				if _, err := nix.ReachBatch(ctx, pairs, w); err != nil {
+					batchErr = err
+				}
+			})
+			if batchErr != nil {
+				return batchErr
 			}
 			rep.Batch = append(rep.Batch, BatchRow{
 				Dataset: name, Workers: workers,
-				KQPS: float64(len(pairs)) / time.Since(t0).Seconds() / 1000,
+				KQPS: float64(len(pairs)) / batchTime.Seconds() / 1000,
 			})
 		}
 
@@ -241,7 +291,7 @@ func (r *Runner) neighborRow(ctx context.Context, name string, d *dataset, k int
 	if err != nil {
 		return NeighborRow{}, err
 	}
-	balls := max(r.cfg.Queries/100, 100)
+	balls := max(r.cfg.Queries/10, 1000)
 	stream := workload.NewNeighborStream(d.g, r.cfg.Seed+31, []int{k}, 0.5)
 	queries := make([]workload.NeighborQuery, balls)
 	for i := range queries {
@@ -249,21 +299,39 @@ func (r *Runner) neighborRow(ctx context.Context, name string, d *dataset, k int
 	}
 	sc := core.NewEnumScratch()
 	members := 0
-	t0 := time.Now()
-	for _, q := range queries {
-		res, _, err := ix.Enumerate(ctx, q.Src, core.EnumOptions{Direction: q.Dir}, sc)
-		if err != nil {
-			return NeighborRow{}, err
+	var enumErr error
+	idxTime := timeBest(3, func() {
+		members = 0
+		for _, q := range queries {
+			res, _, err := ix.Enumerate(ctx, q.Src, core.EnumOptions{Direction: q.Dir}, sc)
+			if err != nil {
+				enumErr = err
+				return
+			}
+			members += len(res)
 		}
-		members += len(res)
+	})
+	if enumErr != nil {
+		return NeighborRow{}, enumErr
 	}
-	idxTime := time.Since(t0)
+	// The BFS baseline answers the same query end-to-end: traverse, then
+	// materialize the bucketed member list the index path returns (a bare
+	// traversal that only fills distance scratch would not be an answer).
 	bfsScratch := graph.NewBFSScratch(d.g.NumVertices())
-	t0 = time.Now()
-	for _, q := range queries {
-		graph.KHopBFS(d.g, q.Src, q.K, q.Dir, bfsScratch)
-	}
-	bfsTime := time.Since(t0)
+	var bfsOut []core.Neighbor
+	bfsTime := timeBest(3, func() {
+		for _, q := range queries {
+			graph.KHopBFS(d.g, q.Src, q.K, q.Dir, bfsScratch)
+			bfsOut = bfsOut[:0]
+			for _, v := range bfsScratch.Visited()[1:] {
+				bucket := core.BucketWithin
+				if q.K >= 0 && int(bfsScratch.Dist(v)) == q.K {
+					bucket = core.BucketFrontier
+				}
+				bfsOut = append(bfsOut, core.Neighbor{V: v, Bucket: bucket})
+			}
+		}
+	})
 	mismatches := 0
 	for i, q := range queries {
 		if i%16 != 0 {
@@ -282,6 +350,7 @@ func (r *Runner) neighborRow(ctx context.Context, name string, d *dataset, k int
 		AvgBall:     float64(members) / float64(balls),
 		IndexKBalls: float64(balls) / idxTime.Seconds() / 1000,
 		BFSKBalls:   float64(balls) / bfsTime.Seconds() / 1000,
+		EnumSpeedup: bfsTime.Seconds() / idxTime.Seconds(),
 		OracleErrs:  mismatches,
 	}, nil
 }

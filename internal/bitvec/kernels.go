@@ -1,0 +1,228 @@
+// Word-parallel kernels shared by the query hot paths. The WAH vectors in
+// wah.go serve the PWAH baseline; this file is the kernel home for the
+// k-reach index itself: uncompressed bitset primitives (AndCount, AndAny,
+// IterateSetBits), a flat 2-bit packed array (Packed2, the CSR-aligned
+// weight storage), and a bitplane view of dense 2-bit weight rows
+// (WeightRow) whose lane predicates evaluate 64 cover vertices per
+// instruction instead of one per probe.
+//
+// The 2-bit weight alphabet is the paper's Section 4.3 observation that
+// k-reach edge weights take only the three values {≤k-2, k-1, k}; the
+// fourth code point (3) is reserved here to mean "no arc", which is what
+// lets a dense row answer membership and weight in the same load.
+
+package bitvec
+
+import "math/bits"
+
+// LaneAbsent is the reserved 2-bit code for "no arc" in dense weight rows.
+const LaneAbsent = 3
+
+// AndCount returns the number of set bits in a AND b over their common
+// prefix (the shorter length governs).
+func AndCount(a, b []uint64) int {
+	if len(b) < len(a) {
+		a = a[:len(b)]
+	}
+	total := 0
+	for i, w := range a {
+		total += bits.OnesCount64(w & b[i])
+	}
+	return total
+}
+
+// AndAny reports whether a AND b has any set bit over their common prefix.
+func AndAny(a, b []uint64) bool {
+	if len(b) < len(a) {
+		a = a[:len(b)]
+	}
+	for i, w := range a {
+		if w&b[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// IterateSetBits calls yield(i) for every set bit position i in words,
+// ascending. The classic trailing-zero walk touches only set bits, so cost
+// is O(words + popcount).
+func IterateSetBits(words []uint64, yield func(i int)) {
+	for wi, w := range words {
+		base := wi << 6
+		for w != 0 {
+			yield(base + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// SetBit sets bit i of the uncompressed bitset.
+func SetBit(words []uint64, i int) { words[i>>6] |= 1 << (uint(i) & 63) }
+
+// ClearBit clears bit i of the uncompressed bitset.
+func ClearBit(words []uint64, i int) { words[i>>6] &^= 1 << (uint(i) & 63) }
+
+// TestBit reports whether bit i of the uncompressed bitset is set.
+func TestBit(words []uint64, i int) bool { return words[i>>6]>>(uint(i)&63)&1 == 1 }
+
+// Packed2 is a flat array of 2-bit values, 32 per 64-bit word, entry i at
+// bits [2(i mod 32), 2(i mod 32)+1] of word i/32. The layout matches the
+// KRI1 weight block byte-for-byte, and Get compiles to a constant shift and
+// mask — no division — which matters when a query decodes one weight per
+// index arc it touches.
+type Packed2 struct {
+	words []uint64
+	n     int
+}
+
+// NewPacked2 returns a zeroed array of n 2-bit entries.
+func NewPacked2(n int) Packed2 {
+	return Packed2{words: make([]uint64, (n+31)/32), n: n}
+}
+
+// Packed2FromWords wraps an existing word slice (e.g. a deserialized weight
+// block) as n 2-bit entries without copying.
+func Packed2FromWords(words []uint64, n int) Packed2 { return Packed2{words: words, n: n} }
+
+// Len returns the number of entries.
+func (p Packed2) Len() int { return p.n }
+
+// Words exposes the backing words (serialization; aliases the array).
+func (p Packed2) Words() []uint64 { return p.words }
+
+// SizeBytes is the storage footprint of the packed payload.
+func (p Packed2) SizeBytes() int { return 8 * len(p.words) }
+
+// Get returns entry i.
+func (p Packed2) Get(i int) uint8 {
+	return uint8(p.words[i>>5]>>((uint(i)&31)*2)) & 3
+}
+
+// Set stores v (0..3) at entry i.
+func (p Packed2) Set(i int, v uint8) {
+	shift := (uint(i) & 31) * 2
+	p.words[i>>5] = p.words[i>>5]&^(3<<shift) | uint64(v&3)<<shift
+}
+
+// WeightRow is a dense row of 2-bit weights over lanes [0, n), stored as
+// two bitplanes: B0 holds bit 0 of every lane, B1 bit 1. Lane value
+// LaneAbsent (3) means "no arc". The bitplane split is what makes the lane
+// predicates word-parallel: "value ≤ 1" is one NOT, "value == 0" one NOR,
+// and intersecting with a vertex bitmask is a plain AND — no 2-bit lane
+// expansion ever happens.
+type WeightRow struct {
+	B0, B1 []uint64
+}
+
+// RowWords returns the words-per-plane needed for n lanes.
+func RowWords(n int) int { return (n + 63) / 64 }
+
+// NewWeightRow returns a row of n lanes, all LaneAbsent.
+func NewWeightRow(n int) WeightRow {
+	w := RowWords(n)
+	r := WeightRow{B0: make([]uint64, w), B1: make([]uint64, w)}
+	for i := range r.B0 {
+		r.B0[i] = ^uint64(0)
+		r.B1[i] = ^uint64(0)
+	}
+	return r
+}
+
+// Get returns the 2-bit value of lane i.
+func (r WeightRow) Get(i int) uint8 {
+	word, bit := i>>6, uint(i)&63
+	return uint8(r.B0[word]>>bit&1) | uint8(r.B1[word]>>bit&1)<<1
+}
+
+// Set stores v (0..3) at lane i.
+func (r WeightRow) Set(i int, v uint8) {
+	word, bit := i>>6, uint(i)&63
+	mask := uint64(1) << bit
+	r.B0[word] = r.B0[word]&^mask | uint64(v&1)<<bit
+	r.B1[word] = r.B1[word]&^mask | uint64(v>>1&1)<<bit
+}
+
+// leWord returns, for one word position, the bitmask of lanes whose value
+// is ≤ max (max in 0..2; LaneAbsent never qualifies).
+func leWord(b0, b1 uint64, max uint8) uint64 {
+	switch max {
+	case 0:
+		return ^(b0 | b1) // value 00
+	case 1:
+		return ^b1 // values 00, 01
+	default:
+		return ^(b0 & b1) // any present lane
+	}
+}
+
+// AnyLEMasked reports whether some lane i with mask bit i set has value
+// ≤ max. It is the Case-4 kernel: mask is the in-neighbor cover bitmap,
+// the row is one hub's weight row, and one call replaces up to 64 probes.
+func (r WeightRow) AnyLEMasked(mask []uint64, max uint8) bool {
+	n := len(r.B0)
+	if len(mask) < n {
+		n = len(mask)
+	}
+	for i := 0; i < n; i++ {
+		if m := mask[i]; m != 0 && leWord(r.B0[i], r.B1[i], max)&m != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// CountLEMasked counts lanes with mask bit set and value ≤ max.
+func (r WeightRow) CountLEMasked(mask []uint64, max uint8) int {
+	n := len(r.B0)
+	if len(mask) < n {
+		n = len(mask)
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		if m := mask[i]; m != 0 {
+			total += bits.OnesCount64(leWord(r.B0[i], r.B1[i], max) & m)
+		}
+	}
+	return total
+}
+
+// IterateEQ calls yield(i) for every lane i whose value equals v (v in
+// 0..2), ascending — the bulk row→bucket expansion kernel: enumeration
+// walks the =v lanes of a row word-parallel instead of decoding each
+// entry.
+func (r WeightRow) IterateEQ(v uint8, yield func(i int)) {
+	for wi := range r.B0 {
+		b0, b1 := r.B0[wi], r.B1[wi]
+		var w uint64
+		switch v {
+		case 0:
+			w = ^(b0 | b1)
+		case 1:
+			w = b0 &^ b1
+		default:
+			w = b1 &^ b0
+		}
+		base := wi << 6
+		for w != 0 {
+			yield(base + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// MinInto sets each lane of dst to min(a, b) of the corresponding lanes,
+// with LaneAbsent (3) the identity — the word-parallel "min over pair"
+// used when two weight rows merge (e.g. folding an overlay row into a base
+// row). dst may alias a or b. All three rows must have equal plane length.
+func MinInto(dst, a, b WeightRow) {
+	for i := range dst.B0 {
+		a0, a1 := a.B0[i], a.B1[i]
+		b0, b1 := b.B0[i], b.B1[i]
+		// lt has bit j set iff lane j of a < lane j of b, comparing the
+		// 2-bit values via bitplanes: high bit decides, low bit breaks ties.
+		lt := ^a1&b1 | ^(a1^b1)&^a0&b0
+		dst.B0[i] = a0&lt | b0&^lt
+		dst.B1[i] = a1&lt | b1&^lt
+	}
+}

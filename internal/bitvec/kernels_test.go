@@ -1,0 +1,232 @@
+package bitvec
+
+import (
+	"math/bits"
+	"math/rand/v2"
+	"testing"
+)
+
+// The kernel tests are differential: every word-parallel operation is
+// checked against a naive per-element reference on randomized inputs, so a
+// SWAR formula cannot drift from the semantics it compresses.
+
+func randWords(rng *rand.Rand, n int) []uint64 {
+	w := make([]uint64, n)
+	for i := range w {
+		w[i] = rng.Uint64()
+	}
+	return w
+}
+
+func TestAndCountAndAnyDifferential(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 200; trial++ {
+		a := randWords(rng, rng.IntN(8))
+		b := randWords(rng, rng.IntN(8))
+		if rng.IntN(4) == 0 { // force empty intersections sometimes
+			for i := range b {
+				if i < len(a) {
+					b[i] = ^a[i]
+				}
+			}
+		}
+		want := 0
+		n := min(len(a), len(b))
+		for i := 0; i < n; i++ {
+			want += bits.OnesCount64(a[i] & b[i])
+		}
+		if got := AndCount(a, b); got != want {
+			t.Fatalf("AndCount = %d, want %d", got, want)
+		}
+		if got := AndAny(a, b); got != (want > 0) {
+			t.Fatalf("AndAny = %v, want %v", got, want > 0)
+		}
+	}
+}
+
+func TestIterateSetBits(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for trial := 0; trial < 100; trial++ {
+		w := randWords(rng, 1+rng.IntN(5))
+		var got []int
+		IterateSetBits(w, func(i int) { got = append(got, i) })
+		var want []int
+		for i := 0; i < 64*len(w); i++ {
+			if TestBit(w, i) {
+				want = append(want, i)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("got %d positions, want %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("position %d: got %d, want %d", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestBitOps(t *testing.T) {
+	w := make([]uint64, 3)
+	for _, i := range []int{0, 1, 63, 64, 127, 128, 191} {
+		if TestBit(w, i) {
+			t.Fatalf("bit %d set in zero bitset", i)
+		}
+		SetBit(w, i)
+		if !TestBit(w, i) {
+			t.Fatalf("bit %d not set after SetBit", i)
+		}
+		ClearBit(w, i)
+		if TestBit(w, i) {
+			t.Fatalf("bit %d still set after ClearBit", i)
+		}
+	}
+}
+
+func TestPacked2RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	for _, n := range []int{0, 1, 31, 32, 33, 100, 1000} {
+		p := NewPacked2(n)
+		ref := make([]uint8, n)
+		for pass := 0; pass < 3; pass++ {
+			for i := 0; i < n; i++ {
+				v := uint8(rng.IntN(4))
+				p.Set(i, v)
+				ref[i] = v
+			}
+			for i := 0; i < n; i++ {
+				if p.Get(i) != ref[i] {
+					t.Fatalf("n=%d entry %d: got %d, want %d", n, i, p.Get(i), ref[i])
+				}
+			}
+		}
+		if p.Len() != n {
+			t.Fatalf("Len = %d, want %d", p.Len(), n)
+		}
+		q := Packed2FromWords(p.Words(), n)
+		for i := 0; i < n; i++ {
+			if q.Get(i) != ref[i] {
+				t.Fatalf("FromWords entry %d: got %d, want %d", i, q.Get(i), ref[i])
+			}
+		}
+	}
+}
+
+// randRow fills a WeightRow of n lanes, biasing some lanes to LaneAbsent,
+// and returns the per-lane reference values.
+func randRow(rng *rand.Rand, n int) (WeightRow, []uint8) {
+	r := NewWeightRow(n)
+	ref := make([]uint8, n)
+	for i := range ref {
+		v := uint8(rng.IntN(6)) // 4,5 → absent: bias toward sparse rows
+		if v > 3 {
+			v = LaneAbsent
+		}
+		r.Set(i, v)
+		ref[i] = v
+	}
+	return r, ref
+}
+
+func TestWeightRowGetSet(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	for _, n := range []int{1, 63, 64, 65, 200} {
+		r, ref := randRow(rng, n)
+		for i, want := range ref {
+			if got := r.Get(i); got != want {
+				t.Fatalf("n=%d lane %d: got %d, want %d", n, i, got, want)
+			}
+		}
+	}
+}
+
+func TestWeightRowNewAllAbsent(t *testing.T) {
+	r := NewWeightRow(130)
+	for i := 0; i < 130; i++ {
+		if r.Get(i) != LaneAbsent {
+			t.Fatalf("lane %d of fresh row = %d, want LaneAbsent", i, r.Get(i))
+		}
+	}
+}
+
+func TestWeightRowMaskedKernelsDifferential(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.IntN(300)
+		r, ref := randRow(rng, n)
+		mask := make([]uint64, RowWords(n))
+		for i := 0; i < n; i++ {
+			if rng.IntN(3) == 0 {
+				SetBit(mask, i)
+			}
+		}
+		for max := uint8(0); max <= 2; max++ {
+			want := 0
+			for i, v := range ref {
+				if TestBit(mask, i) && v <= max {
+					want++
+				}
+			}
+			if got := r.CountLEMasked(mask, max); got != want {
+				t.Fatalf("n=%d max=%d: CountLEMasked = %d, want %d", n, max, got, want)
+			}
+			if got := r.AnyLEMasked(mask, max); got != (want > 0) {
+				t.Fatalf("n=%d max=%d: AnyLEMasked = %v, want %v", n, max, got, want > 0)
+			}
+		}
+	}
+}
+
+func TestWeightRowIterateEQDifferential(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.IntN(300)
+		r, ref := randRow(rng, n)
+		for v := uint8(0); v <= 2; v++ {
+			var got []int
+			r.IterateEQ(v, func(i int) { got = append(got, i) })
+			var want []int
+			// IterateEQ scans whole plane words; lanes beyond n are absent
+			// (3) by construction and must not appear.
+			for i, rv := range ref {
+				if rv == v {
+					want = append(want, i)
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("n=%d v=%d: got %d lanes, want %d", n, v, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d v=%d lane %d: got %d, want %d", n, v, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestMinIntoDifferential(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 14))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.IntN(200)
+		a, aref := randRow(rng, n)
+		b, bref := randRow(rng, n)
+		dst := NewWeightRow(n)
+		MinInto(dst, a, b)
+		for i := 0; i < n; i++ {
+			want := min(aref[i], bref[i])
+			if got := dst.Get(i); got != want {
+				t.Fatalf("n=%d lane %d: min(%d,%d) = %d, want %d",
+					n, i, aref[i], bref[i], got, want)
+			}
+		}
+		// Aliased destination: dst may be one of the operands.
+		MinInto(a, a, b)
+		for i := 0; i < n; i++ {
+			if got, want := a.Get(i), min(aref[i], bref[i]); got != want {
+				t.Fatalf("aliased lane %d: got %d, want %d", i, got, want)
+			}
+		}
+	}
+}

@@ -27,9 +27,9 @@ type Pair struct {
 	S, T graph.Vertex
 }
 
-// batchChunk is the number of pairs a worker claims per cursor bump. Large
-// enough to amortize the atomic add, small enough that skewed per-query
-// costs (Case 1 lookups vs Case 4 intersections) still balance.
+// batchChunk is the number of pairs a worker claims per region CAS. Large
+// enough to amortize the atomic, small enough that skewed per-query costs
+// (Case 1 lookups vs Case 4 intersections) still balance under stealing.
 const batchChunk = 256
 
 // cancelStride is how many pairs a worker answers between ctx.Done() polls.
@@ -65,12 +65,34 @@ func cancelled(done <-chan struct{}) bool {
 	}
 }
 
-// BatchEval runs evalRange over a partition of [0, n): workers claim
-// contiguous chunks off an atomic cursor until the range is drained or ctx
-// is cancelled. Each worker gets its own scratch from newScratch, so
-// evalRange may mutate it freely. Ranges (not single indexes) keep the
-// indirect call off the per-query hot path; cancellation is polled between
-// sub-ranges of cancelStride pairs, never mid-pair.
+// chunkRegion is one worker's deque of pending chunk indices, packed as
+// hi<<32 | lo in a single atomic word so a claim (front) and a steal (back)
+// are each one CAS with no lock. Both ends only ever move inward — work
+// strictly shrinks — which is what makes the executor's termination scan
+// sound.
+type chunkRegion struct {
+	bounds atomic.Uint64
+	// Pad to a cache line so neighboring workers' CAS traffic does not
+	// false-share.
+	_ [7]uint64
+}
+
+func packRegion(lo, hi uint32) uint64       { return uint64(hi)<<32 | uint64(lo) }
+func unpackRegion(b uint64) (lo, hi uint32) { return uint32(b), uint32(b >> 32) }
+
+// BatchEval runs evalRange over a partition of [0, n) with a work-stealing
+// worker pool. The chunk space is pre-split into one contiguous region per
+// worker; a worker claims chunks off the front of its own region (good
+// locality, zero contention while regions last) and, when it runs dry,
+// steals the back half of the largest remaining region. Stealing in bulk —
+// half a region, not one chunk — keeps a thief off the victim's cache line
+// for as long as possible, which is what the previous single shared cursor
+// could not do: every claim by every worker bounced the same hot word.
+//
+// Each worker gets its own scratch from newScratch, so evalRange may mutate
+// it freely. Ranges (not single indexes) keep the indirect call off the
+// per-query hot path; cancellation is polled between sub-ranges of
+// cancelStride pairs, never mid-pair.
 //
 // On cancellation BatchEval stops promptly and returns ctx.Err(); ranges
 // already evaluated keep their results (cooperative partial completion).
@@ -103,29 +125,88 @@ func BatchEval[S any](ctx context.Context, n, parallelism int, newScratch func()
 		evalCtx(0, n, newScratch())
 		return ctx.Err()
 	}
-	var cursor atomic.Int64
+
+	chunks := uint32((n + batchChunk - 1) / batchChunk)
+	regions := make([]chunkRegion, workers)
+	for w := 0; w < workers; w++ {
+		lo := uint32(uint64(w) * uint64(chunks) / uint64(workers))
+		hi := uint32(uint64(w+1) * uint64(chunks) / uint64(workers))
+		regions[w].bounds.Store(packRegion(lo, hi))
+	}
+	// evalChunk answers chunk c's pair range, reporting false on cancellation.
+	evalChunk := func(c uint32, sc S) bool {
+		lo := int(c) * batchChunk
+		hi := lo + batchChunk
+		if hi > n {
+			hi = n
+		}
+		if done == nil {
+			evalRange(lo, hi, sc)
+			return true
+		}
+		return evalCtx(lo, hi, sc)
+	}
+
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(self int) {
 			defer wg.Done()
 			sc := newScratch()
+			own := &regions[self]
 			for {
-				hi := int(cursor.Add(batchChunk))
-				lo := hi - batchChunk
-				if lo >= n {
-					return
+				// Drain the front of our own region.
+				for {
+					b := own.bounds.Load()
+					lo, hi := unpackRegion(b)
+					if lo >= hi {
+						break
+					}
+					if !own.bounds.CompareAndSwap(b, packRegion(lo+1, hi)) {
+						continue // a thief moved hi; re-read
+					}
+					if !evalChunk(lo, sc) {
+						return
+					}
 				}
-				if hi > n {
-					hi = n
-				}
-				if done == nil {
-					evalRange(lo, hi, sc)
-				} else if !evalCtx(lo, hi, sc) {
-					return
+				// Own region dry: steal the back half of the largest
+				// remaining region. A failed CAS means the victim's bounds
+				// moved; rescan, since the best victim may have changed.
+				stole := false
+				for !stole {
+					victim, best := -1, uint32(0)
+					for i := range regions {
+						if i == self {
+							continue
+						}
+						lo, hi := unpackRegion(regions[i].bounds.Load())
+						if hi-lo > best && lo < hi {
+							victim, best = i, hi-lo
+						}
+					}
+					if victim < 0 {
+						return // every region empty: batch drained
+					}
+					if cancelled(done) {
+						return
+					}
+					b := regions[victim].bounds.Load()
+					lo, hi := unpackRegion(b)
+					if lo >= hi {
+						continue // drained between scan and load
+					}
+					take := (hi - lo + 1) / 2
+					if regions[victim].bounds.CompareAndSwap(b, packRegion(lo, hi-take)) {
+						// The stolen chunks are invisible during this window
+						// (removed from the victim, not yet in our region);
+						// a worker scanning now may exit early, but the
+						// chunks stay owned by us and wg.Wait covers them.
+						own.bounds.Store(packRegion(hi-take, hi))
+						stole = true
+					}
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return ctx.Err()

@@ -3,7 +3,9 @@ package core
 import (
 	"context"
 	"sort"
+	"sync"
 
+	"kreach/internal/bitvec"
 	"kreach/internal/graph"
 )
 
@@ -14,22 +16,25 @@ import (
 //
 // Two evaluation strategies share one output contract:
 //
-//   - a bounded frontier BFS over the adjacency (BallBFS), the exact
-//     fallback that works for every variant and direction; and
+//   - a bounded frontier BFS over the adjacency (ballGraph for CSR graphs,
+//     BallBFS for callback adjacencies such as the dynamic overlay), the
+//     exact fallback that works for every variant and direction; and
 //   - a cover-arc accelerated path on the plain index (Index.Enumerate,
-//     forward from a cover source): the index row already lists every cover
-//     vertex of the ball with its weight bucket, and — because every
-//     non-cover vertex has all its in-neighbors in the cover — one
-//     adjacency sweep over the row's ≤k-1 entries completes the fringe.
+//     from a cover endpoint, either direction): the endpoint's index row —
+//     forward CSR for "whom does s reach", the finalize-built transposed
+//     CSR for "who reaches t" — already lists every cover vertex of the
+//     ball with its weight bucket, and — because every non-cover vertex
+//     has ALL its neighbors in the cover — one adjacency sweep over the
+//     row's ≤k-1 entries completes the fringe. Hub rows expand
+//     bucket-by-bucket through the word-parallel WeightRow.IterateEQ
+//     kernel instead of decoding one weight per arc.
 //
 // The accelerated path is used only where the 2-bit weight buckets prove
-// the exact answer. From a non-cover source the buckets are shifted by one
-// hop and no longer align with the k-1/k boundary, and the (h,k) index
+// the exact answer. From a non-cover endpoint the buckets are shifted by
+// one hop and no longer align with the k-1/k boundary, and the (h,k) index
 // blurs that boundary further (bucketed low weights plus up-to-h hops of
 // slack on each side — the same reason HKIndex answers only its own k
-// pairwise), so those cases run the BFS fallback. Backward enumeration
-// ("who reaches t") always falls back: index arcs are stored as a forward
-// CSR only.
+// pairwise), so those cases run the BFS fallback.
 
 // DistBucket classifies a ball member's shortest distance from the source
 // relative to the hop bound k. Only the bucket — not the exact distance —
@@ -80,43 +85,100 @@ type EnumOptions struct {
 	SortByDistance bool
 }
 
-// EnumScratch holds reusable per-goroutine enumeration state (visited
-// stamps, BFS queue, output staging); create one per goroutine. Buffers
-// grow lazily to the graph size on first use.
+// BallScratch is the engine state of one bounded BFS — a visited bitmap
+// over vertex ids plus the frontier queue — reusable across calls like
+// QueryScratch is for Reach. Clearing is O(ball), not O(n): the touched
+// list records exactly the bits to lower. It is the allocation-free core
+// under EnumScratch; use it standalone when only membership (not the
+// staged Neighbor output) is needed.
+type BallScratch struct {
+	visited []uint64       // bitmap over vertex ids
+	touched []graph.Vertex // set positions, for O(ball) clearing
+	queue   []graph.Vertex
+}
+
+// NewBallScratch returns ball-BFS scratch for graphs of any size.
+func NewBallScratch() *BallScratch { return &BallScratch{} }
+
+// reset prepares the scratch for a graph with n vertices, clearing only the
+// bits the previous call set. Every set bit is recorded in touched, so
+// zeroing each touched vertex's whole word (a bare store — duplicates are
+// harmless) clears the bitmap in O(ball).
+func (b *BallScratch) reset(n int) {
+	if need := (n + 63) / 64; need > len(b.visited) {
+		b.visited = make([]uint64, need)
+	} else {
+		for _, v := range b.touched {
+			b.visited[v>>6] = 0
+		}
+	}
+	b.touched = b.touched[:0]
+	b.queue = b.queue[:0]
+}
+
+func (b *BallScratch) seen(v graph.Vertex) bool { return bitvec.TestBit(b.visited, int(v)) }
+
+func (b *BallScratch) mark(v graph.Vertex) {
+	bitvec.SetBit(b.visited, int(v))
+	b.touched = append(b.touched, v)
+}
+
+// tryMark is seen+mark fused into one word access: it marks v and reports
+// true iff v was unseen. The single read-modify-write (instead of TestBit
+// then SetBit) is what keeps the BFS fallback's per-edge cost at
+// epoch-stamp speed.
+func (b *BallScratch) tryMark(v graph.Vertex) bool {
+	i := v >> 6
+	bit := uint64(1) << (uint(v) & 63)
+	w := b.visited[i]
+	if w&bit != 0 {
+		return false
+	}
+	b.visited[i] = w | bit
+	b.touched = append(b.touched, v)
+	return true
+}
+
+// EnumScratch holds reusable per-goroutine enumeration state (the ball
+// scratch plus output staging); create one per goroutine or borrow one from
+// the package pool with GetEnumScratch. Buffers grow lazily to the graph
+// size on first use.
 type EnumScratch struct {
-	stamp []uint32
-	epoch uint32
-	queue []graph.Vertex
-	out   []Neighbor
+	ball BallScratch
+	out  []Neighbor
+	rim  []graph.Vertex // cover-path staging: distance-(k-1) sweep sources, as cover ids
 }
 
 // NewEnumScratch returns scratch space for enumerations against any index.
 func NewEnumScratch() *EnumScratch { return &EnumScratch{} }
 
-// reset prepares the scratch for a graph with n vertices and bumps the
-// visitation epoch.
+var enumScratchPool = sync.Pool{New: func() any { return NewEnumScratch() }}
+
+// GetEnumScratch borrows an EnumScratch from the package pool; return it
+// with PutEnumScratch. The pool keeps the visited bitmaps and frontier
+// slices warm across callers that have no natural per-goroutine home for
+// scratch (server handlers, one-shot API calls).
+func GetEnumScratch() *EnumScratch { return enumScratchPool.Get().(*EnumScratch) }
+
+// PutEnumScratch returns a borrowed scratch to the pool. The scratch must
+// not be used after.
+func PutEnumScratch(sc *EnumScratch) { enumScratchPool.Put(sc) }
+
+// reset prepares the scratch for a graph with n vertices.
 func (sc *EnumScratch) reset(n int) {
-	if len(sc.stamp) < n {
-		sc.stamp = make([]uint32, n)
-		sc.epoch = 0
-	}
-	sc.epoch++
-	if sc.epoch == 0 { // wrapped: clear stamps and restart
-		for i := range sc.stamp {
-			sc.stamp[i] = 0
-		}
-		sc.epoch = 1
-	}
-	sc.queue = sc.queue[:0]
+	sc.ball.reset(n)
 	sc.out = sc.out[:0]
+	sc.rim = sc.rim[:0]
 }
 
-func (sc *EnumScratch) seen(v graph.Vertex) bool { return sc.stamp[v] == sc.epoch }
-func (sc *EnumScratch) mark(v graph.Vertex)      { sc.stamp[v] = sc.epoch }
+func (sc *EnumScratch) seen(v graph.Vertex) bool { return sc.ball.seen(v) }
+func (sc *EnumScratch) mark(v graph.Vertex)      { sc.ball.mark(v) }
 
-// Finish applies SortByDistance and Limit to the staged result and copies
-// it out of the scratch. It returns the (possibly truncated) slice and the
-// full ball size.
+// Finish applies SortByDistance and Limit to the staged result. The
+// returned slice aliases the scratch — it is valid until the scratch's
+// next use — so the per-ball hot path allocates nothing; callers that
+// retain the ball (the public API's conversion, server handlers) copy at
+// their own boundary.
 func (sc *EnumScratch) Finish(opts EnumOptions) ([]Neighbor, int) {
 	total := len(sc.out)
 	if opts.SortByDistance {
@@ -131,9 +193,7 @@ func (sc *EnumScratch) Finish(opts EnumOptions) ([]Neighbor, int) {
 	if opts.Limit > 0 && len(res) > opts.Limit {
 		res = res[:opts.Limit]
 	}
-	out := make([]Neighbor, len(res))
-	copy(out, res)
-	return out, total
+	return res, total
 }
 
 // BallBFS enumerates the k-hop ball around src (src excluded) with a
@@ -145,80 +205,116 @@ func (sc *EnumScratch) Finish(opts EnumOptions) ([]Neighbor, int) {
 //
 // It is exported within the module so every index variant — including the
 // dynamic overlay, whose adjacency is not a *graph.Graph — shares one
-// fallback engine. n is the vertex count the scratch must cover.
+// fallback engine. n is the vertex count the scratch must cover. CSR
+// graphs take the closure-free ballGraph path instead.
 func BallBFS(ctx context.Context, n int, src graph.Vertex, k int,
 	forEach func(v graph.Vertex, yield func(w graph.Vertex)), sc *EnumScratch) error {
 	sc.reset(n)
-	sc.mark(src)
-	sc.queue = append(sc.queue, src)
+	b := &sc.ball
+	b.tryMark(src)
 	done := ctx.Done()
-	frontierEnd := len(sc.queue) // index one past the current level
+	// touched doubles as the BFS queue: tryMark appends every newly seen
+	// vertex in visit order, which is exactly the frontier sequence. One
+	// yield closure for the whole call; bucket is re-aimed per level.
+	bucket := BucketWithin
+	yield := func(w graph.Vertex) {
+		if b.tryMark(w) {
+			sc.out = append(sc.out, Neighbor{V: w, Bucket: bucket})
+		}
+	}
+	frontierEnd := len(b.touched) // index one past the current level
 	depth := 0
-	for head := 0; head < len(sc.queue); head++ {
+	for head := 0; head < len(b.touched); head++ {
 		if head == frontierEnd {
 			depth++
-			frontierEnd = len(sc.queue)
-			if cancelled(done) {
+			frontierEnd = len(b.touched)
+			if done != nil && cancelled(done) {
 				return ctx.Err()
 			}
 		}
 		if k >= 0 && depth >= k {
 			break // the last level is not expanded
 		}
-		u := sc.queue[head]
-		bucket := BucketWithin
+		bucket = BucketWithin
 		if k >= 0 && depth+1 == k {
 			bucket = BucketFrontier
 		}
-		forEach(u, func(w graph.Vertex) {
-			if !sc.seen(w) {
-				sc.mark(w)
-				sc.queue = append(sc.queue, w)
-				sc.out = append(sc.out, Neighbor{V: w, Bucket: bucket})
-			}
-		})
+		forEach(b.touched[head], yield)
 	}
 	return nil
 }
 
-// graphAdjacency adapts a CSR graph to the BallBFS callback shape.
-func graphAdjacency(g *graph.Graph, dir graph.Direction) func(graph.Vertex, func(graph.Vertex)) {
-	return func(v graph.Vertex, yield func(graph.Vertex)) {
-		for _, w := range neighborsOf(g, v, dir) {
-			yield(w)
+// ballGraph is BallBFS specialized to a CSR graph: the neighbor slices are
+// ranged directly, with no per-vertex callback or closure in the hot loop.
+// Semantics are identical to BallBFS over the same adjacency.
+func ballGraph(ctx context.Context, g *graph.Graph, src graph.Vertex, k int,
+	dir graph.Direction, sc *EnumScratch) error {
+	sc.reset(g.NumVertices())
+	b := &sc.ball
+	b.tryMark(src)
+	done := ctx.Done()
+	// As in BallBFS, touched doubles as the BFS queue.
+	frontierEnd := len(b.touched)
+	depth := 0
+	for head := 0; head < len(b.touched); head++ {
+		if head == frontierEnd {
+			depth++
+			frontierEnd = len(b.touched)
+			if done != nil && cancelled(done) {
+				return ctx.Err()
+			}
+		}
+		if k >= 0 && depth >= k {
+			break
+		}
+		bucket := BucketWithin
+		if k >= 0 && depth+1 == k {
+			bucket = BucketFrontier
+		}
+		u := b.touched[head]
+		var nbrs []graph.Vertex
+		if dir == graph.Forward {
+			nbrs = g.OutNeighbors(u)
+		} else {
+			nbrs = g.InNeighbors(u)
+		}
+		for _, w := range nbrs {
+			if b.tryMark(w) {
+				sc.out = append(sc.out, Neighbor{V: w, Bucket: bucket})
+			}
 		}
 	}
-}
-
-func neighborsOf(g *graph.Graph, v graph.Vertex, dir graph.Direction) []graph.Vertex {
-	if dir == graph.Forward {
-		return g.OutNeighbors(v)
-	}
-	return g.InNeighbors(v)
+	return nil
 }
 
 // Enumerate materializes the k-hop ball around src for the index's own k
 // (Unbounded = everything reachable). It returns the ball members (source
-// excluded, Limit applied) and the full ball size. Safe for concurrent use;
-// pass nil scratch to allocate internally.
+// excluded, Limit applied) and the full ball size; the slice aliases the
+// scratch and is valid until the scratch's next use. Safe for concurrent
+// use; a nil scratch allocates one internally (so the result never aliases
+// shared state).
 //
-// Forward enumeration from a cover source takes the accelerated path: the
-// source's index row IS the ball's cover portion, and one out-adjacency
-// sweep over its ≤k-1 rows adds the non-cover fringe. All other cases run
-// the exact bounded frontier BFS. ctx is honored between frontier levels
-// (and between the accelerated path's phases).
+// Enumeration from a cover endpoint takes an accelerated path in either
+// direction: the endpoint's index row (forward) or transposed in-row
+// (backward) IS the ball's cover portion, and one adjacency sweep over its
+// ≤k-1 entries adds the non-cover fringe. All other cases run the exact
+// bounded frontier BFS. ctx is honored between frontier levels (and
+// between the accelerated path's phases).
 func (ix *Index) Enumerate(ctx context.Context, src graph.Vertex, opts EnumOptions, sc *EnumScratch) ([]Neighbor, int, error) {
 	if sc == nil {
 		sc = NewEnumScratch()
 	}
-	if opts.Direction == graph.Forward && ix.InCover(src) {
-		if err := ix.enumerateCoverSource(ctx, src, sc); err != nil {
-			return nil, 0, err
-		}
-	} else {
-		if err := BallBFS(ctx, ix.g.NumVertices(), src, ix.k, graphAdjacency(ix.g, opts.Direction), sc); err != nil {
-			return nil, 0, err
-		}
+	var err error
+	switch {
+	case !ix.InCover(src):
+		err = ballGraph(ctx, ix.g, src, ix.k, opts.Direction, sc)
+	case opts.Direction == graph.Forward:
+		err = ix.enumerateCoverSource(ctx, src, sc)
+	default:
+		err = ix.enumerateCoverTarget(ctx, src, sc)
+	}
+	if err != nil {
+		return nil, 0, err
 	}
 	res, total := sc.Finish(opts)
 	return res, total, nil
@@ -232,46 +328,67 @@ func (ix *Index) Enumerate(ctx context.Context, src graph.Vertex, opts EnumOptio
 // distance ≤ k-2 (a ≤k-2 row entry, or the source itself when k ≥ 2), and
 // on the Frontier iff it is reached only from distance-(k-1) entries.
 func (ix *Index) enumerateCoverSource(ctx context.Context, src graph.Vertex, sc *EnumScratch) error {
-	n := ix.g.NumVertices()
-	sc.reset(n)
-	sc.mark(src)
+	sc.reset(ix.g.NumVertices())
+	b := &sc.ball
 	done := ctx.Done()
 	cs := ix.coverID[src]
 	list := ix.coverSet.List()
-	row := ix.outAdj[ix.outHead[cs]:ix.outHead[cs+1]]
 	base := int(ix.outHead[cs])
+	row := ix.outAdj[base:ix.outHead[cs+1]]
 
 	// Phase 1: the row is the ball's cover portion, buckets straight from
-	// the 2-bit weights. Collect the fringe expansion sources as we go.
-	// sc.queue stages the ≤k-2 sources first, then the =k-1 sources, so the
-	// two fringe sweeps below can share it.
-	near := 0 // sc.queue[:near] holds the ≤k-2 cover vertices
+	// the 2-bit weights — one pass. Fringe expansion sources are staged as
+	// we go: b.queue collects the ≤k-2 sources for Phase 2a, sc.rim the
+	// =k-1 rim sources for Phase 2b. Cover members are never marked in the
+	// visited bitmap: the fringe sweeps reject them by cover id, so only
+	// fringe vertices need dedup bits. A hub source expands
+	// bucket-by-bucket through the word-parallel IterateEQ kernel.
 	if ix.k == Unbounded || ix.k >= 2 {
-		sc.queue = append(sc.queue, src) // distance 0 ≤ k-2 for k ≥ 2
-		near++
+		b.queue = append(b.queue, cs) // distance 0 ≤ k-2 for k ≥ 2
+	} else {
+		sc.rim = append(sc.rim, cs) // k = 1: the source is the whole rim
 	}
-	for p, cv := range row {
-		v := list[cv]
-		w := ix.weights.get(base + p)
-		bucket := BucketWithin
-		if ix.k != Unbounded && w == weightK {
-			bucket = BucketFrontier
+	if denseSlot := ix.denseID[cs]; denseSlot >= 0 {
+		drow := ix.denseRow(denseSlot)
+		drow.IterateEQ(weightLEKm2, func(cv int) {
+			sc.out = append(sc.out, Neighbor{V: list[cv], Bucket: BucketWithin})
+			b.queue = append(b.queue, int32(cv))
+		})
+		if ix.k != Unbounded {
+			drow.IterateEQ(weightKm1, func(cv int) {
+				sc.out = append(sc.out, Neighbor{V: list[cv], Bucket: BucketWithin})
+				sc.rim = append(sc.rim, int32(cv))
+			})
+			drow.IterateEQ(weightK, func(cv int) {
+				sc.out = append(sc.out, Neighbor{V: list[cv], Bucket: BucketFrontier})
+			})
 		}
-		sc.mark(v)
-		sc.out = append(sc.out, Neighbor{V: v, Bucket: bucket})
-		if w == weightLEKm2 { // the unbounded index stores only this bucket
-			sc.queue = append(sc.queue, v)
-			near++
+	} else {
+		for p, cv := range row {
+			v := ix.outVtx[base+p]
+			bucket := BucketWithin
+			switch ix.weights.Get(base + p) {
+			case weightLEKm2: // the unbounded index stores only this bucket
+				b.queue = append(b.queue, cv)
+			case weightKm1:
+				sc.rim = append(sc.rim, cv)
+			default:
+				if ix.k != Unbounded {
+					bucket = BucketFrontier
+				}
+			}
+			sc.out = append(sc.out, Neighbor{V: v, Bucket: bucket})
 		}
 	}
-	if cancelled(done) {
+	if done != nil && cancelled(done) {
 		return ctx.Err()
 	}
 	// Phase 2a: fringe reachable through a ≤k-2 cover vertex is Within.
-	for _, u := range sc.queue[:near] {
-		for _, x := range ix.g.OutNeighbors(u) {
-			if ix.coverID[x] < 0 && !sc.seen(x) {
-				sc.mark(x)
+	// The sweep walks the pre-filtered fringe adjacency: every candidate
+	// is non-cover by construction, so membership needs no test.
+	for _, cu := range b.queue {
+		for _, x := range ix.fringeOutAdj[ix.fringeOutHead[cu]:ix.fringeOutHead[cu+1]] {
+			if b.tryMark(x) {
 				sc.out = append(sc.out, Neighbor{V: x, Bucket: BucketWithin})
 			}
 		}
@@ -279,24 +396,100 @@ func (ix *Index) enumerateCoverSource(ctx context.Context, src graph.Vertex, sc 
 	if ix.k == Unbounded {
 		return nil // no rim on an unbounded ball
 	}
-	if cancelled(done) {
+	if done != nil && cancelled(done) {
 		return ctx.Err()
 	}
-	// Phase 2b: fringe first reached through a k-1 entry is the rim. For
-	// k = 1 the source itself is the only distance-(k-1) vertex.
-	if ix.k == 1 {
-		sc.queue = append(sc.queue, src)
-	} else {
-		for p, cv := range row {
-			if ix.weights.get(base+p) == weightKm1 {
-				sc.queue = append(sc.queue, list[cv])
+	// Phase 2b: fringe first reached through a k-1 entry is the rim.
+	for _, cu := range sc.rim {
+		for _, x := range ix.fringeOutAdj[ix.fringeOutHead[cu]:ix.fringeOutHead[cu+1]] {
+			if b.tryMark(x) {
+				sc.out = append(sc.out, Neighbor{V: x, Bucket: BucketFrontier})
 			}
 		}
 	}
-	for _, u := range sc.queue[near:] {
-		for _, x := range ix.g.OutNeighbors(u) {
-			if ix.coverID[x] < 0 && !sc.seen(x) {
-				sc.mark(x)
+	return nil
+}
+
+// enumerateCoverTarget is the accelerated backward path for a cover
+// target: "who reaches t within k". It is the exact mirror of
+// enumerateCoverSource through the transposed index CSR. Symmetry holds
+// because every non-cover vertex has all of its OUT-neighbors in the cover
+// (any edge leaving it must be covered at the other end), so dist(x, t) =
+// 1 + min over out-neighbors u of dist(u, t): a fringe vertex is Within
+// iff some out-neighbor sits at distance ≤ k-2 of t (a ≤k-2 in-row entry,
+// or t itself when k ≥ 2), and on the Frontier iff it is reached only
+// through distance-(k-1) entries.
+func (ix *Index) enumerateCoverTarget(ctx context.Context, src graph.Vertex, sc *EnumScratch) error {
+	sc.reset(ix.g.NumVertices())
+	b := &sc.ball
+	done := ctx.Done()
+	ct := ix.coverID[src]
+	list := ix.coverSet.List()
+	base := int(ix.inHead[ct])
+	row := ix.inAdj[base:ix.inHead[ct+1]]
+
+	// Phase 1: the in-row is the ball's cover portion — one pass, staging
+	// as in enumerateCoverSource: b.queue the ≤k-2 sweep sources, sc.rim
+	// the =k-1 rim sources, no visited marks for cover members.
+	if ix.k == Unbounded || ix.k >= 2 {
+		b.queue = append(b.queue, ct)
+	} else {
+		sc.rim = append(sc.rim, ct) // k = 1: the target is the whole rim
+	}
+	if denseSlot := ix.inDenseID[ct]; denseSlot >= 0 {
+		drow := ix.inDenseRow(denseSlot)
+		drow.IterateEQ(weightLEKm2, func(cu int) {
+			sc.out = append(sc.out, Neighbor{V: list[cu], Bucket: BucketWithin})
+			b.queue = append(b.queue, int32(cu))
+		})
+		if ix.k != Unbounded {
+			drow.IterateEQ(weightKm1, func(cu int) {
+				sc.out = append(sc.out, Neighbor{V: list[cu], Bucket: BucketWithin})
+				sc.rim = append(sc.rim, int32(cu))
+			})
+			drow.IterateEQ(weightK, func(cu int) {
+				sc.out = append(sc.out, Neighbor{V: list[cu], Bucket: BucketFrontier})
+			})
+		}
+	} else {
+		for p, cu := range row {
+			u := ix.inVtx[base+p]
+			bucket := BucketWithin
+			switch ix.inW.Get(base + p) {
+			case weightLEKm2:
+				b.queue = append(b.queue, cu)
+			case weightKm1:
+				sc.rim = append(sc.rim, cu)
+			default:
+				if ix.k != Unbounded {
+					bucket = BucketFrontier
+				}
+			}
+			sc.out = append(sc.out, Neighbor{V: u, Bucket: bucket})
+		}
+	}
+	if done != nil && cancelled(done) {
+		return ctx.Err()
+	}
+	// Phase 2a: fringe with an out-neighbor at distance ≤ k-2 is Within;
+	// the pre-filtered fringe adjacency lists exactly the candidates.
+	for _, cu := range b.queue {
+		for _, x := range ix.fringeInAdj[ix.fringeInHead[cu]:ix.fringeInHead[cu+1]] {
+			if b.tryMark(x) {
+				sc.out = append(sc.out, Neighbor{V: x, Bucket: BucketWithin})
+			}
+		}
+	}
+	if ix.k == Unbounded {
+		return nil
+	}
+	if done != nil && cancelled(done) {
+		return ctx.Err()
+	}
+	// Phase 2b: fringe first reached through a k-1 entry is the rim.
+	for _, cu := range sc.rim {
+		for _, x := range ix.fringeInAdj[ix.fringeInHead[cu]:ix.fringeInHead[cu+1]] {
+			if b.tryMark(x) {
 				sc.out = append(sc.out, Neighbor{V: x, Bucket: BucketFrontier})
 			}
 		}
@@ -314,7 +507,7 @@ func (ix *HKIndex) Enumerate(ctx context.Context, src graph.Vertex, opts EnumOpt
 	if sc == nil {
 		sc = NewEnumScratch()
 	}
-	if err := BallBFS(ctx, ix.g.NumVertices(), src, ix.k, graphAdjacency(ix.g, opts.Direction), sc); err != nil {
+	if err := ballGraph(ctx, ix.g, src, ix.k, opts.Direction, sc); err != nil {
 		return nil, 0, err
 	}
 	res, total := sc.Finish(opts)
@@ -338,7 +531,7 @@ func (m *MultiIndex) Enumerate(ctx context.Context, src graph.Vertex, k int, opt
 	if ix, ok := m.byK[k]; ok {
 		return ix.Enumerate(ctx, src, opts, sc)
 	}
-	if err := BallBFS(ctx, m.g.NumVertices(), src, k, graphAdjacency(m.g, opts.Direction), sc); err != nil {
+	if err := ballGraph(ctx, m.g, src, k, opts.Direction, sc); err != nil {
 		return nil, 0, err
 	}
 	res, total := sc.Finish(opts)

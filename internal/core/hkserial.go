@@ -125,7 +125,7 @@ func ReadBinaryHKIndex(r io.Reader, g *graph.Graph) (*HKIndex, error) {
 		ix.coverID[v] = int32(i)
 	}
 	ix.weights = newPackedArray(total, bitsFor(uint(2*h)))
-	if err := d.arcRows(coverLen, total, ix.outHead, ix.outAdj, ix.weights); err != nil {
+	if err := d.arcRows(coverLen, total, ix.outHead, ix.outAdj, ix.weights.data); err != nil {
 		return nil, err
 	}
 	if d.err != nil {

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 
+	"kreach/internal/bitvec"
 	"kreach/internal/cover"
 	"kreach/internal/graph"
 )
@@ -64,7 +65,51 @@ type Index struct {
 	// Index graph in CSR over cover ids, adjacency sorted by cover id.
 	outHead []int32
 	outAdj  []int32
-	weights *packedArray
+	weights bitvec.Packed2 // 2-bit weight bucket per arc, CSR-aligned
+
+	// Dense bitplane rows for hub cover vertices (finalize). A row long
+	// enough that a bitmap over all cover ids costs no more than a small
+	// multiple of its CSR footprint is additionally stored as a
+	// bitvec.WeightRow, which turns arcWeight into one lane load and the
+	// Case-4 intersection into a word-parallel kernel call. Query-time
+	// acceleration only: never serialized, rebuilt after every load.
+	rowWords int     // words per bitplane = RowWords(cover size)
+	denseID  []int32 // cover id → dense slot, -1 if CSR-only
+	denseB0  []uint64
+	denseB1  []uint64
+
+	// Transposed index CSR (finalize): in-rows over cover ids with the same
+	// 2-bit weights, so backward enumeration from a cover target mirrors the
+	// forward accelerated path instead of falling back to BFS. Derived like
+	// the dense rows: never serialized, rebuilt after every load, and not
+	// part of SizeBytes.
+	inHead []int32
+	inAdj  []int32
+	inW    bitvec.Packed2
+	// Dense bitplane rows over the transposed CSR, same threshold and
+	// lifecycle as the forward ones.
+	inDenseID []int32
+	inDenseB0 []uint64
+	inDenseB1 []uint64
+
+	// Graph-vertex mirrors of the two adjacency arrays (finalize): the
+	// enumeration row scans emit graph vertices, and resolving each cover
+	// id through the cover list is a dependent random load per arc —
+	// mirroring the resolved ids CSR-aligned turns that into a second
+	// sequential stream. Query-time only, never serialized.
+	outVtx []graph.Vertex
+	inVtx  []graph.Vertex
+
+	// Fringe adjacency (finalize): for every cover vertex, its non-cover
+	// graph neighbors in each direction. The enumeration fringe sweeps
+	// otherwise scan the full graph adjacency and reject the cover
+	// majority entry-by-entry through a random coverID load; these CSRs
+	// hold exactly the candidates that can be fringe. Query-time only,
+	// never serialized.
+	fringeOutHead []int32
+	fringeOutAdj  []graph.Vertex
+	fringeInHead  []int32
+	fringeInAdj   []graph.Vertex
 }
 
 // ErrBadK reports an invalid hop bound.
@@ -147,18 +192,159 @@ func buildWithCover(g *graph.Graph, opts Options, s *cover.Set) (*Index, error) 
 	}
 	ix.outHead = make([]int32, s.Len()+1)
 	ix.outAdj = make([]int32, total)
-	ix.weights = newPackedArray(total, 2)
+	ix.weights = bitvec.NewPacked2(total)
 	pos := 0
 	for ui, arcs := range perSource {
 		ix.outHead[ui] = int32(pos)
 		for _, a := range arcs {
 			ix.outAdj[pos] = a.to
-			ix.weights.set(pos, uint(a.w))
+			ix.weights.Set(pos, a.w)
 			pos++
 		}
 	}
 	ix.outHead[s.Len()] = int32(pos)
+	ix.finalize()
 	return ix, nil
+}
+
+// denseRowMinLen is the CSR row length below which a dense bitplane row is
+// never built: short rows are answered faster by binary search than any
+// bitmap scan, whatever the cover size.
+const denseRowMinLen = 32
+
+// finalize builds the query-time structures derived from the CSR: the
+// dense bitplane rows of every hub cover vertex, and the transposed index
+// CSR that gives backward enumeration its accelerated path. A row
+// qualifies for a dense copy when its CSR length is at least 1/8 of the
+// cover size — at that density the two bitplanes (|S|/4 bytes) cost under
+// half of the row's own CSR footprint, and the small-world hubs the
+// paper's cover construction prefers clear the bar easily. Called at the
+// end of every build and load.
+func (ix *Index) finalize() {
+	ix.buildTransposed()
+	nc := ix.coverSet.Len()
+	ix.rowWords = bitvec.RowWords(nc)
+	ix.denseID, ix.denseB0, ix.denseB1 = ix.buildDenseRows(ix.outHead, ix.outAdj, ix.weights)
+	ix.inDenseID, ix.inDenseB0, ix.inDenseB1 = ix.buildDenseRows(ix.inHead, ix.inAdj, ix.inW)
+	list := ix.coverSet.List()
+	ix.outVtx = make([]graph.Vertex, len(ix.outAdj))
+	for p, cv := range ix.outAdj {
+		ix.outVtx[p] = list[cv]
+	}
+	ix.inVtx = make([]graph.Vertex, len(ix.inAdj))
+	for p, cu := range ix.inAdj {
+		ix.inVtx[p] = list[cu]
+	}
+	ix.fringeOutHead, ix.fringeOutAdj = ix.buildFringe(ix.g.OutNeighbors)
+	ix.fringeInHead, ix.fringeInAdj = ix.buildFringe(ix.g.InNeighbors)
+}
+
+// buildFringe filters one graph adjacency down to, per cover vertex, the
+// neighbors outside the cover.
+func (ix *Index) buildFringe(neighbors func(graph.Vertex) []graph.Vertex) ([]int32, []graph.Vertex) {
+	list := ix.coverSet.List()
+	nc := len(list)
+	head := make([]int32, nc+1)
+	for i, u := range list {
+		n := int32(0)
+		for _, x := range neighbors(u) {
+			if ix.coverID[x] < 0 {
+				n++
+			}
+		}
+		head[i+1] = head[i] + n
+	}
+	adj := make([]graph.Vertex, head[nc])
+	for i, u := range list {
+		pos := head[i]
+		for _, x := range neighbors(u) {
+			if ix.coverID[x] < 0 {
+				adj[pos] = x
+				pos++
+			}
+		}
+	}
+	return head, adj
+}
+
+// buildDenseRows scans one CSR (forward or transposed) and materializes a
+// bitplane WeightRow for every row past the dense threshold. Returns the
+// cover-id → dense-slot map (-1 = CSR-only) and the two packed planes.
+func (ix *Index) buildDenseRows(head, adj []int32, w bitvec.Packed2) (id []int32, b0, b1 []uint64) {
+	nc := ix.coverSet.Len()
+	id = make([]int32, nc)
+	slots := 0
+	for u := 0; u < nc; u++ {
+		id[u] = -1
+		if rowLen := int(head[u+1] - head[u]); rowLen >= denseRowMinLen && rowLen*16 >= nc {
+			id[u] = int32(slots)
+			slots++
+		}
+	}
+	if slots == 0 {
+		return id, nil, nil
+	}
+	b0 = make([]uint64, slots*ix.rowWords)
+	b1 = make([]uint64, slots*ix.rowWords)
+	for i := range b0 {
+		b0[i] = ^uint64(0) // all lanes LaneAbsent
+		b1[i] = ^uint64(0)
+	}
+	for u := 0; u < nc; u++ {
+		slot := id[u]
+		if slot < 0 {
+			continue
+		}
+		off := int(slot) * ix.rowWords
+		row := bitvec.WeightRow{B0: b0[off : off+ix.rowWords], B1: b1[off : off+ix.rowWords]}
+		base := int(head[u])
+		for p, v := range adj[base:head[u+1]] {
+			row.Set(int(v), w.Get(base+p))
+		}
+	}
+	return id, b0, b1
+}
+
+// buildTransposed derives the in-row CSR from the forward CSR: inAdj lists,
+// for every cover vertex v, the cover sources u with u →k v, ascending (the
+// counting sort visits sources in order), with the arc's weight bucket
+// copied alongside. It is dist(u, v) either way — the transposition changes
+// which endpoint indexes the row, not the weight.
+func (ix *Index) buildTransposed() {
+	nc := ix.coverSet.Len()
+	total := len(ix.outAdj)
+	ix.inHead = make([]int32, nc+1)
+	for _, v := range ix.outAdj {
+		ix.inHead[v+1]++
+	}
+	for v := 0; v < nc; v++ {
+		ix.inHead[v+1] += ix.inHead[v]
+	}
+	ix.inAdj = make([]int32, total)
+	ix.inW = bitvec.NewPacked2(total)
+	next := make([]int32, nc)
+	copy(next, ix.inHead[:nc])
+	for u := 0; u < nc; u++ {
+		for p := ix.outHead[u]; p < ix.outHead[u+1]; p++ {
+			v := ix.outAdj[p]
+			pos := next[v]
+			next[v]++
+			ix.inAdj[pos] = int32(u)
+			ix.inW.Set(int(pos), ix.weights.Get(int(p)))
+		}
+	}
+}
+
+// denseRow returns the bitplane view of dense slot s.
+func (ix *Index) denseRow(s int32) bitvec.WeightRow {
+	off := int(s) * ix.rowWords
+	return bitvec.WeightRow{B0: ix.denseB0[off : off+ix.rowWords], B1: ix.denseB1[off : off+ix.rowWords]}
+}
+
+// inDenseRow is denseRow over the transposed planes.
+func (ix *Index) inDenseRow(s int32) bitvec.WeightRow {
+	off := int(s) * ix.rowWords
+	return bitvec.WeightRow{B0: ix.inDenseB0[off : off+ix.rowWords], B1: ix.inDenseB1[off : off+ix.rowWords]}
 }
 
 // bucketFor maps a BFS distance (1..k) to its 2-bit weight bucket. For the
@@ -201,15 +387,21 @@ func (ix *Index) SizeBytes() int {
 	size := 4 * len(ix.coverSet.List()) // cover membership as a sorted id list
 	size += 4 * len(ix.outHead)
 	size += 4 * len(ix.outAdj)
-	size += ix.weights.sizeBytes()
+	size += ix.weights.SizeBytes()
 	return size
 }
 
-// arcWeight returns the weight bucket of the index edge (u,v) given by
-// cover ids, or notFound if the edge is absent.
+// notFound marks an absent index edge in (h,k) arc lookups.
 const notFound = uint(0xFF)
 
-func (ix *Index) arcWeight(u, v int32) uint {
+// arcWeight returns the weight bucket of the index edge (u,v) given by
+// cover ids, and whether the edge exists. Hub rows answer in one bitplane
+// load; CSR-only rows binary-search the sorted adjacency.
+func (ix *Index) arcWeight(u, v int32) (uint8, bool) {
+	if slot := ix.denseID[u]; slot >= 0 {
+		w := ix.denseRow(slot).Get(int(v))
+		return w, w != bitvec.LaneAbsent
+	}
 	adj := ix.outAdj[ix.outHead[u]:ix.outHead[u+1]]
 	lo, hi := 0, len(adj)
 	for lo < hi {
@@ -221,7 +413,7 @@ func (ix *Index) arcWeight(u, v int32) uint {
 		}
 	}
 	if lo < len(adj) && adj[lo] == v {
-		return ix.weights.get(int(ix.outHead[u]) + lo)
+		return ix.weights.Get(int(ix.outHead[u]) + lo), true
 	}
-	return notFound
+	return 0, false
 }

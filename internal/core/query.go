@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"kreach/internal/bitvec"
 
 	"kreach/internal/graph"
 )
@@ -10,6 +10,12 @@ import (
 // index. A query (s, t) falls into one of four cases by cover membership;
 // each case reduces to at most one adjacency-list intersection against the
 // index graph.
+//
+// The intersections run over word-parallel kernels (internal/bitvec): the
+// in-neighbor cover ids of Case 4 are staged as a pooled bitmap over cover
+// ids, hub rows are intersected with it 64 lanes per word
+// (WeightRow.AnyLEMasked), and CSR-only rows probe it in O(1) per entry —
+// no per-query sorting, no binary search against the neighbor list.
 //
 // Two degenerate situations the paper's pseudocode leaves implicit are
 // handled explicitly (see DESIGN.md §5): s = t answers true for any k ≥ 0,
@@ -67,9 +73,13 @@ func (ix *Index) Classify(s, t graph.Vertex) QueryCase {
 }
 
 // QueryScratch holds reusable buffers so that Reach performs no allocation;
-// create one per goroutine.
+// create one per goroutine. The mask is a bitmap over cover ids: Case 4
+// raises the bits of inNei(t)'s cover ids, intersects rows against it, and
+// lowers exactly those bits before returning, so the all-clear invariant
+// holds between queries (and across indexes of different cover sizes).
 type QueryScratch struct {
-	in []int32 // cover ids of inNei(t), sorted (Case 4)
+	in   []int32  // cover ids of inNei(t), deduplicated (Case 4)
+	mask []uint64 // cover-id bitmap; all-zero between queries
 }
 
 // NewQueryScratch returns scratch space for queries against any index.
@@ -90,20 +100,30 @@ func (ix *Index) Reach(s, t graph.Vertex, scratch *QueryScratch) bool {
 	switch {
 	case cs >= 0 && ct >= 0:
 		// Case 1: a single index edge lookup.
-		return ix.arcWeight(cs, ct) != notFound
+		_, ok := ix.arcWeight(cs, ct)
+		return ok
 
 	case cs >= 0:
 		// Case 2: every in-neighbor of t is in the cover; s reaches t within
-		// k iff it reaches one of them within k-1.
-		for _, v := range ix.g.InNeighbors(t) {
-			if v == s {
-				// Direct edge (s,t): 1 hop.
-				if ix.k == Unbounded || ix.k >= 1 {
+		// k iff it reaches one of them within k-1. A hub source answers each
+		// probe in one bitplane load.
+		if slot := ix.denseID[cs]; slot >= 0 {
+			row := ix.denseRow(slot)
+			for _, v := range ix.g.InNeighbors(t) {
+				if v == s {
+					return true // direct edge (s,t): 1 hop
+				}
+				if row.Get(int(ix.coverID[v])) <= weightKm1 {
 					return true
 				}
-				continue
 			}
-			if w := ix.arcWeight(cs, ix.coverID[v]); w != notFound && w <= weightKm1 {
+			return false
+		}
+		for _, v := range ix.g.InNeighbors(t) {
+			if v == s {
+				return true
+			}
+			if w, ok := ix.arcWeight(cs, ix.coverID[v]); ok && w <= weightKm1 {
 				return true
 			}
 		}
@@ -113,12 +133,9 @@ func (ix *Index) Reach(s, t graph.Vertex, scratch *QueryScratch) bool {
 		// Case 3: mirror image of Case 2 through out-neighbors of s.
 		for _, u := range ix.g.OutNeighbors(s) {
 			if u == t {
-				if ix.k == Unbounded || ix.k >= 1 {
-					return true
-				}
-				continue
+				return true
 			}
-			if w := ix.arcWeight(ix.coverID[u], ct); w != notFound && w <= weightKm1 {
+			if w, ok := ix.arcWeight(ix.coverID[u], ct); ok && w <= weightKm1 {
 				return true
 			}
 		}
@@ -128,73 +145,72 @@ func (ix *Index) Reach(s, t graph.Vertex, scratch *QueryScratch) bool {
 		// Case 4: out-neighbors of s and in-neighbors of t are all cover
 		// vertices; s reaches t within k iff some pair (u,v) of them has
 		// dist(u,v) ≤ k-2 (the ≤k-2 weight bucket), including u = v with
-		// distance 0 (the path s→u→t).
+		// distance 0 (the path s→u→t). Stage inNei(t) as a cover-id bitmap,
+		// then intersect each u's row against it.
+		if need := ix.rowWords; need > len(scratch.mask) {
+			scratch.mask = make([]uint64, need)
+		}
 		in := scratch.in[:0]
+		mask := scratch.mask
 		for _, v := range ix.g.InNeighbors(t) {
-			in = append(in, ix.coverID[v])
+			ci := int(ix.coverID[v])
+			if !bitvec.TestBit(mask, ci) {
+				bitvec.SetBit(mask, ci)
+				in = append(in, int32(ci))
+			}
 		}
 		scratch.in = in
 		if len(in) == 0 {
 			return false
 		}
-		sort.Slice(in, func(i, j int) bool { return in[i] < in[j] })
-		twoHopOK := ix.k == Unbounded || ix.k >= 2
-		for _, u := range ix.g.OutNeighbors(s) {
-			cu := ix.coverID[u]
-			if twoHopOK && containsInt32(in, cu) {
-				return true // s→u→t in 2 hops
-			}
-			// Intersect u's index adjacency with the in-neighbor cover ids:
-			// linear merge when the lists are comparable, binary probes of
-			// the long list when one side is much shorter (cover vertices on
-			// hub graphs have index adjacency orders of magnitude longer
-			// than a leaf's in-neighbor list).
-			adj := ix.outAdj[ix.outHead[cu]:ix.outHead[cu+1]]
-			base := int(ix.outHead[cu])
-			switch {
-			case len(in)*8 < len(adj):
-				for _, v := range in {
-					if p := searchInt32(adj, v); p >= 0 && ix.weights.get(base+p) == weightLEKm2 {
-						return true
-					}
-				}
-			case len(adj)*8 < len(in):
-				for p, v := range adj {
-					if ix.weights.get(base+p) == weightLEKm2 && containsInt32(in, v) {
-						return true
-					}
-				}
-			default:
-				i, j := 0, 0
-				for i < len(adj) && j < len(in) {
-					switch {
-					case adj[i] < in[j]:
-						i++
-					case adj[i] > in[j]:
-						j++
-					default:
-						if ix.weights.get(base+i) == weightLEKm2 {
-							return true
-						}
-						i++
-						j++
-					}
-				}
-			}
+		hit := ix.case4(s, in, mask)
+		for _, ci := range in {
+			bitvec.ClearBit(mask, int(ci))
 		}
-		return false
+		return hit
 	}
 }
 
-func containsInt32(sorted []int32, v int32) bool {
-	lo, hi := 0, len(sorted)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if sorted[mid] < v {
-			lo = mid + 1
+// case4 scans the out-neighbors of s for one whose index row intersects
+// the staged in-neighbor bitmap at weight ≤ k-2. Hub rows use the
+// word-parallel kernel (or O(1) lane probes when the neighbor list is much
+// smaller than the row bitmap); CSR-only rows pick probe direction by
+// relative size, with bitmap membership replacing the old sorted search.
+func (ix *Index) case4(s graph.Vertex, in []int32, mask []uint64) bool {
+	twoHopOK := ix.k == Unbounded || ix.k >= 2
+	for _, u := range ix.g.OutNeighbors(s) {
+		cu := ix.coverID[u]
+		if twoHopOK && bitvec.TestBit(mask, int(cu)) {
+			return true // s→u→t in 2 hops
+		}
+		if slot := ix.denseID[cu]; slot >= 0 {
+			row := ix.denseRow(slot)
+			if len(in)*4 < ix.rowWords {
+				for _, v := range in {
+					if row.Get(int(v)) == weightLEKm2 {
+						return true
+					}
+				}
+			} else if row.AnyLEMasked(mask, weightLEKm2) {
+				return true
+			}
+			continue
+		}
+		base := int(ix.outHead[cu])
+		adj := ix.outAdj[base:ix.outHead[cu+1]]
+		if len(in)*8 < len(adj) {
+			for _, v := range in {
+				if p := searchInt32(adj, v); p >= 0 && ix.weights.Get(base+p) == weightLEKm2 {
+					return true
+				}
+			}
 		} else {
-			hi = mid
+			for p, v := range adj {
+				if ix.weights.Get(base+p) == weightLEKm2 && bitvec.TestBit(mask, int(v)) {
+					return true
+				}
+			}
 		}
 	}
-	return lo < len(sorted) && sorted[lo] == v
+	return false
 }

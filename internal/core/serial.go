@@ -7,6 +7,7 @@ import (
 	"hash/crc32"
 	"io"
 
+	"kreach/internal/bitvec"
 	"kreach/internal/cover"
 	"kreach/internal/graph"
 )
@@ -51,8 +52,8 @@ func (ix *Index) WriteBinary(w io.Writer) error {
 			p = v
 		}
 	}
-	buf = binary.AppendUvarint(buf, uint64(len(ix.weights.data)))
-	for _, word := range ix.weights.data {
+	buf = binary.AppendUvarint(buf, uint64(len(ix.weights.Words())))
+	for _, word := range ix.weights.Words() {
 		var wbuf [8]byte
 		binary.LittleEndian.PutUint64(wbuf[:], word)
 		buf = append(buf, wbuf[:]...)
@@ -125,13 +126,14 @@ func ReadBinaryIndex(r io.Reader, g *graph.Graph) (*Index, error) {
 	for i, v := range list {
 		ix.coverID[v] = int32(i)
 	}
-	ix.weights = newPackedArray(total, 2)
-	if err := d.arcRows(coverLen, total, ix.outHead, ix.outAdj, ix.weights); err != nil {
+	ix.weights = bitvec.NewPacked2(total)
+	if err := d.arcRows(coverLen, total, ix.outHead, ix.outAdj, ix.weights.Words()); err != nil {
 		return nil, err
 	}
 	if d.err != nil {
 		return nil, d.err
 	}
+	ix.finalize()
 	return ix, nil
 }
 
@@ -174,8 +176,9 @@ func (d *decoder) coverList(coverLen, n int) ([]graph.Vertex, error) {
 
 // arcRows decodes the per-cover-vertex CSR rows (delta-encoded ascending
 // ids) and the packed weight words shared by the plain and (h,k) formats.
-// outHead/outAdj must be pre-sized to coverLen+1/total.
-func (d *decoder) arcRows(coverLen, total int, outHead, outAdj []int32, weights *packedArray) error {
+// outHead/outAdj must be pre-sized to coverLen+1/total; weightWords is the
+// pre-sized backing word slice of the packed weight array.
+func (d *decoder) arcRows(coverLen, total int, outHead, outAdj []int32, weightWords []uint64) error {
 	pos := 0
 	for u := 0; u < coverLen; u++ {
 		outHead[u] = int32(pos)
@@ -208,11 +211,11 @@ func (d *decoder) arcRows(coverLen, total int, outHead, outAdj []int32, weights 
 	if d.err != nil {
 		return d.err
 	}
-	if words != len(weights.data) {
+	if words != len(weightWords) {
 		return fmt.Errorf("%w: weight block size mismatch", ErrBadIndexFormat)
 	}
 	for i := 0; i < words; i++ {
-		weights.data[i] = d.u64()
+		weightWords[i] = d.u64()
 	}
 	return d.err
 }
