@@ -65,16 +65,18 @@ bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/bench ./internal/bitvec
 
 # bench-json writes the machine-readable benchmark trajectory
-# (reach/batch/cached/mutate/neighbors); CI uploads it as an artifact so
-# every commit carries its own performance snapshot.
+# (reach/batch/cached/mutate/mutate-durable/neighbors); CI uploads it as
+# an artifact so every commit carries its own performance snapshot.
 bench-json:
 	$(GO) run ./cmd/kbench -json BENCH_kreach.json \
 		-scale $(BENCH_SCALE) -queries $(BENCH_QUERIES) -datasets $(BENCH_JSON_DATASETS)
 	@echo "wrote BENCH_kreach.json"
 
 # fuzz-smoke runs each native fuzz target for $(FUZZTIME) — corrupt
-# KRI1/KRH1/KRG1 streams and hostile edge lists must error, never crash.
+# KRI1/KRH1/KRG1 streams, hostile edge lists, and torn/corrupt KRW1
+# write-ahead logs must error (or recover a valid prefix), never crash.
 # (Go allows one -fuzz pattern per package invocation.)
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzLoadAutoIndex -fuzztime=$(FUZZTIME) -run='^$$' .
 	$(GO) test -fuzz=FuzzReadEdgeList -fuzztime=$(FUZZTIME) -run='^$$' ./internal/graph
+	$(GO) test -fuzz=FuzzWALReplay -fuzztime=$(FUZZTIME) -run='^$$' ./internal/wal

@@ -41,6 +41,15 @@
 // outgrows the base. Mutable datasets require a finite k= (the
 // incremental maintenance is k-hop bounded) and exclude index=, h= and
 // rungs=.
+//
+// -wal-dir DIR makes mutable datasets durable: each dataset journals its
+// mutation batches to a write-ahead log under DIR/<name>/ (fsynced per
+// -fsync always|never), compactions write snapshots there and truncate the
+// log, and on startup each dataset recovers to exactly its pre-crash state
+// — snapshot plus log replay, torn tails truncated — before the first
+// request is served. Durable datasets are not reloadable (the durability
+// directory, not the spec files, is their source of truth); restart the
+// daemon to re-read specs.
 package main
 
 import (
@@ -48,10 +57,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -69,6 +80,8 @@ func main() {
 		cacheSize   = flag.Int("cache", 0, "result cache entries, rounded to powers of two (0 = default, negative = disabled)")
 		cacheShards = flag.Int("cacheshards", 0, "result cache shard count (0 = derived from GOMAXPROCS)")
 		mutable     = flag.Bool("mutable", false, "serve datasets as dynamic indexes accepting edge mutations (requires k=, excludes index=/h=/rungs=)")
+		walDir      = flag.String("wal-dir", "", "durability root for -mutable datasets: write-ahead log + snapshots under DIR/<name>/, with crash recovery on startup; empty = in-memory")
+		fsync       = flag.String("fsync", "always", "WAL fsync policy: 'always' (acknowledged mutations survive crashes) or 'never' (OS writeback)")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 		specs       []string
 	)
@@ -82,15 +95,33 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	var sync kreach.SyncPolicy
+	switch *fsync {
+	case "always":
+		sync = kreach.SyncAlways
+	case "never":
+		sync = kreach.SyncNever
+	default:
+		fatal(fmt.Errorf("-fsync must be 'always' or 'never', got %q", *fsync))
+	}
+	if *walDir != "" && !*mutable {
+		fatal(errors.New("-wal-dir requires -mutable (only dynamic datasets journal mutations)"))
+	}
 
+	// Recovery runs here, dataset by dataset, before the registry is handed
+	// to the server — no request can observe a half-recovered dataset.
 	reg := server.NewRegistry()
+	var wals []*kreach.WAL
 	for _, spec := range specs {
-		d, err := loadDataset(spec, *mutable)
+		d, err := loadDataset(spec, *mutable, *walDir, sync)
 		if err != nil {
 			fatal(err)
 		}
 		if err := reg.Add(d); err != nil {
 			fatal(err)
+		}
+		if d.WAL != nil {
+			wals = append(wals, d.WAL)
 		}
 		logDataset(d)
 	}
@@ -131,9 +162,16 @@ func main() {
 		}()
 	}
 
+	// Listen explicitly so the real bound address — not the flag value — is
+	// logged; with -listen 127.0.0.1:0 (tests, ephemeral deployments) the
+	// flag alone never reveals the port.
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "kreachd: serving %d dataset(s) on %s\n", len(reg.Names()), *listen)
+	go func() { errc <- srv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "kreachd: serving %d dataset(s) on %s\n", len(reg.Names()), ln.Addr())
 
 	select {
 	case err := <-errc:
@@ -145,6 +183,13 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		fatal(err)
+	}
+	// In-flight mutations have drained with the requests; release the log
+	// file handles.
+	for _, w := range wals {
+		if err := w.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "kreachd: closing wal:", err)
+		}
 	}
 }
 
@@ -229,7 +274,7 @@ func parseSpec(raw string) (datasetSpec, error) {
 	return sp, nil
 }
 
-func loadDataset(raw string, mutable bool) (*server.Dataset, error) {
+func loadDataset(raw string, mutable bool, walDir string, sync kreach.SyncPolicy) (*server.Dataset, error) {
 	sp, err := parseSpec(raw)
 	if err != nil {
 		return nil, err
@@ -244,7 +289,7 @@ func loadDataset(raw string, mutable bool) (*server.Dataset, error) {
 	// mutable dataset starts over from the on-disk graph: overlay
 	// mutations not yet compacted to disk are deliberately discarded.
 	d := &server.Dataset{Name: sp.name, Graph: g,
-		Loader: func() (*server.Dataset, error) { return loadDataset(raw, mutable) }}
+		Loader: func() (*server.Dataset, error) { return loadDataset(raw, mutable, walDir, sync) }}
 	if mutable {
 		if sp.indexPath != "" || sp.h > 0 || len(sp.rungs) > 0 {
 			return nil, fmt.Errorf("dataset %q: -mutable excludes index=/h=/rungs=", sp.name)
@@ -252,9 +297,26 @@ func loadDataset(raw string, mutable bool) (*server.Dataset, error) {
 		if !sp.haveK || sp.k < 1 {
 			return nil, fmt.Errorf("dataset %q: -mutable requires a finite k= >= 1 (incremental maintenance is k-hop bounded)", sp.name)
 		}
-		dyn, err := kreach.NewDynamicIndex(g, kreach.DynamicOptions{
-			K: sp.k, Cover: sp.cover, Seed: sp.seed,
-		})
+		opts := kreach.DynamicOptions{K: sp.k, Cover: sp.cover, Seed: sp.seed}
+		if walDir != "" {
+			// Durable: recover from DIR/<name>/ — the durability directory is
+			// the source of truth, the spec's graph only seeds a virgin one.
+			// No Loader: a reload would re-open the log the live store holds
+			// and silently fork history; restart the daemon instead.
+			dyn, base, w, err := kreach.OpenDurableDynamicIndex(g, opts, kreach.DurableOptions{
+				Dir:  filepath.Join(walDir, sp.name),
+				Sync: sync,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("dataset %q: %w", sp.name, err)
+			}
+			wst := w.Stats()
+			fmt.Fprintf(os.Stderr,
+				"kreachd: %q recovered epoch=%d (snapshot_epoch=%d, replayed=%d) from %s\n",
+				sp.name, dyn.Epoch(), wst.SnapshotEpoch, wst.RecordsReplayed, wst.Dir)
+			return &server.Dataset{Name: sp.name, Graph: base, Reacher: dyn, WAL: w}, nil
+		}
+		dyn, err := kreach.NewDynamicIndex(g, opts)
 		if err != nil {
 			return nil, fmt.Errorf("dataset %q: %w", sp.name, err)
 		}

@@ -1,0 +1,120 @@
+package kreach
+
+import (
+	"kreach/internal/dynamic"
+	"kreach/internal/wal"
+)
+
+// This file is the public face of the durability layer: a DynamicIndex
+// backed by a write-ahead log and compacted snapshots, so mutations survive
+// process death. See kreach/internal/wal for the formats and the recovery
+// argument.
+
+// SyncPolicy controls when journaled mutation batches are forced to stable
+// storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs the log before a mutation is acknowledged (the
+	// default): an acknowledged batch survives a crash.
+	SyncAlways SyncPolicy = iota
+	// SyncNever leaves flushing to the OS writeback: lowest mutation
+	// latency, crash durability bounded by the kernel's flush horizon.
+	SyncNever
+)
+
+func (p SyncPolicy) internal() wal.SyncPolicy {
+	if p == SyncNever {
+		return wal.SyncNever
+	}
+	return wal.SyncAlways
+}
+
+// String returns "always" or "never".
+func (p SyncPolicy) String() string { return p.internal().String() }
+
+// DurableOptions configures OpenDurableDynamicIndex.
+type DurableOptions struct {
+	// Dir is the durability directory holding the write-ahead log and the
+	// latest compacted snapshot; one directory per dataset. Created if
+	// missing.
+	Dir string
+	// Sync is the fsync policy for journaled batches (default SyncAlways).
+	Sync SyncPolicy
+}
+
+// WAL is a handle on a dataset's durability store: its counters for stats
+// surfaces, and Close for shutdown. The store itself is driven by the
+// DynamicIndex it was opened with — every Mutate journals through it,
+// every Compact checkpoints it — so WAL has no mutating methods.
+type WAL struct {
+	s *wal.Store
+}
+
+// WALStats is a point-in-time snapshot of a durability store's counters.
+type WALStats struct {
+	Dir             string // the durability directory
+	Sync            string // fsync policy: "always" or "never"
+	RecordsAppended uint64 // mutation batches made durable since open
+	Syncs           uint64 // fsyncs issued for appends
+	RecordsReplayed uint64 // records replayed by crash recovery at open
+	Checkpoints     uint64 // compacted snapshots written since open
+	Truncations     uint64 // torn-tail and failed-append repairs
+	SnapshotEpoch   uint64 // epoch of the current snapshot (0: none yet)
+	LastEpoch       uint64 // highest epoch made durable
+	LogBytes        int64  // current write-ahead log size
+}
+
+// Stats returns the store's counters.
+func (w *WAL) Stats() WALStats {
+	st := w.s.Stats()
+	return WALStats{
+		Dir:             st.Dir,
+		Sync:            st.Sync.String(),
+		RecordsAppended: st.RecordsAppended,
+		Syncs:           st.Syncs,
+		RecordsReplayed: st.RecordsReplayed,
+		Checkpoints:     st.Checkpoints,
+		Truncations:     st.Truncations,
+		SnapshotEpoch:   st.SnapshotEpoch,
+		LastEpoch:       st.LastEpoch,
+		LogBytes:        st.LogBytes,
+	}
+}
+
+// Close releases the log file handle. Call it only after the last mutation
+// against the associated index; a closed store fails subsequent appends.
+func (w *WAL) Close() error { return w.s.Close() }
+
+// OpenDurableDynamicIndex opens (or creates) the durability directory and
+// returns a mutable index restored to exactly the last durable state: the
+// latest compacted snapshot — or base for a fresh directory — plus a replay
+// of every journaled mutation batch after it, with a torn log tail
+// truncated at the last valid record. The returned graph is the base the
+// recovered overlay sits on, and the returned WAL exposes the store's
+// counters.
+//
+// The index is wired for durability from the first mutation: Mutate
+// journals each batch (fsynced under DurableOptions.Sync) before applying
+// it, and Compact writes a fresh snapshot then truncates the log. The
+// recovered epoch equals the pre-crash epoch, and the process generation
+// counter is advanced past it, so epoch-keyed caches stay exact across a
+// restart.
+func OpenDurableDynamicIndex(base *Graph, opts DynamicOptions, dur DurableOptions) (*DynamicIndex, *Graph, *WAL, error) {
+	store, err := wal.Open(dur.Dir, wal.Options{Sync: dur.Sync.internal()})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	d, g, _, err := store.Recover(base.g, dynamic.Options{
+		K:            opts.K,
+		Strategy:     opts.Cover.internal(),
+		Seed:         opts.Seed,
+		Parallelism:  opts.Parallelism,
+		CompactRatio: opts.CompactRatio,
+	})
+	if err != nil {
+		store.Close()
+		return nil, nil, nil, err
+	}
+	return &DynamicIndex{d: d, n: g.NumVertices()}, &Graph{g: g}, &WAL{s: store}, nil
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"os"
 	"runtime"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"kreach/internal/cover"
 	"kreach/internal/dynamic"
 	"kreach/internal/graph"
+	"kreach/internal/wal"
 	"kreach/internal/workload"
 )
 
@@ -24,18 +26,22 @@ import (
 
 // Report is the top-level BENCH_kreach.json document. Schema 2 added
 // GOMAXPROCS (so the batch worker sweep can be judged against the cores
-// that were actually available) and NeighborRow.EnumSpeedup.
+// that were actually available) and NeighborRow.EnumSpeedup; schema 3
+// added MutateDurable, the same mutation stream journaled through a
+// fsync-per-batch WAL, so the price of durability is part of the
+// trajectory.
 type Report struct {
-	Schema     int           `json:"schema"`
-	Queries    int           `json:"queries"`
-	Scale      int           `json:"scale"`
-	GOMAXPROCS int           `json:"gomaxprocs"`
-	Datasets   []string      `json:"datasets"`
-	Reach      []ReachRow    `json:"reach"`
-	Batch      []BatchRow    `json:"batch"`
-	Cached     []CacheRow    `json:"cached"`
-	Mutate     []MutateRow   `json:"mutate"`
-	Neighbors  []NeighborRow `json:"neighbors"`
+	Schema        int                `json:"schema"`
+	Queries       int                `json:"queries"`
+	Scale         int                `json:"scale"`
+	GOMAXPROCS    int                `json:"gomaxprocs"`
+	Datasets      []string           `json:"datasets"`
+	Reach         []ReachRow         `json:"reach"`
+	Batch         []BatchRow         `json:"batch"`
+	Cached        []CacheRow         `json:"cached"`
+	Mutate        []MutateRow        `json:"mutate"`
+	MutateDurable []MutateDurableRow `json:"mutate_durable"`
+	Neighbors     []NeighborRow      `json:"neighbors"`
 }
 
 // ReachRow is sequential single-query throughput on the k=µ index.
@@ -69,6 +75,19 @@ type MutateRow struct {
 	K          int     `json:"k"`
 	KOPS       float64 `json:"kops"`
 	OracleErrs int     `json:"oracle_errs"`
+}
+
+// MutateDurableRow is the mutate workload again, but journaled through a
+// write-ahead log in a scratch directory under the stated fsync policy.
+// FsyncSlowdown is in-memory kops / durable kops — the multiplicative
+// price of crash durability on this host's disk.
+type MutateDurableRow struct {
+	Dataset       string  `json:"dataset"`
+	K             int     `json:"k"`
+	Sync          string  `json:"sync"`
+	KOPS          float64 `json:"kops"`
+	FsyncSlowdown float64 `json:"fsync_slowdown"`
+	OracleErrs    int     `json:"oracle_errs"`
 }
 
 // NeighborRow is k-hop ball enumeration throughput with the oracle
@@ -123,7 +142,7 @@ func batchSweep() []int {
 // RunJSON measures every section and writes the indented Report to w.
 func (r *Runner) RunJSON(w io.Writer) error {
 	rep := Report{
-		Schema:     2,
+		Schema:     3,
 		Queries:    r.cfg.Queries,
 		Scale:      r.cfg.Scale,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -193,6 +212,14 @@ func (r *Runner) RunJSON(w io.Writer) error {
 			return err
 		}
 		rep.Mutate = append(rep.Mutate, mrow)
+
+		// mutate-durable: the same stream, every batch fsynced through
+		// the WAL before it applies.
+		drow, err := r.mutateDurableRow(name, d, mu, mrow.KOPS)
+		if err != nil {
+			return err
+		}
+		rep.MutateDurable = append(rep.MutateDurable, drow)
 
 		// neighbors: ball enumeration, index vs BFS, oracle-checked.
 		nrow, err := r.neighborRow(ctx, name, d, mu)
@@ -284,6 +311,63 @@ func (r *Runner) mutateRow(name string, d *dataset, k int) (MutateRow, error) {
 		KOPS:       float64(ops) / time.Since(t0).Seconds() / 1000,
 		OracleErrs: mismatches,
 	}, nil
+}
+
+// mutateDurableRow reruns the mutate workload with every batch journaled
+// and fsynced (SyncAlways) into a scratch WAL directory before it applies
+// — the full durability tax, measured against memKOPS from the in-memory
+// row on the identical stream.
+func (r *Runner) mutateDurableRow(name string, d *dataset, k int, memKOPS float64) (MutateDurableRow, error) {
+	dir, err := os.MkdirTemp("", "kreach-bench-wal-")
+	if err != nil {
+		return MutateDurableRow{}, err
+	}
+	defer os.RemoveAll(dir)
+	st, err := wal.Open(dir, wal.Options{Sync: wal.SyncAlways})
+	if err != nil {
+		return MutateDurableRow{}, err
+	}
+	defer st.Close()
+	ix, _, _, err := st.Recover(d.g, dynamic.Options{
+		K: k, Strategy: cover.DegreePrioritized, Seed: r.cfg.Seed, CompactRatio: 1e18,
+	})
+	if err != nil {
+		return MutateDurableRow{}, err
+	}
+	stream := workload.NewMutationStream(d.g, r.cfg.Seed+29, workload.DefaultMutationMix)
+	sc := dynamic.NewQueryScratch()
+	ops := max(r.cfg.Queries/10, 1000)
+	var queries, mismatches int
+	t0 := time.Now()
+	for i := 0; i < ops; i++ {
+		op := stream.Next()
+		switch op.Kind {
+		case workload.OpQuery:
+			got := ix.Reach(op.U, op.V, sc)
+			queries++
+			if queries%64 == 0 && got != stream.Reach(op.U, op.V, k) {
+				mismatches++
+			}
+		case workload.OpAdd:
+			if _, err := ix.Mutate([]graph.Edge{{Src: op.U, Dst: op.V}}, nil); err != nil {
+				return MutateDurableRow{}, err
+			}
+		case workload.OpRemove:
+			if _, err := ix.Mutate(nil, []graph.Edge{{Src: op.U, Dst: op.V}}); err != nil {
+				return MutateDurableRow{}, err
+			}
+		}
+	}
+	row := MutateDurableRow{
+		Dataset: name, K: k,
+		Sync:       wal.SyncAlways.String(),
+		KOPS:       float64(ops) / time.Since(t0).Seconds() / 1000,
+		OracleErrs: mismatches,
+	}
+	if row.KOPS > 0 {
+		row.FsyncSlowdown = memKOPS / row.KOPS
+	}
+	return row, nil
 }
 
 func (r *Runner) neighborRow(ctx context.Context, name string, d *dataset, k int) (NeighborRow, error) {

@@ -23,6 +23,22 @@ func nextGeneration() uint64 { return generationCounter.Add(1) }
 // self-invalidate exactly as they do across index rebuilds.
 func NextGeneration() uint64 { return nextGeneration() }
 
+// AdvanceGeneration raises the process generation counter to at least
+// floor. WAL recovery calls it with the highest epoch found in a snapshot
+// or log before issuing any new generations: epochs persisted by an earlier
+// process would otherwise collide with (or run ahead of) the fresh
+// process's counter, and a post-recovery mutation could be issued an epoch
+// the old incarnation already used — letting an epoch-keyed cache serve a
+// stale pre-crash answer for post-recovery state.
+func AdvanceGeneration(floor uint64) {
+	for {
+		cur := generationCounter.Load()
+		if cur >= floor || generationCounter.CompareAndSwap(cur, floor) {
+			return
+		}
+	}
+}
+
 // Generation returns the index's process-unique generation number, assigned
 // when the index was built or loaded. Serving layers key result caches on
 // it so that swapping in a new index invalidates stale answers.

@@ -42,6 +42,17 @@ var ErrRetired = errors.New("dynamic: index retired by a newer snapshot")
 // ErrCompacting reports a Compact call while another is in flight.
 var ErrCompacting = errors.New("dynamic: compaction already in progress")
 
+// Journal is the durability hook a write-ahead log store implements
+// (kreach/internal/wal). When one is attached (SetJournal), Mutate appends
+// each batch — tagged with the epoch reserved for it — before anything
+// applies, and Compact checkpoints the materialized graph so the log can be
+// truncated. An Append error aborts the mutation with the index unchanged:
+// the acknowledged history is always a prefix of the durable one.
+type Journal interface {
+	Append(epoch uint64, add, remove []graph.Edge) error
+	Checkpoint(g *graph.Graph, epoch uint64) error
+}
+
 // Options configures New.
 type Options struct {
 	// K is the hop bound; it must be finite and ≥ 1 (see ErrBadK).
@@ -110,6 +121,8 @@ type Index struct {
 	bfsRuns atomic.Uint64
 
 	scratch *overlayScratch // maintenance BFS state; used only under mutMu
+
+	journal Journal // durability hook, nil for in-memory indexes (mutMu)
 }
 
 // New builds a mutable k-reach index over base with an empty overlay.
@@ -203,6 +216,21 @@ func (ix *Index) Retired() bool { return ix.retired.Load() }
 // snapshot on swap so mutations can never land on an unpublished index and
 // silently vanish. Queries keep answering (against the frozen state).
 func (ix *Index) Retire() { ix.retired.Store(true) }
+
+// SetJournal attaches j as the index's durability hook; see Journal. WAL
+// recovery attaches the store it just replayed from, before the index is
+// published anywhere.
+func (ix *Index) SetJournal(j Journal) {
+	ix.mutMu.Lock()
+	defer ix.mutMu.Unlock()
+	ix.journal = j
+}
+
+// RestoreEpoch forces the index's epoch to e. WAL recovery uses it when a
+// snapshot exists but no replayed record changed the edge set: the
+// recovered index then reports exactly the pre-crash (snapshot) epoch
+// instead of the fresh generation New issued.
+func (ix *Index) RestoreEpoch(e uint64) { ix.epoch.Store(e) }
 
 // NumVertices returns n.
 func (ix *Index) NumVertices() int { return ix.dg.NumVertices() }
@@ -389,9 +417,32 @@ func (r MutationResult) Applied() bool { return r.Added+r.Removed > 0 }
 //
 // Batches serialize; queries are excluded only during the apply-and-repair
 // write section, at the end of which a fresh epoch is issued.
+//
+// With a journal attached, the filtered batch is appended to it — under the
+// epoch reserved for the batch — before anything applies; a journal error
+// aborts the mutation with the index unchanged.
 func (ix *Index) Mutate(add, remove []graph.Edge) (MutationResult, error) {
 	ix.mutMu.Lock()
 	defer ix.mutMu.Unlock()
+	return ix.mutateLocked(add, remove, 0)
+}
+
+// Replay applies one journaled mutation batch during crash recovery. It is
+// Mutate with two differences: the batch adopts the recorded epoch instead
+// of a fresh generation (same epoch ⇔ same durable state, so epoch-keyed
+// caches stay exact across recovery), and the journal is not appended to —
+// the record is already durable.
+func (ix *Index) Replay(add, remove []graph.Edge, epoch uint64) (MutationResult, error) {
+	ix.mutMu.Lock()
+	defer ix.mutMu.Unlock()
+	return ix.mutateLocked(add, remove, epoch)
+}
+
+// mutateLocked is the shared Mutate/Replay body; caller holds mutMu.
+// replayEpoch is 0 for a live mutation (journal the batch, issue a fresh
+// epoch) and the recorded epoch during replay (epochs are generations and
+// never 0, so 0 is an unambiguous sentinel).
+func (ix *Index) mutateLocked(add, remove []graph.Edge, replayEpoch uint64) (MutationResult, error) {
 	var res MutationResult
 	if ix.retired.Load() {
 		return res, ErrRetired
@@ -414,6 +465,19 @@ func (ix *Index) Mutate(add, remove []graph.Edge) (MutationResult, error) {
 			removes = append(removes, e)
 		} else {
 			res.UnknownVertex++
+		}
+	}
+
+	// Reserve the batch's epoch and make it durable before anything
+	// applies. A journal failure leaves the index untouched, so the
+	// acknowledged history is always a prefix of the durable one. (The
+	// reserved generation is wasted if the batch turns out to be a no-op;
+	// generations are only unique, never dense.)
+	reserved := replayEpoch
+	if reserved == 0 && ix.journal != nil && len(adds)+len(removes) > 0 {
+		reserved = core.NextGeneration()
+		if err := ix.journal.Append(reserved, adds, removes); err != nil {
+			return res, fmt.Errorf("dynamic: journal: %w", err)
 		}
 	}
 
@@ -485,7 +549,10 @@ func (ix *Index) Mutate(add, remove []graph.Edge) (MutationResult, error) {
 	ix.promotions += uint64(res.Promoted)
 	ix.rowsRecomputed += uint64(res.RowsRecomputed)
 	if res.Applied() {
-		res.Epoch = core.NextGeneration()
+		if reserved == 0 {
+			reserved = core.NextGeneration()
+		}
+		res.Epoch = reserved
 		ix.epoch.Store(res.Epoch)
 	} else {
 		// A no-op batch (all duplicates/missing/unknown) leaves the edge
@@ -572,6 +639,19 @@ func (ix *Index) Compact(publish func(next *Index, g *graph.Graph) error) (*Inde
 		return nil, err
 	}
 	next.inherit(ix)
+	if ix.journal != nil {
+		// Make the compacted image durable and truncate the log before the
+		// successor is visible anywhere. On error the successor is
+		// discarded and this index keeps serving — the log still holds
+		// every batch, so recovery is unaffected. The snapshot carries the
+		// successor's epoch: a crash right after this call recovers to the
+		// same edge set under that (newer) epoch, which at worst invalidates
+		// cached answers, never serves stale ones.
+		if err := ix.journal.Checkpoint(g, next.Epoch()); err != nil {
+			return nil, err
+		}
+		next.journal = ix.journal
+	}
 	if publish != nil {
 		if err := publish(next, g); err != nil {
 			return nil, err

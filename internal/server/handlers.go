@@ -362,6 +362,7 @@ type datasetInfo struct {
 	IndexEdges *int         `json:"index_edges,omitempty"`
 	SizeBytes  int          `json:"size_bytes"`
 	Dynamic    *dynamicInfo `json:"dynamic,omitempty"`
+	WAL        *walInfo     `json:"wal,omitempty"`
 }
 
 // dynamicInfo is the mutation/compaction section of a dynamic dataset's
@@ -378,6 +379,21 @@ type dynamicInfo struct {
 	MaintenanceBFS  uint64 `json:"maintenance_bfs"`
 	Compactions     uint64 `json:"compactions"`
 	ShouldCompact   bool   `json:"should_compact"`
+}
+
+// walInfo is the durability section of a dynamic dataset's /v1/stats
+// entry, present only when the dataset runs with a write-ahead log.
+type walInfo struct {
+	Dir             string `json:"dir"`
+	Sync            string `json:"sync"`
+	RecordsAppended uint64 `json:"records_appended"`
+	Syncs           uint64 `json:"syncs"`
+	RecordsReplayed uint64 `json:"records_replayed"`
+	Checkpoints     uint64 `json:"checkpoints"`
+	Truncations     uint64 `json:"truncations"`
+	SnapshotEpoch   uint64 `json:"snapshot_epoch"`
+	LastEpoch       uint64 `json:"last_epoch"`
+	LogBytes        int64  `json:"log_bytes"`
 }
 
 // cacheInfo is the /v1/stats cache section. HitRate is derived —
@@ -457,6 +473,21 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 				MaintenanceBFS:  dyn.MaintenanceBFS,
 				Compactions:     dyn.Compactions,
 				ShouldCompact:   shouldCompact,
+			}
+			if d.WAL != nil {
+				wst := d.WAL.Stats()
+				info.WAL = &walInfo{
+					Dir:             wst.Dir,
+					Sync:            wst.Sync,
+					RecordsAppended: wst.RecordsAppended,
+					Syncs:           wst.Syncs,
+					RecordsReplayed: wst.RecordsReplayed,
+					Checkpoints:     wst.Checkpoints,
+					Truncations:     wst.Truncations,
+					SnapshotEpoch:   wst.SnapshotEpoch,
+					LastEpoch:       wst.LastEpoch,
+					LogBytes:        wst.LogBytes,
+				}
 			}
 		}
 		resp.Datasets = append(resp.Datasets, info)

@@ -122,7 +122,7 @@ func (s *Server) compactDataset(name string) (*Dataset, error) {
 	}
 	var next *Dataset
 	_, _, err = dyn.Compact(func(nx *kreach.DynamicIndex, g *kreach.Graph) error {
-		next = &Dataset{Name: d.Name, Graph: g, Reacher: nx}
+		next = &Dataset{Name: d.Name, Graph: g, Reacher: nx, WAL: d.WAL}
 		// Publish only if d is still the live snapshot: a reload that
 		// landed while the rebuild ran must win, or mutations already
 		// acknowledged against it would silently revert.

@@ -53,6 +53,13 @@ type Dataset struct {
 	// swapped-in replacement has a nil Loader it inherits the old one, so a
 	// reloadable dataset stays reloadable.
 	Loader func() (*Dataset, error)
+
+	// WAL is the durability store backing a dynamic dataset, nil for
+	// in-memory ones. The store is driven by the index itself (mutations
+	// journal through it, compactions checkpoint it); the serving layer
+	// only reads its counters for /v1/stats and carries the handle across
+	// compaction swaps so the section survives snapshot replacement.
+	WAL *kreach.WAL
 }
 
 // Kind reports which index variant the dataset holds, as tagged by the

@@ -1,0 +1,22 @@
+// Package wal makes a dynamic k-reach dataset durable: a write-ahead log
+// of epoch-tagged mutation batches plus a compacted snapshot, together
+// reconstructing the exact pre-crash index state on restart.
+//
+// A durability directory holds two files. wal.log is the KRW1 log: a magic
+// header followed by length-prefixed, CRC-framed records, one per mutation
+// batch, each carrying the epoch the batch was (or would have been)
+// published under. snapshot.krs is the KRS1 snapshot: an epoch-stamped
+// header over a complete KRG1 graph stream, written by checkpoints
+// (compactions) which then truncate the log.
+//
+// The contract is append-before-apply: Index.Mutate journals a batch
+// through Store.Append — fsynced under the default policy — before any
+// index state changes, so every acknowledged mutation is durable and the
+// acknowledged history is always a prefix of the durable one. Recovery
+// (Store.Recover) loads the snapshot (or the base graph), replays every
+// valid log record newer than the snapshot epoch, truncates a torn tail at
+// the last valid record, and returns an index whose epoch equals the
+// pre-crash epoch exactly — after advancing the process generation counter
+// past everything recovered, so post-recovery epochs stay monotonic and
+// epoch-keyed caches can never serve a stale answer.
+package wal

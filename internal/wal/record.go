@@ -1,0 +1,208 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"kreach/internal/graph"
+)
+
+// On-disk log format (little endian):
+//
+//	magic "KRW1"
+//	records, each:
+//	    uint32 payload length | uint32 crc32-IEEE of payload | payload
+//	payload:
+//	    uvarint epoch |
+//	    uvarint nAdd  | nAdd  × (uvarint src, uvarint dst) |
+//	    uvarint nRem  | nRem  × (uvarint src, uvarint dst)
+//
+// The length prefix lets the reader detect a torn tail (a record the
+// process died inside of) without scanning for a resync marker, and the
+// CRC rejects bit rot and half-flushed sector interleavings. Everything
+// after the first invalid byte is dropped: a WAL has no authority to
+// reorder history, so a record is durable only if every record before it
+// is too.
+
+var logMagic = [4]byte{'K', 'R', 'W', '1'}
+
+const (
+	recordHeaderSize = 8
+	// maxRecordBytes caps the payload size a length prefix may declare
+	// before any allocation happens: far above every real mutation batch
+	// (the serving layer caps batches long before this), far below what
+	// would let a corrupt 4-byte prefix demand gigabytes.
+	maxRecordBytes = 1 << 26
+	// maxVertexID mirrors the int32 vertex ids of the graph package; a
+	// decoded endpoint beyond it is corruption, not a big graph.
+	maxVertexID = math.MaxInt32 - 1
+)
+
+// ErrBadRecord reports a structurally invalid record: a corrupt length
+// prefix, CRC mismatch, or payload that does not decode. Readers treat it
+// as the end of the valid log prefix.
+var ErrBadRecord = errors.New("wal: bad record")
+
+// ErrTornTail reports a record the log ends inside of — the classic
+// crash-mid-append shape. Like ErrBadRecord it ends the valid prefix.
+var ErrTornTail = errors.New("wal: torn record at log tail")
+
+// ErrBadMagic reports a log file that does not start with the KRW1 magic;
+// the store refuses to touch it rather than truncate a foreign file.
+var ErrBadMagic = errors.New("wal: bad log magic")
+
+// Record is one durable mutation batch: the epoch reserved for it plus the
+// in-range edge operations exactly as the index was asked to apply them.
+type Record struct {
+	Epoch  uint64
+	Add    []graph.Edge
+	Remove []graph.Edge
+}
+
+// appendRecord appends the framed encoding of rec to buf.
+func appendRecord(buf []byte, rec Record) []byte {
+	payload := binary.AppendUvarint(nil, rec.Epoch)
+	payload = appendEdges(payload, rec.Add)
+	payload = appendEdges(payload, rec.Remove)
+	var hdr [recordHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+func appendEdges(buf []byte, edges []graph.Edge) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(edges)))
+	for _, e := range edges {
+		buf = binary.AppendUvarint(buf, uint64(e.Src))
+		buf = binary.AppendUvarint(buf, uint64(e.Dst))
+	}
+	return buf
+}
+
+// decodeRecord decodes one framed record from data. It returns the record
+// and the total bytes consumed. A short buffer is ErrTornTail; anything
+// structurally wrong is ErrBadRecord.
+func decodeRecord(data []byte) (Record, int, error) {
+	if len(data) < recordHeaderSize {
+		return Record{}, 0, ErrTornTail
+	}
+	size := binary.LittleEndian.Uint32(data[0:4])
+	if size > maxRecordBytes {
+		return Record{}, 0, fmt.Errorf("%w: implausible payload length %d", ErrBadRecord, size)
+	}
+	if len(data) < recordHeaderSize+int(size) {
+		return Record{}, 0, ErrTornTail
+	}
+	payload := data[recordHeaderSize : recordHeaderSize+int(size)]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[4:8]) {
+		return Record{}, 0, fmt.Errorf("%w: checksum mismatch", ErrBadRecord)
+	}
+	rec, err := decodePayload(payload)
+	if err != nil {
+		return Record{}, 0, err
+	}
+	return rec, recordHeaderSize + int(size), nil
+}
+
+func decodePayload(payload []byte) (Record, error) {
+	off := 0
+	readUvarint := func() (uint64, error) {
+		v, n := binary.Uvarint(payload[off:])
+		if n <= 0 {
+			return 0, fmt.Errorf("%w: truncated varint", ErrBadRecord)
+		}
+		off += n
+		return v, nil
+	}
+	readEdges := func() ([]graph.Edge, error) {
+		count, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		// Each edge consumes at least two payload bytes; a count beyond
+		// that is corrupt, checked before the slice is sized.
+		if count > uint64(len(payload)-off)/2 {
+			return nil, fmt.Errorf("%w: implausible edge count %d in %d payload bytes",
+				ErrBadRecord, count, len(payload))
+		}
+		edges := make([]graph.Edge, 0, count)
+		for i := uint64(0); i < count; i++ {
+			s, err := readUvarint()
+			if err != nil {
+				return nil, err
+			}
+			d, err := readUvarint()
+			if err != nil {
+				return nil, err
+			}
+			if s > maxVertexID || d > maxVertexID {
+				return nil, fmt.Errorf("%w: vertex id out of range", ErrBadRecord)
+			}
+			edges = append(edges, graph.Edge{Src: graph.Vertex(s), Dst: graph.Vertex(d)})
+		}
+		return edges, nil
+	}
+	var rec Record
+	var err error
+	if rec.Epoch, err = readUvarint(); err != nil {
+		return rec, err
+	}
+	if rec.Add, err = readEdges(); err != nil {
+		return rec, err
+	}
+	if rec.Remove, err = readEdges(); err != nil {
+		return rec, err
+	}
+	if off != len(payload) {
+		return rec, fmt.Errorf("%w: %d trailing payload bytes", ErrBadRecord, len(payload)-off)
+	}
+	return rec, nil
+}
+
+// DecodeLog decodes a full log image. It returns every record of the valid
+// prefix, the byte length of that prefix (magic included — the offset a
+// recovery truncates the file to), and the error that ended the scan: nil
+// for a clean end-of-log, ErrTornTail/ErrBadRecord for a tail to truncate,
+// ErrBadMagic for a file that is not a KRW1 log at all (zero-length logs
+// are valid and empty; a partially written magic is a torn tail of an
+// empty log).
+func DecodeLog(data []byte) ([]Record, int, error) {
+	if len(data) < len(logMagic) {
+		if len(data) == 0 {
+			return nil, 0, nil
+		}
+		if string(data) == string(logMagic[:len(data)]) {
+			return nil, 0, ErrTornTail
+		}
+		return nil, 0, ErrBadMagic
+	}
+	if [4]byte(data[:4]) != logMagic {
+		return nil, 0, ErrBadMagic
+	}
+	var recs []Record
+	off := len(logMagic)
+	for off < len(data) {
+		rec, n, err := decodeRecord(data[off:])
+		if err != nil {
+			return recs, off, err
+		}
+		off += n
+		recs = append(recs, rec)
+	}
+	return recs, off, nil
+}
+
+// AppendLog appends the framed encoding of recs — a full log image when
+// buf starts empty — to buf. Tests and the golden fixtures use it; the
+// store itself encodes record by record as batches arrive.
+func AppendLog(buf []byte, recs []Record) []byte {
+	buf = append(buf, logMagic[:]...)
+	for _, rec := range recs {
+		buf = appendRecord(buf, rec)
+	}
+	return buf
+}

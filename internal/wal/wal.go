@@ -1,0 +1,455 @@
+package wal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"kreach/internal/core"
+	"kreach/internal/dynamic"
+	"kreach/internal/graph"
+)
+
+// SyncPolicy controls when appended records are forced to stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs the log after every appended batch: a mutation is
+	// acknowledged only once it would survive a crash. The default.
+	SyncAlways SyncPolicy = iota
+	// SyncNever leaves flushing to the OS: crash durability is bounded by
+	// the kernel's writeback horizon, in exchange for mutation latency
+	// that never waits on the disk.
+	SyncNever
+)
+
+func (p SyncPolicy) String() string {
+	if p == SyncNever {
+		return "never"
+	}
+	return "always"
+}
+
+// File is the write surface the store needs from its log file. *os.File
+// satisfies it; waltest wraps it to inject write/sync/truncate faults.
+type File interface {
+	io.Writer
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+}
+
+// Options configures Open.
+type Options struct {
+	// Sync is the fsync policy for appended records (default SyncAlways).
+	Sync SyncPolicy
+	// OpenFile overrides how the log file is opened for appending; nil
+	// means os.OpenFile with O_APPEND. Fault-injection tests use it to
+	// wrap the file in a waltest failpoint.
+	OpenFile func(path string) (File, error)
+}
+
+func (o Options) openFile(path string) (File, error) {
+	if o.OpenFile != nil {
+		return o.OpenFile(path)
+	}
+	return os.OpenFile(path, os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
+}
+
+const (
+	logName      = "wal.log"
+	snapshotName = "snapshot.krs"
+)
+
+// ErrNotRecovered reports an Append or Checkpoint before Recover has
+// established what the durable state is.
+var ErrNotRecovered = errors.New("wal: store not recovered yet")
+
+// Store is the durability directory of one dynamic dataset: a write-ahead
+// log of mutation batches plus the latest compacted snapshot. It
+// implements dynamic.Journal, so attaching it to a dynamic.Index (Recover
+// does this) makes every mutation batch durable before it applies and
+// every compaction a checkpoint that truncates the log.
+//
+// Concurrency: the index serializes journal calls behind its own mutation
+// mutex; the store's lock exists so Stats and a concurrent writer never
+// race, not to order writers.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu        sync.Mutex
+	f         File
+	size      int64
+	ready     bool
+	broken    error // a failed append that could not be rolled back
+	snapEpoch uint64
+	lastEpoch uint64
+	enc       []byte // append encoding scratch
+
+	appended    atomic.Uint64
+	syncs       atomic.Uint64
+	replayed    atomic.Uint64
+	checkpoints atomic.Uint64
+	truncations atomic.Uint64
+}
+
+// Open prepares the durability directory (creating it if needed) and
+// returns a store. Nothing is read or written until Recover, which must
+// run before the store accepts appends.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	return &Store{dir: dir, opts: opts}, nil
+}
+
+// RecoveryStats reports what Recover found.
+type RecoveryStats struct {
+	// SnapshotEpoch is the epoch of the compacted snapshot the index was
+	// rebuilt from (0: no snapshot, the base graph was used).
+	SnapshotEpoch uint64
+	// Replayed counts the log records applied on top of the snapshot.
+	Replayed int
+	// TornTail reports that the log ended in an invalid or incomplete
+	// record — the crash-mid-append shape — which was truncated away.
+	TornTail bool
+	// Epoch is the recovered index's epoch: exactly the epoch of the last
+	// durable applied batch (or the snapshot's, or a fresh generation for
+	// a virgin store).
+	Epoch uint64
+}
+
+// Recover rebuilds the dataset's dynamic index from the durability
+// directory: the compacted snapshot if one exists (base otherwise), plus a
+// replay of every valid log record newer than the snapshot. A torn or
+// corrupt log tail is truncated at the last valid record. The returned
+// graph is the base the recovered overlay sits on (the snapshot's graph,
+// or base). The store is attached to the returned index as its journal, so
+// subsequent mutations append before they apply.
+//
+// The process generation counter is advanced past every recovered epoch
+// before the index is built, so post-recovery epochs stay monotonic and an
+// epoch-keyed cache can never serve a pre-crash answer for a newer state.
+func (s *Store) Recover(base *graph.Graph, dopts dynamic.Options) (*dynamic.Index, *graph.Graph, RecoveryStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var st RecoveryStats
+	if s.ready {
+		return nil, nil, st, errors.New("wal: store already recovered")
+	}
+
+	g := base
+	snapPath := filepath.Join(s.dir, snapshotName)
+	if data, err := os.ReadFile(snapPath); err == nil {
+		sg, epoch, derr := DecodeSnapshot(data)
+		if derr != nil {
+			return nil, nil, st, fmt.Errorf("wal: snapshot %s: %w", snapPath, derr)
+		}
+		if base != nil && sg.NumVertices() != base.NumVertices() {
+			return nil, nil, st, fmt.Errorf(
+				"wal: snapshot %s has %d vertices, base graph has %d — wrong durability directory?",
+				snapPath, sg.NumVertices(), base.NumVertices())
+		}
+		g, s.snapEpoch, st.SnapshotEpoch = sg, epoch, epoch
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, st, fmt.Errorf("wal: %w", err)
+	}
+	if g == nil {
+		return nil, nil, st, errors.New("wal: no snapshot and no base graph")
+	}
+
+	logPath := filepath.Join(s.dir, logName)
+	data, err := os.ReadFile(logPath)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, st, fmt.Errorf("wal: %w", err)
+	}
+	recs, valid, derr := DecodeLog(data)
+	if errors.Is(derr, ErrBadMagic) {
+		// Not a KRW1 log: refuse to truncate a foreign file.
+		return nil, nil, st, fmt.Errorf("wal: %s: %w", logPath, derr)
+	}
+
+	// Advance the generation counter past every persisted epoch before any
+	// index construction issues a fresh one.
+	maxEpoch := s.snapEpoch
+	for _, rec := range recs {
+		if rec.Epoch > maxEpoch {
+			maxEpoch = rec.Epoch
+		}
+	}
+	core.AdvanceGeneration(maxEpoch)
+
+	ix, err := dynamic.New(g, dopts)
+	if err != nil {
+		return nil, nil, st, err
+	}
+	// The newest durable epoch starts at the snapshot's; replayed records
+	// (always newer) advance it below.
+	s.lastEpoch = s.snapEpoch
+	adopted := false
+	for _, rec := range recs {
+		if rec.Epoch <= s.snapEpoch {
+			// Remnant from before the last checkpoint: a crash landed
+			// between the snapshot rename and the log truncation. The
+			// snapshot already contains these batches.
+			continue
+		}
+		res, err := ix.Replay(rec.Add, rec.Remove, rec.Epoch)
+		if err != nil {
+			return nil, nil, st, fmt.Errorf("wal: replaying record at epoch %d: %w", rec.Epoch, err)
+		}
+		st.Replayed++
+		s.replayed.Add(1)
+		s.lastEpoch = rec.Epoch
+		adopted = adopted || res.Applied()
+	}
+	if !adopted && s.snapEpoch > 0 {
+		// No replayed batch changed the edge set, so the pre-crash epoch
+		// was the snapshot's (issued for the compacted index).
+		ix.RestoreEpoch(s.snapEpoch)
+	}
+
+	if derr != nil {
+		st.TornTail = true
+		if err := os.Truncate(logPath, int64(valid)); err != nil {
+			return nil, nil, st, fmt.Errorf("wal: truncating torn tail: %w", err)
+		}
+		s.truncations.Add(1)
+	}
+	f, err := s.opts.openFile(logPath)
+	if err != nil {
+		return nil, nil, st, fmt.Errorf("wal: %w", err)
+	}
+	s.f, s.size = f, int64(valid)
+	if valid == 0 {
+		// Virgin (or fully torn) log: start it with the magic.
+		if _, err := f.Write(logMagic[:]); err != nil {
+			f.Close()
+			return nil, nil, st, fmt.Errorf("wal: writing log header: %w", err)
+		}
+		s.size = int64(len(logMagic))
+	}
+	s.ready = true
+	st.Epoch = ix.Epoch()
+	ix.SetJournal(s)
+	return ix, g, st, nil
+}
+
+// Append makes one mutation batch durable; it implements dynamic.Journal
+// and is called by Index.Mutate before anything applies. On a write or
+// sync failure the half-written record is truncated away so the log stays
+// a clean prefix of acknowledged batches; if even that repair fails the
+// store wedges and every later append fails fast (queries keep serving,
+// mutations are refused rather than silently non-durable).
+func (s *Store) Append(epoch uint64, add, remove []graph.Edge) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ready {
+		return ErrNotRecovered
+	}
+	if s.broken != nil {
+		return fmt.Errorf("wal: log wedged by unrepaired append failure: %w", s.broken)
+	}
+	s.enc = appendRecord(s.enc[:0], Record{Epoch: epoch, Add: add, Remove: remove})
+	n, err := s.f.Write(s.enc)
+	if err == nil && n != len(s.enc) {
+		err = io.ErrShortWrite
+	}
+	if err != nil {
+		s.rollback(err)
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	s.size += int64(n)
+	if s.opts.Sync == SyncAlways {
+		if err := s.f.Sync(); err != nil {
+			// The record's durability is unknown; roll it back so the
+			// acknowledged history stays a prefix of the durable one.
+			s.size -= int64(n)
+			s.rollback(err)
+			return fmt.Errorf("wal: fsync: %w", err)
+		}
+		s.syncs.Add(1)
+	}
+	s.appended.Add(1)
+	s.lastEpoch = epoch
+	return nil
+}
+
+// rollback truncates the log back to the last good record boundary after a
+// failed append; if the truncate itself fails, a torn record would sit
+// mid-file and hide every later append from recovery, so the store wedges.
+func (s *Store) rollback(cause error) {
+	if err := s.f.Truncate(s.size); err != nil {
+		s.broken = cause
+		return
+	}
+	s.truncations.Add(1)
+}
+
+// Checkpoint makes a compacted snapshot durable and truncates the log; it
+// implements dynamic.Journal and is called inside Index.Compact with the
+// materialized graph and the successor's epoch, while the index's mutation
+// mutex blocks concurrent appends. The snapshot is written to a temp file,
+// fsynced and renamed over the old one, so a crash at any byte leaves
+// either the old or the new snapshot — never a torn one; a crash after the
+// rename but before the log truncation is healed at recovery by the
+// epoch filter (records at or below the snapshot epoch are skipped).
+func (s *Store) Checkpoint(g *graph.Graph, epoch uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ready {
+		return ErrNotRecovered
+	}
+	tmp := filepath.Join(s.dir, snapshotName+".tmp")
+	if err := writeSnapshotFile(tmp, g, epoch); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapshotName)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	syncDir(s.dir)
+	s.snapEpoch = epoch
+	s.lastEpoch = epoch
+	// Every logged batch is now folded into the snapshot: drop the records,
+	// keep the magic.
+	if err := s.f.Truncate(int64(len(logMagic))); err != nil {
+		// The snapshot is durable, so recovery stays correct either way
+		// (the epoch filter skips the stale records); report the failure so
+		// the compaction surfaces it.
+		return fmt.Errorf("wal: truncating log after checkpoint: %w", err)
+	}
+	s.size = int64(len(logMagic))
+	s.checkpoints.Add(1)
+	return nil
+}
+
+// Close releases the log file handle. The store must not be used after.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ready = false
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}
+
+// StoreStats is a point-in-time snapshot of the store's counters.
+type StoreStats struct {
+	Dir             string
+	Sync            SyncPolicy
+	RecordsAppended uint64 // batches made durable since Open
+	Syncs           uint64 // fsyncs issued for appends
+	RecordsReplayed uint64 // records replayed by Recover
+	Checkpoints     uint64 // snapshots written since Open
+	Truncations     uint64 // torn-tail and failed-append truncations
+	SnapshotEpoch   uint64 // epoch of the current snapshot (0: none)
+	LastEpoch       uint64 // highest epoch made durable
+	LogBytes        int64  // current log size, magic included
+}
+
+// Stats returns the store's counters.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StoreStats{
+		Dir:             s.dir,
+		Sync:            s.opts.Sync,
+		RecordsAppended: s.appended.Load(),
+		Syncs:           s.syncs.Load(),
+		RecordsReplayed: s.replayed.Load(),
+		Checkpoints:     s.checkpoints.Load(),
+		Truncations:     s.truncations.Load(),
+		SnapshotEpoch:   s.snapEpoch,
+		LastEpoch:       s.lastEpoch,
+		LogBytes:        s.size,
+	}
+}
+
+// Snapshot format: "KRS1" | uint64 LE epoch | uint32 LE crc32 of the epoch
+// bytes | a complete KRG1 stream (graph.WriteBinary, self-checking). The
+// graph serialization — and its fuzz-hardened reader — is reused wholesale;
+// the header only pins which epoch the compacted image corresponds to.
+
+var snapMagic = [4]byte{'K', 'R', 'S', '1'}
+
+const snapHeaderSize = 16
+
+// ErrBadSnapshot reports a corrupt or foreign snapshot file.
+var ErrBadSnapshot = errors.New("wal: bad snapshot")
+
+// AppendSnapshot appends the snapshot encoding of g at epoch to buf.
+func AppendSnapshot(buf []byte, g *graph.Graph, epoch uint64) []byte {
+	var hdr [snapHeaderSize]byte
+	copy(hdr[:4], snapMagic[:])
+	binary.LittleEndian.PutUint64(hdr[4:12], epoch)
+	binary.LittleEndian.PutUint32(hdr[12:16], crc32.ChecksumIEEE(hdr[4:12]))
+	buf = append(buf, hdr[:]...)
+	var payload bytes.Buffer
+	graph.WriteBinary(&payload, g) //nolint:errcheck // bytes.Buffer cannot fail
+	return append(buf, payload.Bytes()...)
+}
+
+// DecodeSnapshot decodes a snapshot image into its graph and epoch.
+func DecodeSnapshot(data []byte) (*graph.Graph, uint64, error) {
+	if len(data) < snapHeaderSize {
+		return nil, 0, fmt.Errorf("%w: truncated header", ErrBadSnapshot)
+	}
+	if [4]byte(data[:4]) != snapMagic {
+		return nil, 0, fmt.Errorf("%w: bad magic", ErrBadSnapshot)
+	}
+	if crc32.ChecksumIEEE(data[4:12]) != binary.LittleEndian.Uint32(data[12:16]) {
+		return nil, 0, fmt.Errorf("%w: header checksum mismatch", ErrBadSnapshot)
+	}
+	epoch := binary.LittleEndian.Uint64(data[4:12])
+	g, err := graph.ReadBinary(bytes.NewReader(data[snapHeaderSize:]))
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	return g, epoch, nil
+}
+
+func writeSnapshotFile(path string, g *graph.Graph, epoch uint64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if _, err := w.Write(AppendSnapshot(nil, g, epoch)); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so a just-renamed file's directory entry is
+// durable. Best-effort: not every platform or filesystem supports it.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync() //nolint:errcheck // advisory
+	d.Close()
+}

@@ -1,0 +1,65 @@
+// Package waltest provides fault-injection primitives for exercising the
+// wal package's crash paths: a wrapper around wal.File that dies after a
+// byte budget, refuses syncs, or refuses truncates, so tests can drive the
+// store into every failure branch — torn appends, unsyncable logs, wedged
+// repairs — without a real disk fault.
+package waltest
+
+import (
+	"errors"
+
+	"kreach/internal/wal"
+)
+
+// ErrInjected is the error every injected fault returns; tests assert on
+// it (via errors.Is through the store's wrapping) to distinguish injected
+// faults from real ones.
+var ErrInjected = errors.New("waltest: injected fault")
+
+// FailFile wraps a wal.File and injects faults. The zero budget semantics
+// model a crash: a Write that would exceed Remaining persists only the
+// prefix that fits — exactly what a process killed mid-write leaves on
+// disk — and returns ErrInjected.
+type FailFile struct {
+	Inner wal.File
+	// Remaining is the write budget in bytes. Writes drain it; a write
+	// that would overdraw it persists only the affordable prefix and
+	// fails. Set it to a huge value for files that only fail elsewhere.
+	Remaining int
+	// FailSync makes Sync fail without flushing.
+	FailSync bool
+	// FailTruncate makes Truncate fail, which wedges the store's
+	// failed-append repair path.
+	FailTruncate bool
+}
+
+// Write persists as much of p as the budget affords, then fails.
+func (f *FailFile) Write(p []byte) (int, error) {
+	if len(p) <= f.Remaining {
+		n, err := f.Inner.Write(p)
+		f.Remaining -= n
+		return n, err
+	}
+	n, err := f.Inner.Write(p[:f.Remaining])
+	f.Remaining -= n
+	if err != nil {
+		return n, err
+	}
+	return n, ErrInjected
+}
+
+func (f *FailFile) Sync() error {
+	if f.FailSync {
+		return ErrInjected
+	}
+	return f.Inner.Sync()
+}
+
+func (f *FailFile) Truncate(size int64) error {
+	if f.FailTruncate {
+		return ErrInjected
+	}
+	return f.Inner.Truncate(size)
+}
+
+func (f *FailFile) Close() error { return f.Inner.Close() }
