@@ -16,7 +16,7 @@ BENCH_JSON_DATASETS ?= AgroCyc,CiteSeer,Xmark
 # fuzz-smoke budget per target; CI runs the same thing on every push.
 FUZZTIME ?= 30s
 
-.PHONY: all build test race lint bench-tables bench-cache bench-smoke bench-json fuzz-smoke
+.PHONY: all build test race lint bench-tables bench-cache bench-smoke bench-json fuzz-smoke obs-smoke
 
 all: build test
 
@@ -64,9 +64,16 @@ bench-cache:
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/bench ./internal/bitvec
 
+# obs-smoke is the observability e2e gate: build the real kreachd, boot it
+# on an ephemeral port, scrape GET /metrics and assert the exposition
+# parses and carries every family in server.MetricCatalog (the contract
+# docs/OBSERVABILITY.md documents), plus a live slow-query trace.
+obs-smoke:
+	$(GO) test ./cmd/kreachd -run TestObsSmoke -v
+
 # bench-json writes the machine-readable benchmark trajectory
-# (reach/batch/cached/mutate/mutate-durable/neighbors); CI uploads it as
-# an artifact so every commit carries its own performance snapshot.
+# (reach/batch/cached/mutate/mutate-durable/neighbors/latency); CI uploads
+# it as an artifact so every commit carries its own performance snapshot.
 bench-json:
 	$(GO) run ./cmd/kbench -json BENCH_kreach.json \
 		-scale $(BENCH_SCALE) -queries $(BENCH_QUERIES) -datasets $(BENCH_JSON_DATASETS)

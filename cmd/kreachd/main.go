@@ -34,6 +34,14 @@
 // -pprof ADDR serves net/http/pprof on a separate address (keep it on
 // loopback); the query listener never exposes profiling endpoints.
 //
+// Observability: the daemon logs structured lines (logfmt-style text by
+// default, -log-format json for machines) at -log-level, including one
+// access-log line per request. GET /metrics serves a Prometheus text
+// exposition, GET /healthz answers liveness, GET /readyz readiness (200
+// only once every dataset — WAL recovery included — is published), and
+// queries slower than -slow-query-threshold are traced at
+// GET /v1/debug/slow. See docs/OBSERVABILITY.md for the metric catalog.
+//
 // With -mutable every dataset is served as a dynamic k-reach index that
 // accepts online edge mutations: POST /v1/datasets/{name}/edges applies a
 // batched add/remove, POST /v1/datasets/{name}/compact merges the overlay
@@ -57,6 +65,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -72,6 +81,10 @@ import (
 	"kreach/internal/server"
 )
 
+// logger is the process-wide structured logger, configured from -log-level
+// and -log-format before anything that logs runs.
+var logger = slog.Default()
+
 func main() {
 	var (
 		listen      = flag.String("listen", ":7325", "address to serve HTTP on")
@@ -83,6 +96,9 @@ func main() {
 		walDir      = flag.String("wal-dir", "", "durability root for -mutable datasets: write-ahead log + snapshots under DIR/<name>/, with crash recovery on startup; empty = in-memory")
 		fsync       = flag.String("fsync", "always", "WAL fsync policy: 'always' (acknowledged mutations survive crashes) or 'never' (OS writeback)")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
+		logLevel    = flag.String("log-level", "info", "log verbosity: debug, info, warn or error (per-request access logs are info)")
+		logFormat   = flag.String("log-format", "text", "log encoding: 'text' (logfmt-style) or 'json'")
+		slowQuery   = flag.Duration("slow-query-threshold", server.DefaultSlowQueryThreshold, "trace queries slower than this at GET /v1/debug/slow (negative disables)")
 		specs       []string
 	)
 	flag.Func("dataset", "dataset spec 'name,graph=PATH[,index=PATH][,k=K][,h=H][,rungs=A+B+C][,cover=S][,seed=N]' (repeatable)", func(s string) error {
@@ -90,6 +106,9 @@ func main() {
 		return nil
 	})
 	flag.Parse()
+	if err := setupLogger(*logLevel, *logFormat); err != nil {
+		fatal(err)
+	}
 	if len(specs) == 0 {
 		fmt.Fprintln(os.Stderr, "kreachd: at least one -dataset is required")
 		flag.Usage()
@@ -126,14 +145,17 @@ func main() {
 		logDataset(d)
 	}
 
+	app := server.New(reg, server.Config{
+		Parallelism:        *parallelism,
+		MaxBatch:           *maxBatch,
+		CacheEntries:       *cacheSize,
+		CacheShards:        *cacheShards,
+		Logger:             logger,
+		SlowQueryThreshold: *slowQuery,
+	})
 	srv := &http.Server{
-		Addr: *listen,
-		Handler: server.New(reg, server.Config{
-			Parallelism:  *parallelism,
-			MaxBatch:     *maxBatch,
-			CacheEntries: *cacheSize,
-			CacheShards:  *cacheShards,
-		}),
+		Addr:              *listen,
+		Handler:           app,
 		ReadHeaderTimeout: 10 * time.Second,
 		// ReadTimeout bounds the whole request read so a client trickling a
 		// large /v1/batch body cannot pin a goroutine indefinitely.
@@ -155,9 +177,9 @@ func main() {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		go func() {
-			fmt.Fprintf(os.Stderr, "kreachd: pprof on %s\n", *pprofAddr)
+			logger.Info("pprof listening", "addr", *pprofAddr)
 			if err := http.ListenAndServe(*pprofAddr, mux); err != nil {
-				fmt.Fprintln(os.Stderr, "kreachd: pprof:", err)
+				logger.Error("pprof server failed", "error", err)
 			}
 		}()
 	}
@@ -169,16 +191,19 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// Every dataset — WAL recovery included — is loaded and published, so
+	// the process is ready the moment it starts accepting connections.
+	app.MarkReady()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
-	fmt.Fprintf(os.Stderr, "kreachd: serving %d dataset(s) on %s\n", len(reg.Names()), ln.Addr())
+	logger.Info("serving", "addr", ln.Addr().String(), "datasets", len(reg.Names()))
 
 	select {
 	case err := <-errc:
 		fatal(err)
 	case <-ctx.Done():
 	}
-	fmt.Fprintln(os.Stderr, "kreachd: shutting down")
+	logger.Info("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
@@ -188,9 +213,40 @@ func main() {
 	// file handles.
 	for _, w := range wals {
 		if err := w.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "kreachd: closing wal:", err)
+			logger.Error("closing wal", "error", err)
 		}
 	}
+}
+
+// setupLogger builds the process logger from the -log-level/-log-format
+// flags and installs it as both the package logger and slog's default.
+func setupLogger(level, format string) error {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return fmt.Errorf("-log-level must be debug, info, warn or error, got %q", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	switch format {
+	case "text":
+		h = slog.NewTextHandler(os.Stderr, opts)
+	case "json":
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	default:
+		return fmt.Errorf("-log-format must be 'text' or 'json', got %q", format)
+	}
+	logger = slog.New(h)
+	slog.SetDefault(logger)
+	return nil
 }
 
 // datasetSpec is one parsed -dataset flag.
@@ -303,6 +359,7 @@ func loadDataset(raw string, mutable bool, walDir string, sync kreach.SyncPolicy
 			// the source of truth, the spec's graph only seeds a virgin one.
 			// No Loader: a reload would re-open the log the live store holds
 			// and silently fork history; restart the daemon instead.
+			recoverStart := time.Now()
 			dyn, base, w, err := kreach.OpenDurableDynamicIndex(g, opts, kreach.DurableOptions{
 				Dir:  filepath.Join(walDir, sp.name),
 				Sync: sync,
@@ -311,9 +368,13 @@ func loadDataset(raw string, mutable bool, walDir string, sync kreach.SyncPolicy
 				return nil, fmt.Errorf("dataset %q: %w", sp.name, err)
 			}
 			wst := w.Stats()
-			fmt.Fprintf(os.Stderr,
-				"kreachd: %q recovered epoch=%d (snapshot_epoch=%d, replayed=%d) from %s\n",
-				sp.name, dyn.Epoch(), wst.SnapshotEpoch, wst.RecordsReplayed, wst.Dir)
+			logger.Info("dataset recovered",
+				"name", sp.name,
+				"epoch", dyn.Epoch(),
+				"snapshot_epoch", wst.SnapshotEpoch,
+				"replayed", wst.RecordsReplayed,
+				"dir", wst.Dir,
+				"duration", time.Since(recoverStart))
 			return &server.Dataset{Name: sp.name, Graph: base, Reacher: dyn, WAL: w}, nil
 		}
 		dyn, err := kreach.NewDynamicIndex(g, opts)
@@ -378,14 +439,18 @@ func loadGraph(path string) (*kreach.Graph, error) {
 }
 
 func logDataset(d *server.Dataset) {
-	fmt.Fprintf(os.Stderr, "kreachd: loaded %q kind=%s |V|=%d |E|=%d\n",
-		d.Name, d.Kind(), d.Graph.NumVertices(), d.Graph.NumEdges())
+	logger.Info("dataset loaded",
+		"name", d.Name,
+		"kind", string(d.Kind()),
+		"epoch", d.Epoch(),
+		"vertices", d.Graph.NumVertices(),
+		"edges", d.Graph.NumEdges())
 }
 
 func fatal(err error) {
 	if errors.Is(err, http.ErrServerClosed) {
 		return
 	}
-	fmt.Fprintln(os.Stderr, "kreachd:", err)
+	logger.Error("exiting", "error", err)
 	os.Exit(1)
 }

@@ -1,0 +1,118 @@
+package main
+
+// The observability smoke e2e (`make obs-smoke`): the real binary, a real
+// scrape. It boots kreachd on an ephemeral port, waits for /readyz, fetches
+// /metrics and asserts the exposition parses and carries every family in
+// server.MetricCatalog — the contract docs/OBSERVABILITY.md documents and
+// dashboards are built on. A missing family here means a collector stopped
+// emitting when idle, which a unit test over the registry alone can't catch.
+
+import (
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"kreach/internal/server"
+)
+
+func TestObsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary")
+	}
+	bin := buildKreachd(t)
+	dir := t.TempDir()
+	graphPath := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(graphPath, []byte("0 1\n1 2\n2 3\n3 4\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, base := startKreachd(t, bin,
+		"-log-format", "text",
+		"-slow-query-threshold", "1ns",
+		"-dataset", "smoke,graph="+graphPath+",k=3")
+
+	// The daemon marks itself ready before it starts accepting connections,
+	// so the first successful /readyz must already be 200.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("/readyz = %d, want 200", resp.StatusCode)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/readyz never answered: %v", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// One query so the request histogram and the slow ring have traffic.
+	postJSON(t, base+"/v1/reach", map[string]any{"s": 0, "t": 4})
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Parse the exposition: collect TYPE headers, validate sample values.
+	families := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimRight(string(raw), "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# TYPE "):
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			families[f[2]] = true
+		case strings.HasPrefix(line, "# HELP "):
+		case strings.HasPrefix(line, "#") || line == "":
+			t.Fatalf("unexpected line %q", line)
+		default:
+			i := strings.LastIndexByte(line, ' ')
+			if i <= 0 {
+				t.Fatalf("malformed sample %q", line)
+			}
+			if _, err := strconv.ParseFloat(line[i+1:], 64); err != nil {
+				t.Fatalf("unparseable value in %q: %v", line, err)
+			}
+		}
+	}
+	for _, name := range server.MetricCatalog() {
+		if !families[name] {
+			t.Errorf("catalogued family %q missing from live scrape", name)
+		}
+	}
+
+	// The 1ns threshold makes the query slow; the trace surface must be
+	// live too.
+	sresp, err := http.Get(base + "/v1/debug/slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	sbody, _ := io.ReadAll(sresp.Body)
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/debug/slow = %d: %s", sresp.StatusCode, sbody)
+	}
+	if !strings.Contains(string(sbody), `"endpoint":"reach"`) {
+		t.Fatalf("slow ring has no reach trace: %s", sbody)
+	}
+}

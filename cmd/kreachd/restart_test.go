@@ -34,7 +34,7 @@ func buildKreachd(t *testing.T) string {
 }
 
 // startKreachd launches the daemon on an ephemeral port and blocks until
-// its "serving ... on ADDR" stderr line reveals the bound address.
+// its structured msg=serving stderr line reveals the bound address.
 func startKreachd(t *testing.T, bin string, args ...string) (*exec.Cmd, string) {
 	t.Helper()
 	cmd := exec.Command(bin, append([]string{"-listen", "127.0.0.1:0"}, args...)...)
@@ -56,9 +56,9 @@ func startKreachd(t *testing.T, bin string, args ...string) (*exec.Cmd, string) 
 		for sc.Scan() {
 			line := sc.Text()
 			t.Logf("kreachd: %s", line)
-			if i := strings.LastIndex(line, " on "); i >= 0 && strings.Contains(line, "serving") {
+			if addr := servingAddr(line); addr != "" {
 				select {
-				case addrCh <- line[i+len(" on "):]:
+				case addrCh <- addr:
 				default:
 				}
 			}
@@ -73,6 +73,20 @@ func startKreachd(t *testing.T, bin string, args ...string) (*exec.Cmd, string) 
 		t.Fatal("kreachd never reported its listen address")
 		return nil, ""
 	}
+}
+
+// servingAddr extracts the bound address from the daemon's logfmt-style
+// "serving" line (msg=serving addr=HOST:PORT ...), "" for any other line.
+func servingAddr(line string) string {
+	if !strings.Contains(line, "msg=serving") {
+		return ""
+	}
+	for _, field := range strings.Fields(line) {
+		if addr, ok := strings.CutPrefix(field, "addr="); ok {
+			return strings.Trim(addr, `"`)
+		}
+	}
+	return ""
 }
 
 func postJSON(t *testing.T, url string, body any) map[string]json.RawMessage {

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"kreach/internal/core"
+	"kreach/internal/cover"
+	"kreach/internal/dynamic"
+	"kreach/internal/graph"
+	"kreach/internal/obs"
+	"kreach/internal/workload"
+)
+
+// The latency table: where the throughput tables answer "how many per
+// second", this one answers "how long does one take" — per-operation
+// latency distributions (p50/p90/p99/max) for the three serving query
+// families, recorded through the same log-linear histogram
+// (internal/obs.Histogram) the server's /metrics exposition uses, so the
+// percentiles kbench prints and the percentiles Prometheus computes from a
+// live kreachd come from one bucketing scheme. Each operation is timed
+// individually; at sub-microsecond reach latencies the ~20ns timer call is
+// part of the measurement, which is the same floor a serving layer pays.
+
+// LatencyRow is one query family's latency distribution on one dataset.
+// Quantiles are upper bucket bounds (conservative) in microseconds.
+type LatencyRow struct {
+	Dataset string  `json:"dataset"`
+	Family  string  `json:"family"`
+	K       int     `json:"k"`
+	Count   uint64  `json:"count"`
+	P50Us   float64 `json:"p50_us"`
+	P90Us   float64 `json:"p90_us"`
+	P99Us   float64 `json:"p99_us"`
+	MaxUs   float64 `json:"max_us"`
+}
+
+func latencyRow(name, family string, k int, h *obs.Histogram) LatencyRow {
+	snap := h.Snapshot()
+	us := func(ns int64) float64 { return float64(ns) / 1e3 }
+	return LatencyRow{
+		Dataset: name, Family: family, K: k,
+		Count: snap.Count,
+		P50Us: us(snap.Quantile(0.50)),
+		P90Us: us(snap.Quantile(0.90)),
+		P99Us: us(snap.Quantile(0.99)),
+		MaxUs: us(snap.Max()),
+	}
+}
+
+// latencyRows measures the per-operation distributions for one dataset:
+// reach (single pairwise query, k=µ index), neighbors (one ball
+// enumeration) and mutate (one single-edge mutation batch on the dynamic
+// index).
+func (r *Runner) latencyRows(ctx context.Context, name string, d *dataset) ([]LatencyRow, error) {
+	mu := max(d.st.MedianPath, 2)
+	rows := make([]LatencyRow, 0, 3)
+
+	// reach: every workload query timed individually.
+	ix, err := core.Build(d.g, core.Options{K: mu, Strategy: cover.DegreePrioritized, Seed: r.cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	scratch := core.NewQueryScratch()
+	reachH := obs.NewHistogram()
+	for i := 0; i < d.q.Len(); i++ {
+		t0 := time.Now()
+		ix.Reach(d.q.S[i], d.q.T[i], scratch)
+		reachH.Observe(time.Since(t0))
+	}
+	rows = append(rows, latencyRow(name, "reach", mu, reachH))
+
+	// neighbors: one ball enumeration per observation.
+	balls := max(r.cfg.Queries/100, 100)
+	stream := workload.NewNeighborStream(d.g, r.cfg.Seed+31, []int{mu}, 0.5)
+	sc := core.NewEnumScratch()
+	enumH := obs.NewHistogram()
+	for i := 0; i < balls; i++ {
+		q := stream.Next()
+		t0 := time.Now()
+		if _, _, err := ix.Enumerate(ctx, q.Src, core.EnumOptions{Direction: q.Dir}, sc); err != nil {
+			return nil, err
+		}
+		enumH.Observe(time.Since(t0))
+	}
+	rows = append(rows, latencyRow(name, "neighbors", mu, enumH))
+
+	// mutate: one single-edge mutation batch per observation, on a fresh
+	// dynamic index (ratio compaction off, as in the mutate tables).
+	dyn, err := dynamic.New(d.g, dynamic.Options{
+		K: mu, Strategy: cover.DegreePrioritized, Seed: r.cfg.Seed, CompactRatio: 1e18,
+	})
+	if err != nil {
+		return nil, err
+	}
+	mstream := workload.NewMutationStream(d.g, r.cfg.Seed+37, workload.DefaultMutationMix)
+	mutations := max(r.cfg.Queries/100, 100)
+	mutH := obs.NewHistogram()
+	for done := 0; done < mutations; {
+		op := mstream.Next()
+		if op.Kind == workload.OpQuery {
+			continue
+		}
+		var add, rm []graph.Edge
+		if op.Kind == workload.OpAdd {
+			add = []graph.Edge{{Src: op.U, Dst: op.V}}
+		} else {
+			rm = []graph.Edge{{Src: op.U, Dst: op.V}}
+		}
+		t0 := time.Now()
+		if _, err := dyn.Mutate(add, rm); err != nil {
+			return nil, err
+		}
+		mutH.Observe(time.Since(t0))
+		done++
+	}
+	rows = append(rows, latencyRow(name, "mutate", mu, mutH))
+	return rows, nil
+}
+
+// TableLatency prints the per-operation latency distributions. Not a paper
+// table: the paper reports totals over a million queries; a serving layer
+// is judged on tails.
+func (r *Runner) TableLatency() error {
+	fmt.Fprintf(r.cfg.Out, "Latency: per-operation distributions (µs, upper bucket bounds)\n")
+	w := r.tab()
+	fmt.Fprintln(w, "\tfamily\tk\tcount\tp50\tp90\tp99\tmax\t")
+	for _, name := range r.cfg.Datasets {
+		d, err := r.dataset(name)
+		if err != nil {
+			return err
+		}
+		rows, err := r.latencyRows(context.Background(), name, d)
+		if err != nil {
+			return err
+		}
+		for _, row := range rows {
+			fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%.2f\t%.2f\t%.2f\t%.2f\t\n",
+				row.Dataset, row.Family, row.K, row.Count,
+				row.P50Us, row.P90Us, row.P99Us, row.MaxUs)
+		}
+	}
+	return w.Flush()
+}

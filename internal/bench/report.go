@@ -29,7 +29,8 @@ import (
 // that were actually available) and NeighborRow.EnumSpeedup; schema 3
 // added MutateDurable, the same mutation stream journaled through a
 // fsync-per-batch WAL, so the price of durability is part of the
-// trajectory.
+// trajectory; schema 4 added Latency, per-operation p50/p90/p99/max for
+// the serving query families via the internal/obs histogram.
 type Report struct {
 	Schema        int                `json:"schema"`
 	Queries       int                `json:"queries"`
@@ -42,6 +43,7 @@ type Report struct {
 	Mutate        []MutateRow        `json:"mutate"`
 	MutateDurable []MutateDurableRow `json:"mutate_durable"`
 	Neighbors     []NeighborRow      `json:"neighbors"`
+	Latency       []LatencyRow       `json:"latency"`
 }
 
 // ReachRow is sequential single-query throughput on the k=µ index.
@@ -142,7 +144,7 @@ func batchSweep() []int {
 // RunJSON measures every section and writes the indented Report to w.
 func (r *Runner) RunJSON(w io.Writer) error {
 	rep := Report{
-		Schema:     3,
+		Schema:     4,
 		Queries:    r.cfg.Queries,
 		Scale:      r.cfg.Scale,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -227,6 +229,13 @@ func (r *Runner) RunJSON(w io.Writer) error {
 			return err
 		}
 		rep.Neighbors = append(rep.Neighbors, nrow)
+
+		// latency: per-operation p50/p90/p99/max per query family.
+		lrows, err := r.latencyRows(ctx, name, d)
+		if err != nil {
+			return err
+		}
+		rep.Latency = append(rep.Latency, lrows...)
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -144,7 +144,12 @@ var ErrProbePanicked = errors.New("cache: probe panicked")
 // every collapsed caller and are not cached. A panicking probe propagates
 // from the leader's Do, hands ErrProbePanicked to the collapsed callers,
 // and leaves the key usable (the next Do probes again).
-func (c *Cache[K, V]) Do(key K, probe func() (V, error)) (V, error) {
+//
+// The hit flag reports whether the value arrived without running this
+// caller's probe: true for a resident entry AND for a successful collapsed
+// wait (the caller's own probe was skipped either way — what a per-request
+// cache-hit outcome wants to know).
+func (c *Cache[K, V]) Do(key K, probe func() (V, error)) (V, bool, error) {
 	s := c.shardFor(key)
 	s.mu.Lock()
 	if e, ok := s.entries[key]; ok {
@@ -152,13 +157,13 @@ func (c *Cache[K, V]) Do(key K, probe func() (V, error)) (V, error) {
 		s.moveToFront(e)
 		val := e.val
 		s.mu.Unlock()
-		return val, nil
+		return val, true, nil
 	}
 	if cl, ok := s.inflight[key]; ok {
 		s.collapsed++
 		s.mu.Unlock()
 		<-cl.done
-		return cl.val, cl.err
+		return cl.val, cl.err == nil, cl.err
 	}
 	cl := &call[V]{done: make(chan struct{})}
 	s.inflight[key] = cl
@@ -182,7 +187,7 @@ func (c *Cache[K, V]) Do(key K, probe func() (V, error)) (V, error) {
 	}()
 	cl.val, cl.err = probe()
 	finished = true
-	return cl.val, cl.err
+	return cl.val, false, cl.err
 }
 
 // Len returns the number of resident entries.

@@ -70,9 +70,12 @@ func TestDoCachesAndCounts(t *testing.T) {
 	probes := 0
 	probe := func() (int, error) { probes++; return 42, nil }
 	for i := 0; i < 5; i++ {
-		v, err := c.Do(7, probe)
+		v, hit, err := c.Do(7, probe)
 		if err != nil || v != 42 {
 			t.Fatalf("Do = %d, %v", v, err)
+		}
+		if want := i > 0; hit != want {
+			t.Fatalf("iteration %d: hit = %v, want %v", i, hit, want)
 		}
 	}
 	if probes != 1 {
@@ -87,13 +90,13 @@ func TestDoCachesAndCounts(t *testing.T) {
 func TestDoErrorNotCached(t *testing.T) {
 	c := New[int, int](Config{Capacity: 8, Shards: 1})
 	boom := errors.New("boom")
-	if _, err := c.Do(1, func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
-		t.Fatalf("err = %v, want boom", err)
+	if _, hit, err := c.Do(1, func() (int, error) { return 0, boom }); !errors.Is(err, boom) || hit {
+		t.Fatalf("err = %v (hit=%v), want boom without hit", err, hit)
 	}
 	if _, ok := c.Get(1); ok {
 		t.Fatal("error result must not be cached")
 	}
-	v, err := c.Do(1, func() (int, error) { return 9, nil })
+	v, _, err := c.Do(1, func() (int, error) { return 9, nil })
 	if err != nil || v != 9 {
 		t.Fatalf("retry Do = %d, %v", v, err)
 	}
@@ -114,13 +117,17 @@ func TestSingleflightCollapse(t *testing.T) {
 		return 99, nil
 	}
 	var wg sync.WaitGroup
+	var hitCount atomic.Int32
 	for i := 0; i < n; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			v, err := c.Do("hot", probe)
+			v, hit, err := c.Do("hot", probe)
 			if err != nil || v != 99 {
 				t.Errorf("Do = %d, %v", v, err)
+			}
+			if hit {
+				hitCount.Add(1)
 			}
 		}()
 	}
@@ -137,6 +144,11 @@ func TestSingleflightCollapse(t *testing.T) {
 	wg.Wait()
 	if got := probes.Load(); got != 1 {
 		t.Fatalf("probes = %d, want 1", got)
+	}
+	// The leader ran its probe (not a hit); every collapsed caller shared
+	// the successful result without probing (a hit).
+	if got := hitCount.Load(); got != n-1 {
+		t.Fatalf("hit count = %d, want %d", got, n-1)
 	}
 	st := c.Stats()
 	if st.Misses != 1 || st.Collapsed != n-1 {
@@ -165,7 +177,7 @@ func TestDoPanicDoesNotWedgeKey(t *testing.T) {
 
 	waiterErr := make(chan error, 1)
 	go func() {
-		_, err := c.Do("k", func() (int, error) { return 0, nil })
+		_, _, err := c.Do("k", func() (int, error) { return 0, nil })
 		waiterErr <- err
 	}()
 	// Wait until the second Do is registered as collapsed, then unleash the
@@ -186,7 +198,7 @@ func TestDoPanicDoesNotWedgeKey(t *testing.T) {
 		t.Fatalf("waiter err = %v, want ErrProbePanicked", err)
 	}
 	// The key must not be wedged: a fresh Do probes again and succeeds.
-	v, err := c.Do("k", func() (int, error) { return 7, nil })
+	v, _, err := c.Do("k", func() (int, error) { return 7, nil })
 	if err != nil || v != 7 {
 		t.Fatalf("post-panic Do = %d, %v", v, err)
 	}
@@ -211,7 +223,7 @@ func TestConcurrentMixed(t *testing.T) {
 						t.Errorf("Get(%d) = %d", k, v)
 					}
 				default:
-					if v, err := c.Do(k, func() (int, error) { return k, nil }); err != nil || v != k {
+					if v, _, err := c.Do(k, func() (int, error) { return k, nil }); err != nil || v != k {
 						t.Errorf("Do(%d) = %d, %v", k, v, err)
 					}
 				}

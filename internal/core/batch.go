@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"kreach/internal/graph"
 )
@@ -101,8 +102,14 @@ func unpackRegion(b uint64) (lo, hi uint32) { return uint32(b), uint32(b >> 32) 
 func BatchEval[S any](ctx context.Context, n, parallelism int, newScratch func() S, evalRange func(lo, hi int, sc S)) error {
 	workers := batchWorkers(parallelism, n)
 	done := ctx.Done()
+	// Executor metrics are per-run and per-worker, never per-pair: a few
+	// atomics here are invisible against even a single-chunk batch.
+	batchRuns.Add(1)
+	batchPairs.Add(uint64(n))
 	if done == nil && workers == 1 {
+		start := time.Now()
 		evalRange(0, n, newScratch())
+		batchWorkerBusyNs[0].Add(time.Since(start).Nanoseconds())
 		return nil
 	}
 	// evalCtx evaluates [lo, hi) with cancellation polls every cancelStride
@@ -122,7 +129,9 @@ func BatchEval[S any](ctx context.Context, n, parallelism int, newScratch func()
 		return true
 	}
 	if workers == 1 {
+		start := time.Now()
 		evalCtx(0, n, newScratch())
+		batchWorkerBusyNs[0].Add(time.Since(start).Nanoseconds())
 		return ctx.Err()
 	}
 
@@ -152,6 +161,10 @@ func BatchEval[S any](ctx context.Context, n, parallelism int, newScratch func()
 		wg.Add(1)
 		go func(self int) {
 			defer wg.Done()
+			start := time.Now()
+			defer func() {
+				batchWorkerBusyNs[self%batchWorkerSlots].Add(time.Since(start).Nanoseconds())
+			}()
 			sc := newScratch()
 			own := &regions[self]
 			for {
@@ -202,6 +215,7 @@ func BatchEval[S any](ctx context.Context, n, parallelism int, newScratch func()
 						// a worker scanning now may exit early, but the
 						// chunks stay owned by us and wg.Wait covers them.
 						own.bounds.Store(packRegion(hi-take, hi))
+						batchSteals.Add(1)
 						stole = true
 					}
 				}

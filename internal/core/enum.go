@@ -144,9 +144,10 @@ func (b *BallScratch) tryMark(v graph.Vertex) bool {
 // the package pool with GetEnumScratch. Buffers grow lazily to the graph
 // size on first use.
 type EnumScratch struct {
-	ball BallScratch
-	out  []Neighbor
-	rim  []graph.Vertex // cover-path staging: distance-(k-1) sweep sources, as cover ids
+	ball  BallScratch
+	out   []Neighbor
+	rim   []graph.Vertex // cover-path staging: distance-(k-1) sweep sources, as cover ids
+	tally pathTally      // batched execution-path counts (obs.go)
 }
 
 // NewEnumScratch returns scratch space for enumerations against any index.
@@ -209,6 +210,7 @@ func (sc *EnumScratch) Finish(opts EnumOptions) ([]Neighbor, int) {
 // graphs take the closure-free ballGraph path instead.
 func BallBFS(ctx context.Context, n int, src graph.Vertex, k int,
 	forEach func(v graph.Vertex, yield func(w graph.Vertex)), sc *EnumScratch) error {
+	sc.tally.bump(pathIdxBFSFallback)
 	sc.reset(n)
 	b := &sc.ball
 	b.tryMark(src)
@@ -249,6 +251,7 @@ func BallBFS(ctx context.Context, n int, src graph.Vertex, k int,
 // Semantics are identical to BallBFS over the same adjacency.
 func ballGraph(ctx context.Context, g *graph.Graph, src graph.Vertex, k int,
 	dir graph.Direction, sc *EnumScratch) error {
+	sc.tally.bump(pathIdxBFSFallback)
 	sc.reset(g.NumVertices())
 	b := &sc.ball
 	b.tryMark(src)
@@ -307,11 +310,11 @@ func (ix *Index) Enumerate(ctx context.Context, src graph.Vertex, opts EnumOptio
 	var err error
 	switch {
 	case !ix.InCover(src):
-		err = ballGraph(ctx, ix.g, src, ix.k, opts.Direction, sc)
+		err = ballGraph(ctx, ix.g, src, ix.k, opts.Direction, sc) // bumps bfs-fallback
 	case opts.Direction == graph.Forward:
-		err = ix.enumerateCoverSource(ctx, src, sc)
+		err = ix.enumerateCoverSource(ctx, src, sc) // bumps dense-lane / cover-row
 	default:
-		err = ix.enumerateCoverTarget(ctx, src, sc)
+		err = ix.enumerateCoverTarget(ctx, src, sc) // bumps dense-lane / cover-row
 	}
 	if err != nil {
 		return nil, 0, err
@@ -349,6 +352,7 @@ func (ix *Index) enumerateCoverSource(ctx context.Context, src graph.Vertex, sc 
 		sc.rim = append(sc.rim, cs) // k = 1: the source is the whole rim
 	}
 	if denseSlot := ix.denseID[cs]; denseSlot >= 0 {
+		sc.tally.bump(pathIdxDenseLane)
 		drow := ix.denseRow(denseSlot)
 		drow.IterateEQ(weightLEKm2, func(cv int) {
 			sc.out = append(sc.out, Neighbor{V: list[cv], Bucket: BucketWithin})
@@ -364,6 +368,7 @@ func (ix *Index) enumerateCoverSource(ctx context.Context, src graph.Vertex, sc 
 			})
 		}
 	} else {
+		sc.tally.bump(pathIdxCoverRow)
 		for p, cv := range row {
 			v := ix.outVtx[base+p]
 			bucket := BucketWithin
@@ -437,6 +442,7 @@ func (ix *Index) enumerateCoverTarget(ctx context.Context, src graph.Vertex, sc 
 		sc.rim = append(sc.rim, ct) // k = 1: the target is the whole rim
 	}
 	if denseSlot := ix.inDenseID[ct]; denseSlot >= 0 {
+		sc.tally.bump(pathIdxDenseLane)
 		drow := ix.inDenseRow(denseSlot)
 		drow.IterateEQ(weightLEKm2, func(cu int) {
 			sc.out = append(sc.out, Neighbor{V: list[cu], Bucket: BucketWithin})
@@ -452,6 +458,7 @@ func (ix *Index) enumerateCoverTarget(ctx context.Context, src graph.Vertex, sc 
 			})
 		}
 	} else {
+		sc.tally.bump(pathIdxCoverRow)
 		for p, cu := range row {
 			u := ix.inVtx[base+p]
 			bucket := BucketWithin

@@ -39,3 +39,12 @@ func (ix *Index) Enumerate(ctx context.Context, src graph.Vertex, opts core.Enum
 	res, total := sc.Finish(opts)
 	return res, total, nil
 }
+
+// EnumPath reports the dynamic enumeration path: always the BFS fallback
+// (the overlay walks adjacency callbacks, never index rows).
+func (ix *Index) EnumPath(graph.Vertex, graph.Direction) string { return core.PathBFSFallback }
+
+// ReachPath reports the dynamic pairwise path: Algorithm 2 over the
+// overlay-patched cover rows, classified as cover-row work (the dynamic
+// rows are never promoted to dense lanes).
+func (ix *Index) ReachPath(graph.Vertex, graph.Vertex) string { return core.PathCoverRow }

@@ -8,10 +8,25 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"kreach/internal/core"
 	"kreach/internal/cover"
 	"kreach/internal/graph"
+	"kreach/internal/obs"
+)
+
+// Package-global maintenance latency histograms, merged across dynamic
+// indexes; the serving layer adopts them into its /metrics registry. Only
+// live operations record — crash-recovery Replay is excluded so replaying
+// a long journal does not skew the serving-time distributions.
+var (
+	// MutateLatency is the full Mutate span: journal append (when
+	// attached), backward collection and row repair.
+	MutateLatency = obs.NewHistogram()
+	// CompactLatency is the full Compact span: materialize, index rebuild,
+	// checkpoint and publish.
+	CompactLatency = obs.NewHistogram()
 )
 
 // Weight buckets of Definition 1, mirrored from the static index: only the
@@ -422,6 +437,8 @@ func (r MutationResult) Applied() bool { return r.Added+r.Removed > 0 }
 // epoch reserved for the batch — before anything applies; a journal error
 // aborts the mutation with the index unchanged.
 func (ix *Index) Mutate(add, remove []graph.Edge) (MutationResult, error) {
+	start := time.Now()
+	defer func() { MutateLatency.Observe(time.Since(start)) }()
 	ix.mutMu.Lock()
 	defer ix.mutMu.Unlock()
 	return ix.mutateLocked(add, remove, 0)
@@ -628,6 +645,8 @@ func (ix *Index) Compact(publish func(next *Index, g *graph.Graph) error) (*Inde
 		return nil, ErrCompacting
 	}
 	defer ix.compacting.Store(false)
+	start := time.Now()
+	defer func() { CompactLatency.Observe(time.Since(start)) }()
 	ix.mutMu.Lock()
 	defer ix.mutMu.Unlock()
 	if ix.retired.Load() {

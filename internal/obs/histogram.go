@@ -1,0 +1,162 @@
+// Package obs is the dependency-free metrics core of the serving stack:
+// atomic counters, gauges and log-linear latency histograms, plus a
+// registry (registry.go) that renders everything as Prometheus text
+// exposition. Instruments are safe for concurrent use and lock-free on the
+// observation path — a histogram observation is two uncontended atomic
+// adds (bucket count + running sum), a counter one.
+//
+// The package imports only the standard library so every layer — core
+// kernels, the WAL, the dynamic index, the HTTP server — can hold
+// instruments without import cycles or third-party dependencies.
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram buckets are log-linear (HDR-style): each power-of-two octave is
+// split into 2^subBits linear sub-buckets, giving a worst-case relative
+// error of 2^-subBits = 12.5% on any recorded value — tight enough for
+// latency percentiles without per-value precision or unbounded memory.
+const subBits = 3
+
+// maxValue is the clamp ceiling for observations, ~18.3 minutes in
+// nanoseconds. Anything longer is recorded in the top bucket; a serving
+// latency that large is an outage, not a distribution point.
+const maxValue = int64(1) << 40
+
+// numBuckets is bucketIndex(maxValue) + 1.
+const numBuckets = (40-subBits+1)<<subBits + 1
+
+// bucketIndex maps a non-negative value onto its log-linear bucket.
+// Values below 2^subBits get exact buckets (index = value); above, the
+// value's octave selects a run of 2^subBits linear sub-buckets.
+func bucketIndex(v int64) int {
+	if v < 1<<subBits {
+		if v < 0 {
+			return 0
+		}
+		return int(v)
+	}
+	if v >= maxValue {
+		return numBuckets - 1
+	}
+	e := bits.Len64(uint64(v)) - 1
+	sub := int(v>>(uint(e-subBits))) - 1<<subBits
+	return (e-subBits+1)<<subBits + sub
+}
+
+// BucketUpper returns the largest value bucket i holds (inclusive). It is
+// monotone in i, which makes quantile extraction a cumulative walk.
+func BucketUpper(i int) int64 {
+	if i < 1<<subBits {
+		return int64(i)
+	}
+	octave := i >> subBits // ≥ 1 here
+	sub := i & (1<<subBits - 1)
+	lo := int64(1<<subBits+sub) << uint(octave-1)
+	return lo + int64(1)<<uint(octave-1) - 1
+}
+
+// Histogram is a fixed-size log-linear latency histogram. The zero value
+// is ready to use; NewHistogram exists for symmetry with the registry
+// constructors. All methods are safe for concurrent use.
+type Histogram struct {
+	buckets [numBuckets]atomic.Uint64
+	sum     atomic.Int64 // nanoseconds
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) { h.ObserveNs(int64(d)) }
+
+// ObserveNs records one duration given in nanoseconds. Negative values
+// clamp to zero, values past ~18 minutes to the top bucket.
+func (h *Histogram) ObserveNs(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.sum.Add(v)
+}
+
+// Snapshot is a point-in-time copy of a histogram, safe to read and merge
+// without further synchronization. Counts[i] holds the observations that
+// fell into bucket i (bounds via BucketUpper).
+type Snapshot struct {
+	Counts [numBuckets]uint64
+	Count  uint64 // total observations
+	SumNs  int64  // sum of observed values, ns
+}
+
+// Snapshot copies the histogram's current state. Buckets are read one
+// atomic load at a time, so under concurrent writers the snapshot is
+// approximate (each bucket internally exact).
+func (h *Histogram) Snapshot() Snapshot {
+	var s Snapshot
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	s.SumNs = h.sum.Load()
+	return s
+}
+
+// Merge folds other into s — the mergeability that lets per-shard or
+// per-worker histograms aggregate into one distribution at scrape time.
+func (s *Snapshot) Merge(other Snapshot) {
+	for i := range s.Counts {
+		s.Counts[i] += other.Counts[i]
+	}
+	s.Count += other.Count
+	s.SumNs += other.SumNs
+}
+
+// Quantile returns the value (ns) at quantile q in [0, 1]: the upper bound
+// of the bucket holding the ceil(q·count)-th smallest observation. Exact
+// up to the bucket's ≤12.5% relative width; 0 on an empty histogram.
+func (s *Snapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := uint64(q*float64(s.Count) + 0.9999999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= rank {
+			return BucketUpper(i)
+		}
+	}
+	return BucketUpper(numBuckets - 1)
+}
+
+// Max returns the upper bound (ns) of the highest non-empty bucket — the
+// recorded maximum up to bucket resolution; 0 on an empty histogram.
+func (s *Snapshot) Max() int64 {
+	for i := numBuckets - 1; i >= 0; i-- {
+		if s.Counts[i] != 0 {
+			return BucketUpper(i)
+		}
+	}
+	return 0
+}
+
+// Mean returns the exact mean of the observed values in nanoseconds
+// (the sum is tracked exactly, not from buckets); 0 when empty.
+func (s *Snapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.SumNs) / float64(s.Count)
+}

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketBounds pins the bucketing scheme: indexes are monotone,
+// contiguous, and every value lands in a bucket whose bounds contain it
+// with ≤12.5% relative width.
+func TestBucketBounds(t *testing.T) {
+	// Exact region: values below 2^subBits are their own bucket.
+	for v := int64(0); v < 1<<subBits; v++ {
+		if got := bucketIndex(v); got != int(v) {
+			t.Fatalf("bucketIndex(%d) = %d, want %d", v, got, v)
+		}
+		if up := BucketUpper(int(v)); up != v {
+			t.Fatalf("BucketUpper(%d) = %d, want %d", v, up, v)
+		}
+	}
+	// Continuity: bucket i+1 starts right after bucket i ends.
+	for i := 0; i < numBuckets-1; i++ {
+		lo := BucketUpper(i) + 1
+		if got := bucketIndex(lo); got != i+1 {
+			t.Fatalf("bucketIndex(%d) = %d, want %d (after bucket %d)", lo, got, i+1, i)
+		}
+	}
+	// Membership + relative error across a wide sweep of magnitudes.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100000; trial++ {
+		v := rng.Int63n(maxValue)
+		i := bucketIndex(v)
+		up := BucketUpper(i)
+		var lo int64
+		if i > 0 {
+			lo = BucketUpper(i-1) + 1
+		}
+		if v < lo || v > up {
+			t.Fatalf("value %d outside bucket %d bounds [%d, %d]", v, i, lo, up)
+		}
+		if v > 0 && float64(up-v)/float64(v) > 0.125 {
+			t.Fatalf("bucket %d upper %d overstates %d by more than 12.5%%", i, up, v)
+		}
+	}
+	// Clamp: anything at or past maxValue lands in the top bucket.
+	if got := bucketIndex(maxValue); got != numBuckets-1 {
+		t.Fatalf("bucketIndex(maxValue) = %d, want %d", got, numBuckets-1)
+	}
+	if got := bucketIndex(1 << 62); got != numBuckets-1 {
+		t.Fatalf("bucketIndex(1<<62) = %d, want %d", got, numBuckets-1)
+	}
+	if got := bucketIndex(-5); got != 0 {
+		t.Fatalf("bucketIndex(-5) = %d, want 0", got)
+	}
+}
+
+// TestQuantileDifferential checks percentile extraction against a sorted
+// slice: because bucketing is monotone, Quantile(q) must equal exactly the
+// upper bound of the bucket holding the reference percentile value — and
+// never understate the true value by more than the bucket's width.
+func TestQuantileDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 2, 3, 10, 1000, 50000} {
+		h := NewHistogram()
+		vals := make([]int64, n)
+		for i := range vals {
+			// Mix magnitudes: sub-µs to minutes.
+			v := rng.Int63n(int64(1) << uint(3+rng.Intn(38)))
+			vals[i] = v
+			h.ObserveNs(v)
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		snap := h.Snapshot()
+		if snap.Count != uint64(n) {
+			t.Fatalf("n=%d: snapshot count %d", n, snap.Count)
+		}
+		var sum int64
+		for _, v := range vals {
+			sum += v
+		}
+		if snap.SumNs != sum {
+			t.Fatalf("n=%d: snapshot sum %d, want %d", n, snap.SumNs, sum)
+		}
+		for _, q := range []float64{0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+			rank := int(q*float64(n) + 0.9999999999)
+			if rank < 1 {
+				rank = 1
+			}
+			if rank > n {
+				rank = n
+			}
+			ref := vals[rank-1]
+			want := BucketUpper(bucketIndex(ref))
+			if got := snap.Quantile(q); got != want {
+				t.Fatalf("n=%d q=%g: Quantile = %d, want %d (reference value %d)", n, q, got, want, ref)
+			}
+		}
+		if wantMax := BucketUpper(bucketIndex(vals[n-1])); snap.Max() != wantMax {
+			t.Fatalf("n=%d: Max = %d, want %d", n, snap.Max(), wantMax)
+		}
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	var snap Snapshot
+	if snap.Quantile(0.5) != 0 || snap.Max() != 0 || snap.Mean() != 0 {
+		t.Fatal("empty snapshot must report zeros")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	merged := NewHistogram()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10000; i++ {
+		v := rng.Int63n(1 << 30)
+		if i%2 == 0 {
+			a.ObserveNs(v)
+		} else {
+			b.ObserveNs(v)
+		}
+		merged.ObserveNs(v)
+	}
+	sa := a.Snapshot()
+	sa.Merge(b.Snapshot())
+	sm := merged.Snapshot()
+	if sa != sm {
+		t.Fatal("merged snapshot differs from single-histogram reference")
+	}
+}
+
+// TestConcurrentObserve hammers one histogram from many goroutines; run
+// under -race this is the lock-free-correctness test, and the final count
+// and sum must be exact regardless.
+func TestConcurrentObserve(t *testing.T) {
+	h := NewHistogram()
+	const goroutines = 8
+	const perG = 20000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perG; i++ {
+				h.ObserveNs(rng.Int63n(1 << 20))
+			}
+		}(int64(g))
+	}
+	// Concurrent readers must not race with writers.
+	stop := make(chan struct{})
+	var rd sync.WaitGroup
+	rd.Add(1)
+	go func() {
+		defer rd.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s := h.Snapshot()
+				s.Quantile(0.99)
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	rd.Wait()
+	snap := h.Snapshot()
+	if snap.Count != goroutines*perG {
+		t.Fatalf("count %d, want %d", snap.Count, goroutines*perG)
+	}
+}
+
+func TestObserveDuration(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(1500 * time.Microsecond)
+	snap := h.Snapshot()
+	if snap.Count != 1 || snap.SumNs != 1500000 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	if q := snap.Quantile(1); q < 1500000 || float64(q) > 1500000*1.125 {
+		t.Fatalf("p100 = %d, want within 12.5%% above 1.5ms", q)
+	}
+}

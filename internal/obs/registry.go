@@ -1,0 +1,409 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Instrument types a registry family carries; they pick the Prometheus
+// TYPE line and the sample shape.
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// child is one labeled instrument of a family. Exactly one of the value
+// fields is set, matching the family's type.
+type child struct {
+	labels []string // label values, aligned with family.labelKeys
+	ctr    *Counter
+	gauge  *Gauge
+	fn     func() float64 // scrape-time counter/gauge
+	hist   *Histogram
+}
+
+// family is one metric name: help, type, label schema and children.
+type family struct {
+	name      string
+	help      string
+	typ       string
+	labelKeys []string
+
+	mu       sync.Mutex
+	children map[string]*child // keyed by joined label values
+	order    []string
+}
+
+func (f *family) child(vals []string) *child {
+	if len(vals) != len(f.labelKeys) {
+		panic(fmt.Sprintf("obs: %s wants %d label values, got %d", f.name, len(f.labelKeys), len(vals)))
+	}
+	key := strings.Join(vals, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c, ok := f.children[key]
+	if !ok {
+		c = &child{labels: append([]string(nil), vals...)}
+		switch f.typ {
+		case typeCounter:
+			c.ctr = &Counter{}
+		case typeGauge:
+			c.gauge = &Gauge{}
+		case typeHistogram:
+			c.hist = NewHistogram()
+		}
+		f.children[key] = c
+		f.order = append(f.order, key)
+	}
+	return c
+}
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values (created on first use).
+func (v *CounterVec) With(vals ...string) *Counter { return v.f.child(vals).ctr }
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values (created on first use).
+func (v *GaugeVec) With(vals ...string) *Gauge { return v.f.child(vals).gauge }
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values (created on first
+// use). The returned *Histogram may be cached by callers; label-value
+// lookup takes the family lock, so hot paths should hold on to it.
+func (v *HistogramVec) With(vals ...string) *Histogram { return v.f.child(vals).hist }
+
+// Registry holds metric families and renders them as Prometheus text
+// exposition (format 0.0.4). Construct with NewRegistry; all methods are
+// safe for concurrent use. Registering the same name twice panics —
+// metric names are an API and collisions are bugs.
+type Registry struct {
+	mu         sync.Mutex
+	families   map[string]*family
+	collectors []func(e *Emitter)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func (r *Registry) register(name, help, typ string, labelKeys []string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.families[name]; dup {
+		panic("obs: duplicate metric " + name)
+	}
+	f := &family{
+		name: name, help: help, typ: typ,
+		labelKeys: append([]string(nil), labelKeys...),
+		children:  make(map[string]*child),
+	}
+	r.families[name] = f
+	return f
+}
+
+// Counter registers and returns an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, typeCounter, nil).child(nil).ctr
+}
+
+// Gauge registers and returns an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, typeGauge, nil).child(nil).gauge
+}
+
+// CounterFunc registers a counter whose value is read at scrape time.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(name, help, typeCounter, nil).child(nil).fn = fn
+}
+
+// GaugeFunc registers a gauge whose value is read at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, typeGauge, nil).child(nil).fn = fn
+}
+
+// Histogram registers and returns an unlabeled histogram.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	return r.register(name, help, typeHistogram, nil).child(nil).hist
+}
+
+// RegisterHistogram adopts an existing histogram (e.g. a package-global one
+// in internal/wal) under the given name.
+func (r *Registry) RegisterHistogram(name, help string, h *Histogram) {
+	r.register(name, help, typeHistogram, nil).child(nil).hist = h
+}
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labelKeys ...string) *CounterVec {
+	return &CounterVec{f: r.register(name, help, typeCounter, labelKeys)}
+}
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labelKeys ...string) *GaugeVec {
+	return &GaugeVec{f: r.register(name, help, typeGauge, labelKeys)}
+}
+
+// HistogramVec registers a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, labelKeys ...string) *HistogramVec {
+	return &HistogramVec{f: r.register(name, help, typeHistogram, labelKeys)}
+}
+
+// AddCollector registers a scrape-time collector: fn runs on every
+// WritePrometheus call and emits samples through the Emitter. Collectors
+// are how state that lives elsewhere (cache shard stats, per-dataset
+// gauges behind RCU snapshots, core kernel counters) surfaces without the
+// owner holding registry instruments — the emission always reflects the
+// state current at scrape time, including datasets swapped in after
+// registration.
+func (r *Registry) AddCollector(fn func(e *Emitter)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, fn)
+}
+
+// Emitter receives collector samples during one scrape.
+type Emitter struct {
+	fams map[string]*emitFamily
+}
+
+type emitFamily struct {
+	help    string
+	typ     string
+	samples []emitSample
+}
+
+type emitSample struct {
+	labels string // pre-rendered {k="v",...} or ""
+	value  float64
+	snap   *Snapshot
+}
+
+// renderLabels renders a label map in sorted-key order.
+func renderLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labels[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func (e *Emitter) family(name, help, typ string) *emitFamily {
+	f, ok := e.fams[name]
+	if !ok {
+		f = &emitFamily{help: help, typ: typ}
+		e.fams[name] = f
+	}
+	return f
+}
+
+// Counter emits one counter sample.
+func (e *Emitter) Counter(name, help string, labels map[string]string, v float64) {
+	f := e.family(name, help, typeCounter)
+	f.samples = append(f.samples, emitSample{labels: renderLabels(labels), value: v})
+}
+
+// Gauge emits one gauge sample.
+func (e *Emitter) Gauge(name, help string, labels map[string]string, v float64) {
+	f := e.family(name, help, typeGauge)
+	f.samples = append(f.samples, emitSample{labels: renderLabels(labels), value: v})
+}
+
+// Histogram emits one histogram sample from a snapshot.
+func (e *Emitter) Histogram(name, help string, labels map[string]string, snap Snapshot) {
+	f := e.family(name, help, typeHistogram)
+	f.samples = append(f.samples, emitSample{labels: renderLabels(labels), snap: &snap})
+}
+
+// leLadder is the coarse cumulative bucket ladder (seconds) Prometheus
+// histograms are rendered with. The fine log-linear buckets aggregate onto
+// it conservatively: a fine bucket counts under the smallest bound that
+// wholly contains it, so the rendered cumulative counts never overstate
+// how fast the server is.
+var leLadder = []float64{
+	1e-6, 2.5e-6, 5e-6,
+	1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2,
+	1e-1, 2.5e-1, 5e-1,
+	1, 2.5, 5, 10,
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// renderChildLabels renders a family child's label values against its keys.
+func renderChildLabels(keys, vals []string) string {
+	if len(keys) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(vals[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// withBrace splices an extra label into a rendered label set: `{a="b"}` +
+// `le="5"` → `{a="b",le="5"}`; an empty set + `le="5"` → `{le="5"}`.
+func withBrace(labels, extra string) string {
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+func writeHistogram(w io.Writer, name, labels string, snap *Snapshot) {
+	var cum uint64
+	fine := 0
+	for _, bound := range leLadder {
+		boundNs := int64(bound * 1e9)
+		for fine < numBuckets && BucketUpper(fine) <= boundNs {
+			cum += snap.Counts[fine]
+			fine++
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, withBrace(labels, `le="`+formatFloat(bound)+`"`), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, withBrace(labels, `le="+Inf"`), snap.Count)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, formatFloat(float64(snap.SumNs)/1e9))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, snap.Count)
+}
+
+// WritePrometheus renders every registered family plus every collector's
+// emissions as Prometheus text exposition, families sorted by name and
+// samples by label values, so the output is deterministic for a given
+// state (the golden-test contract).
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	fams := make(map[string]*family, len(r.families))
+	for n, f := range r.families {
+		fams[n] = f
+	}
+	collectors := make([]func(e *Emitter), len(r.collectors))
+	copy(collectors, r.collectors)
+	r.mu.Unlock()
+
+	e := &Emitter{fams: make(map[string]*emitFamily)}
+	for _, fn := range collectors {
+		fn(e)
+	}
+
+	// Fold registered families into the emitter's sample shape.
+	for name, f := range fams {
+		f.mu.Lock()
+		keys := append([]string(nil), f.order...)
+		children := make([]*child, len(keys))
+		for i, k := range keys {
+			children[i] = f.children[k]
+		}
+		f.mu.Unlock()
+		ef := e.family(name, f.help, f.typ)
+		for _, c := range children {
+			s := emitSample{labels: renderChildLabels(f.labelKeys, c.labels)}
+			switch {
+			case c.hist != nil:
+				snap := c.hist.Snapshot()
+				s.snap = &snap
+			case c.fn != nil:
+				s.value = c.fn()
+			case c.ctr != nil:
+				s.value = float64(c.ctr.Value())
+			case c.gauge != nil:
+				s.value = float64(c.gauge.Value())
+			}
+			ef.samples = append(ef.samples, s)
+		}
+	}
+
+	names := make([]string, 0, len(e.fams))
+	for n := range e.fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := e.fams[name]
+		// Families with no samples yet still emit their HELP/TYPE header:
+		// the metric catalog is an API, and scrapers (and the obs-smoke
+		// gate) should see every name from the first scrape on.
+		sort.SliceStable(f.samples, func(i, j int) bool { return f.samples[i].labels < f.samples[j].labels })
+		fmt.Fprintf(w, "# HELP %s %s\n", name, f.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", name, f.typ)
+		for _, s := range f.samples {
+			if s.snap != nil {
+				writeHistogram(w, name, s.labels, s.snap)
+			} else {
+				fmt.Fprintf(w, "%s%s %s\n", name, s.labels, formatFloat(s.value))
+			}
+		}
+	}
+}

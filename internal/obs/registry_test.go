@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheus pins the exposition rendering rules on a small,
+// fully deterministic registry: family ordering, label rendering, the
+// cumulative le ladder, and collector emission. The /metrics golden test
+// in internal/server covers the full serving catalog.
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "Operations.")
+	c.Add(41)
+	c.Inc()
+	g := r.Gauge("test_depth", "Queue depth.")
+	g.Set(7)
+	g.Add(-2)
+	v := r.CounterVec("test_requests_total", "Requests.", "endpoint", "outcome")
+	v.With("reach", "ok").Add(3)
+	v.With("batch", "error").Inc()
+	h := r.Histogram("test_latency_seconds", "Latency.")
+	h.ObserveNs(900)     // ≤ 1e-6
+	h.ObserveNs(2_000)   // ≤ 2.5e-6
+	h.ObserveNs(400_000) // ≤ 5e-4
+	h.ObserveNs(2e9)     // ≤ 2.5
+	h.ObserveNs(3600e9)  // past the clamp: only +Inf
+	r.GaugeFunc("test_temperature", "Scrape-time gauge.", func() float64 { return 21.5 })
+	r.AddCollector(func(e *Emitter) {
+		e.Gauge("test_dataset_epoch", "Epoch.", map[string]string{"dataset": "social"}, 12)
+		e.Gauge("test_dataset_epoch", "Epoch.", map[string]string{"dataset": "cite"}, 9)
+	})
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	got := b.String()
+
+	want := `# HELP test_dataset_epoch Epoch.
+# TYPE test_dataset_epoch gauge
+test_dataset_epoch{dataset="cite"} 9
+test_dataset_epoch{dataset="social"} 12
+# HELP test_depth Queue depth.
+# TYPE test_depth gauge
+test_depth 5
+# HELP test_latency_seconds Latency.
+# TYPE test_latency_seconds histogram
+test_latency_seconds_bucket{le="1e-06"} 1
+test_latency_seconds_bucket{le="2.5e-06"} 2
+test_latency_seconds_bucket{le="5e-06"} 2
+test_latency_seconds_bucket{le="1e-05"} 2
+test_latency_seconds_bucket{le="2.5e-05"} 2
+test_latency_seconds_bucket{le="5e-05"} 2
+test_latency_seconds_bucket{le="0.0001"} 2
+test_latency_seconds_bucket{le="0.00025"} 2
+test_latency_seconds_bucket{le="0.0005"} 3
+test_latency_seconds_bucket{le="0.001"} 3
+test_latency_seconds_bucket{le="0.0025"} 3
+test_latency_seconds_bucket{le="0.005"} 3
+test_latency_seconds_bucket{le="0.01"} 3
+test_latency_seconds_bucket{le="0.025"} 3
+test_latency_seconds_bucket{le="0.05"} 3
+test_latency_seconds_bucket{le="0.1"} 3
+test_latency_seconds_bucket{le="0.25"} 3
+test_latency_seconds_bucket{le="0.5"} 3
+test_latency_seconds_bucket{le="1"} 3
+test_latency_seconds_bucket{le="2.5"} 4
+test_latency_seconds_bucket{le="5"} 4
+test_latency_seconds_bucket{le="10"} 4
+test_latency_seconds_bucket{le="+Inf"} 5
+`
+	if !strings.HasPrefix(got, want) {
+		t.Fatalf("exposition prefix mismatch:\ngot:\n%s\nwant prefix:\n%s", got, want)
+	}
+	for _, line := range []string{
+		"test_latency_seconds_count 5",
+		"# TYPE test_ops_total counter",
+		"test_ops_total 42",
+		"# TYPE test_requests_total counter",
+		`test_requests_total{endpoint="batch",outcome="error"} 1`,
+		`test_requests_total{endpoint="reach",outcome="ok"} 3`,
+		"test_temperature 21.5",
+	} {
+		if !strings.Contains(got, line+"\n") {
+			t.Fatalf("exposition missing line %q:\n%s", line, got)
+		}
+	}
+	// _sum is in seconds.
+	if !strings.Contains(got, "test_latency_seconds_sum 3602.000402") {
+		t.Fatalf("unexpected _sum rendering:\n%s", got)
+	}
+}
+
+// TestEmptyFamilyStillListed: a registered family with no observations yet
+// must still emit its HELP/TYPE header — the catalog is an API.
+func TestEmptyFamilyStillListed(t *testing.T) {
+	r := NewRegistry()
+	r.HistogramVec("test_lonely_seconds", "No samples yet.", "endpoint")
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if !strings.Contains(b.String(), "# TYPE test_lonely_seconds histogram") {
+		t.Fatalf("empty family dropped from exposition:\n%s", b.String())
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_dup_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("test_dup_total", "x")
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("test_esc", "x", "path")
+	v.With(`a"b\c`).Set(1)
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if !strings.Contains(b.String(), `test_esc{path="a\"b\\c"} 1`) {
+		t.Fatalf("label not escaped:\n%s", b.String())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"net/http"
+	"runtime"
 
 	"kreach"
 )
@@ -74,10 +75,12 @@ func keyFor(d *Dataset, s, t int, reqK *int) queryKey {
 
 // answer resolves one query through the cache (singleflight: a stampede on
 // one hot key does a single index probe), or straight through to the
-// Reacher when caching is disabled. Errors are either the context's (client
-// gone) or ErrProbePanicked on a collapsed caller whose leader's probe
-// panicked; neither may be served as a normal answer.
-func (s *Server) answer(ctx context.Context, d *Dataset, src, dst int, reqK *int) (cachedAnswer, error) {
+// Reacher when caching is disabled. The bool reports whether the caller's
+// own probe was skipped — a cache hit, including collapsing onto another
+// caller's successful in-flight probe. Errors are either the context's
+// (client gone) or ErrProbePanicked on a collapsed caller whose leader's
+// probe panicked; neither may be served as a normal answer.
+func (s *Server) answer(ctx context.Context, d *Dataset, src, dst int, reqK *int) (cachedAnswer, bool, error) {
 	probe := func() (cachedAnswer, error) {
 		v, effK, err := d.Reacher.ReachK(ctx, src, dst, requestK(reqK))
 		if err != nil {
@@ -86,7 +89,8 @@ func (s *Server) answer(ctx context.Context, d *Dataset, src, dst int, reqK *int
 		return toAnswer(v, effK), nil
 	}
 	if s.cache == nil {
-		return probe()
+		a, err := probe()
+		return a, false, err
 	}
 	return s.cache.Do(keyFor(d, src, dst, reqK), probe)
 }
@@ -158,10 +162,18 @@ func (s *Server) handleReach(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "graph %q: %v", d.Name, err)
 		return
 	}
-	ans, err := s.answer(r.Context(), d, req.S, req.T, req.K)
+	rt := track(r.Context())
+	rt.dataset, rt.s, rt.t, rt.k = d.Name, req.S, req.T, req.K
+	ans, hit, err := s.answer(r.Context(), d, req.S, req.T, req.K)
 	if err != nil {
 		writeAnswerError(w, r, d, err)
 		return
+	}
+	if hit {
+		rt.outcome = outcomeCacheHit
+		rt.path = kreach.PathCacheHit
+	} else if rep, ok := d.Reacher.(kreach.ExecPathReporter); ok {
+		rt.path = rep.ReachPath(req.S, req.T, requestK(req.K))
 	}
 	resp := reachResponse{
 		Graph:     d.Name,
@@ -293,6 +305,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "graph %q: %v", d.Name, err)
 		return
 	}
+	rt := track(r.Context())
+	rt.dataset, rt.k, rt.pairs = d.Name, req.K, len(pairs)
+	if rt.workers = s.cfg.Parallelism; rt.workers <= 0 {
+		rt.workers = runtime.GOMAXPROCS(0)
+	}
 	answers, err := s.answerBatch(r.Context(), d, pairs, req.K)
 	if err != nil {
 		writeAnswerError(w, r, d, err)
@@ -338,6 +355,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, "%v", err)
 		return
 	}
+	track(r.Context()).dataset = d.Name
 	writeJSON(w, http.StatusOK, reloadResponse{
 		Graph:    d.Name,
 		Kind:     d.Kind(),
@@ -414,6 +432,7 @@ type statsResponse struct {
 	Default  string        `json:"default"`
 	Datasets []datasetInfo `json:"datasets"`
 	Cache    cacheInfo     `json:"cache"`
+	Runtime  runtimeInfo   `json:"runtime"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -507,6 +526,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			resp.Cache.HitRate = float64(st.Hits) / float64(total)
 		}
 	}
+	resp.Runtime = readRuntimeInfo()
 	writeJSON(w, http.StatusOK, resp)
 }
 

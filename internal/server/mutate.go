@@ -72,6 +72,7 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusConflict, "%v: %q serves kind %q", ErrNotDynamic, d.Name, d.Kind())
 			return
 		}
+		track(r.Context()).dataset = d.Name
 		res, err := dyn.Mutate(req.Add, req.Remove)
 		if errors.Is(err, kreach.ErrRetired) && attempt < mutateRetries {
 			continue
@@ -168,6 +169,7 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, "%v", err)
 		return
 	}
+	track(r.Context()).dataset = next.Name
 	nextDyn, _ := next.Mutable()
 	writeJSON(w, http.StatusOK, compactResponse{
 		Graph:       next.Name,

@@ -108,6 +108,11 @@ func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "direction %q is neither \"out\" nor \"in\"", req.Direction)
 		return
 	}
+	rt := track(r.Context())
+	rt.dataset, rt.s, rt.k = d.Name, req.Source, req.K
+	if rep, ok := d.Reacher.(kreach.ExecPathReporter); ok {
+		rt.path = rep.EnumPath(req.Source, requestK(req.K), dir == "out")
+	}
 	epoch := d.Epoch()
 	ball, err := reach(r.Context(), req.Source, requestK(req.K), kreach.EnumOptions{})
 	if err != nil {

@@ -1,0 +1,326 @@
+package server_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"kreach"
+	"kreach/internal/server"
+)
+
+// scrape fetches /metrics and returns the exposition body plus the response.
+func scrape(t *testing.T, url string) (string, *http.Response) {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		sb.WriteString(sc.Text())
+		sb.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String(), resp
+}
+
+// parseExposition validates the text format line by line and returns the
+// family names seen in # TYPE headers (in order) and the sample lines.
+func parseExposition(t *testing.T, body string) (families []string, samples []string) {
+	t.Helper()
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# TYPE "):
+			rest := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(rest) != 2 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			switch rest[1] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("unknown metric type in %q", line)
+			}
+			families = append(families, rest[0])
+		case strings.HasPrefix(line, "# HELP "):
+			if len(strings.Fields(line)) < 4 {
+				t.Fatalf("HELP line without text: %q", line)
+			}
+		case strings.HasPrefix(line, "#"):
+			t.Fatalf("unexpected comment line: %q", line)
+		case line == "":
+			t.Fatal("blank line in exposition")
+		default:
+			// name{labels} value — at minimum two space-separated fields
+			// with a parseable float value.
+			idx := strings.LastIndexByte(line, ' ')
+			if idx <= 0 {
+				t.Fatalf("malformed sample line: %q", line)
+			}
+			if _, err := strconv.ParseFloat(line[idx+1:], 64); err != nil {
+				t.Fatalf("unparseable value in %q: %v", line, err)
+			}
+			samples = append(samples, line)
+		}
+	}
+	return families, samples
+}
+
+// sampleFamily strips labels and the histogram sample suffixes off one
+// exposition sample line, returning the family name it belongs to.
+func sampleFamily(line string) string {
+	name := line
+	if i := strings.IndexAny(name, "{ "); i >= 0 {
+		name = name[:i]
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if s, ok := strings.CutSuffix(name, suf); ok {
+			return s
+		}
+	}
+	return name
+}
+
+// TestMetricsCatalog asserts GET /metrics is a valid exposition whose family
+// set is exactly MetricCatalog — every catalogued family present from the
+// first scrape, nothing undocumented — and that served traffic shows up in
+// the per-endpoint histogram with the right outcome labels.
+func TestMetricsCatalog(t *testing.T) {
+	ts, _ := newTestServer(t, server.Config{})
+
+	// Traffic: a miss, the same query again (cache hit), and an error.
+	for i := 0; i < 2; i++ {
+		if code, _ := post(t, ts.URL+"/v1/reach", map[string]any{"graph": "plain", "s": 1, "t": 2}); code != http.StatusOK {
+			t.Fatalf("reach status %d", code)
+		}
+	}
+	if code, _ := post(t, ts.URL+"/v1/reach", map[string]any{"graph": "nope", "s": 1, "t": 2}); code != http.StatusNotFound {
+		t.Fatalf("want 404, got %d", code)
+	}
+	if code, _ := post(t, ts.URL+"/v1/batch", map[string]any{"graph": "plain", "pairs": [][2]int{{0, 5}, {3, 9}}}); code != http.StatusOK {
+		t.Fatalf("batch status %d", code)
+	}
+
+	body, resp := scrape(t, ts.URL)
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	families, samples := parseExposition(t, body)
+
+	want := server.MetricCatalog()
+	if len(families) != len(want) {
+		t.Errorf("got %d families, want %d", len(families), len(want))
+	}
+	got := make(map[string]bool, len(families))
+	for i, f := range families {
+		got[f] = true
+		if i > 0 && families[i-1] >= f {
+			t.Errorf("families out of order: %q before %q", families[i-1], f)
+		}
+	}
+	for _, name := range want {
+		if !got[name] {
+			t.Errorf("catalogued family %q missing from scrape", name)
+		}
+		delete(got, name)
+	}
+	for name := range got {
+		t.Errorf("undocumented family %q in scrape", name)
+	}
+
+	// Every sample belongs to a catalogued family.
+	inCatalog := make(map[string]bool, len(want))
+	for _, name := range want {
+		inCatalog[name] = true
+	}
+	for _, s := range samples {
+		if fam := sampleFamily(s); !inCatalog[fam] {
+			t.Errorf("sample %q belongs to no catalogued family", s)
+		}
+	}
+
+	// Traffic landed in the right histogram cells.
+	for _, wantLine := range []string{
+		`kreach_request_duration_seconds_count{endpoint="reach",dataset="plain",outcome="ok"} 1`,
+		`kreach_request_duration_seconds_count{endpoint="reach",dataset="plain",outcome="cache-hit"} 1`,
+		`kreach_request_duration_seconds_count{endpoint="reach",dataset="-",outcome="error"} 1`,
+		`kreach_request_duration_seconds_count{endpoint="batch",dataset="plain",outcome="ok"} 1`,
+		`kreach_cache_hits_total 1`,
+	} {
+		if !strings.Contains(body, wantLine+"\n") {
+			t.Errorf("exposition missing %q", wantLine)
+		}
+	}
+}
+
+// TestReadyz asserts the readiness split: /readyz is 503 until MarkReady,
+// 200 after, while /healthz is 200 throughout; kreach_ready follows along.
+func TestReadyz(t *testing.T) {
+	g, _ := genGraph(t, 7)
+	plain, err := kreach.BuildIndex(g, kreach.IndexOptions{K: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := server.NewRegistry()
+	if err := reg.Add(&server.Dataset{Name: "plain", Graph: g, Reacher: plain}); err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(reg, server.Config{})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	status := func(path string) int {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if s := status("/healthz"); s != http.StatusOK {
+		t.Fatalf("healthz before ready: %d", s)
+	}
+	if s := status("/readyz"); s != http.StatusServiceUnavailable {
+		t.Fatalf("readyz before ready: %d, want 503", s)
+	}
+	if body, _ := scrape(t, ts.URL); !strings.Contains(body, "kreach_ready 0\n") {
+		t.Error("kreach_ready not 0 before MarkReady")
+	}
+	srv.MarkReady()
+	if s := status("/readyz"); s != http.StatusOK {
+		t.Fatalf("readyz after ready: %d, want 200", s)
+	}
+	if body, _ := scrape(t, ts.URL); !strings.Contains(body, "kreach_ready 1\n") {
+		t.Error("kreach_ready not 1 after MarkReady")
+	}
+}
+
+// TestRequestID asserts every instrumented response carries a distinct
+// X-Request-Id.
+func TestRequestID(t *testing.T) {
+	ts, _ := newTestServer(t, server.Config{})
+	seen := map[string]bool{}
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(ts.URL + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		id := resp.Header.Get("X-Request-Id")
+		if id == "" {
+			t.Fatal("response missing X-Request-Id")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate request id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestSlowQueryTrace forces a BFS-fallback neighbors query over a 1ns
+// threshold and asserts the trace — id, endpoint, dataset, execution path,
+// duration — lands in GET /v1/debug/slow, newest first, and that the slow
+// counter moves.
+func TestSlowQueryTrace(t *testing.T) {
+	g, _ := genGraph(t, 7)
+	plain, err := kreach.BuildIndex(g, kreach.IndexOptions{K: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A vertex outside the cover enumerates via the exact BFS fallback.
+	src := -1
+	for v := 0; v < g.NumVertices(); v++ {
+		if plain.EnumPath(v, 0, true) == kreach.PathBFSFallback {
+			src = v
+			break
+		}
+	}
+	if src < 0 {
+		t.Fatal("no fallback vertex in test graph")
+	}
+	reg := server.NewRegistry()
+	if err := reg.Add(&server.Dataset{Name: "plain", Graph: g, Reacher: plain}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(reg, server.Config{SlowQueryThreshold: time.Nanosecond}))
+	t.Cleanup(ts.Close)
+
+	if code, _ := post(t, ts.URL+"/v1/neighbors", map[string]any{"graph": "plain", "source": src}); code != http.StatusOK {
+		t.Fatalf("neighbors status %d", code)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/debug/slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		ThresholdMs float64 `json:"threshold_ms"`
+		Total       uint64  `json:"total"`
+		Traces      []struct {
+			ID         string  `json:"id"`
+			Endpoint   string  `json:"endpoint"`
+			Dataset    string  `json:"dataset"`
+			Outcome    string  `json:"outcome"`
+			S          int     `json:"s"`
+			Path       string  `json:"path"`
+			DurationMs float64 `json:"duration_ms"`
+		} `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Total == 0 || len(out.Traces) == 0 {
+		t.Fatalf("no slow traces recorded: %+v", out)
+	}
+	tr := out.Traces[0]
+	if tr.Endpoint != "neighbors" || tr.Dataset != "plain" || tr.Outcome != "ok" {
+		t.Errorf("trace = %+v", tr)
+	}
+	if tr.Path != kreach.PathBFSFallback {
+		t.Errorf("trace path %q, want %q", tr.Path, kreach.PathBFSFallback)
+	}
+	if tr.S != src {
+		t.Errorf("trace source %d, want %d", tr.S, src)
+	}
+	if tr.ID == "" || tr.DurationMs <= 0 {
+		t.Errorf("trace missing id/duration: %+v", tr)
+	}
+
+	if body, _ := scrape(t, ts.URL); !strings.Contains(body, "kreach_slow_queries_total 1\n") {
+		t.Error("kreach_slow_queries_total did not record the slow query")
+	}
+}
+
+// TestSlowTracingDisabled asserts a negative threshold turns tracing off.
+func TestSlowTracingDisabled(t *testing.T) {
+	ts, _ := newTestServer(t, server.Config{SlowQueryThreshold: -1})
+	if code, _ := post(t, ts.URL+"/v1/reach", map[string]any{"graph": "plain", "s": 1, "t": 2}); code != http.StatusOK {
+		t.Fatalf("reach status %d", code)
+	}
+	resp, err := http.Get(ts.URL + "/v1/debug/slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Total  uint64            `json:"total"`
+		Traces []json.RawMessage `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Total != 0 || len(out.Traces) != 0 {
+		t.Fatalf("tracing disabled but %d traces recorded", out.Total)
+	}
+}

@@ -4,9 +4,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"kreach"
 	"kreach/internal/cache"
@@ -354,6 +357,14 @@ type Config struct {
 	CacheEntries int
 	// CacheShards is the cache shard count (0 = derived from GOMAXPROCS).
 	CacheShards int
+	// Logger receives structured request logs and serving-layer warnings.
+	// nil means discard — a library server stays silent unless its owner
+	// hands it a logger (kreachd always does).
+	Logger *slog.Logger
+	// SlowQueryThreshold is the latency past which reach/batch/neighbors
+	// requests are traced into the /v1/debug/slow ring.
+	// 0 = DefaultSlowQueryThreshold; negative disables tracing.
+	SlowQueryThreshold time.Duration
 }
 
 // DefaultMaxBatch is the /v1/batch pair cap when Config.MaxBatch is 0.
@@ -370,6 +381,14 @@ type Server struct {
 	// when disabled). Keys embed the snapshot epoch, so entries from a
 	// replaced snapshot can never answer for its successor.
 	cache *cache.Cache[queryKey, cachedAnswer]
+
+	logger        *slog.Logger
+	obs           *serverMetrics
+	slowRing      *slowRing
+	slowThreshold time.Duration
+	ready         atomic.Bool
+	idBase        string        // request-ID prefix, unique per process start
+	reqSeq        atomic.Uint64 // request-ID sequence
 }
 
 // New builds a Server over reg.
@@ -384,19 +403,42 @@ func New(reg *Registry, cfg Config) *Server {
 			Shards:   cfg.CacheShards,
 		})
 	}
+	s.logger = cfg.Logger
+	if s.logger == nil {
+		s.logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	s.slowThreshold = cfg.SlowQueryThreshold
+	if s.slowThreshold == 0 {
+		s.slowThreshold = DefaultSlowQueryThreshold
+	}
+	s.slowRing = &slowRing{}
+	s.idBase = fmt.Sprintf("%x", time.Now().UnixNano())
+	s.obs = newServerMetrics(s)
 	// A [s,t] pair of 32-bit ids serializes to at most ~24 bytes; 64 leaves
 	// whitespace headroom. Bodies beyond the cap are rejected before the
 	// decoder buffers them, so MaxBatch bounds memory, not just pair count.
 	s.maxBody = 4096 + 64*int64(cfg.MaxBatch)
-	s.mux.HandleFunc("POST /v1/reach", s.handleReach)
-	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
-	s.mux.HandleFunc("POST /v1/neighbors", s.handleNeighbors)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("POST /v1/datasets/{name}/reload", s.handleReload)
-	s.mux.HandleFunc("POST /v1/datasets/{name}/edges", s.handleEdges)
-	s.mux.HandleFunc("POST /v1/datasets/{name}/compact", s.handleCompact)
+	s.mux.HandleFunc("POST /v1/reach", s.instrument("reach", true, s.handleReach))
+	s.mux.HandleFunc("POST /v1/batch", s.instrument("batch", true, s.handleBatch))
+	s.mux.HandleFunc("POST /v1/neighbors", s.instrument("neighbors", true, s.handleNeighbors))
+	s.mux.HandleFunc("GET /v1/stats", s.instrument("stats", false, s.handleStats))
+	s.mux.HandleFunc("POST /v1/datasets/{name}/reload", s.instrument("reload", false, s.handleReload))
+	s.mux.HandleFunc("POST /v1/datasets/{name}/edges", s.instrument("edges", false, s.handleEdges))
+	s.mux.HandleFunc("POST /v1/datasets/{name}/compact", s.instrument("compact", false, s.handleCompact))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/debug/slow", s.handleDebugSlow)
 	return s
+}
+
+// MarkReady flips /readyz to 200. kreachd calls it once every dataset —
+// including WAL recovery — is loaded and published; until then the server
+// answers queries for whatever is registered but reports itself not ready,
+// so rolling deploys don't route traffic to a half-recovered process.
+func (s *Server) MarkReady() {
+	s.ready.Store(true)
+	s.obs.ready.Set(1)
 }
 
 // ServeHTTP implements http.Handler.
@@ -437,6 +479,19 @@ func checkVertex(d *Dataset, label string, v int) error {
 	return nil
 }
 
+// handleHealthz is liveness: the process is up and serving HTTP. It never
+// reports anything about data; use /readyz for that.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness: 200 only after MarkReady (every dataset
+// published, WAL recovery included), 503 before — load balancers should
+// gate traffic on this, not on /healthz.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "loading"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }

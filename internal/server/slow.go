@@ -1,0 +1,87 @@
+package server
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+// The slow-query trace ring: query requests (reach, batch, neighbors) that
+// exceed the configured threshold leave an annotated trace — who was
+// asked, which execution path answered, how long it took — in a fixed-size
+// ring served at GET /v1/debug/slow. The ring is a debugging surface, not
+// a log: it holds the most recent slowRingSize traces and overwrites the
+// oldest, so it costs constant memory no matter how bad an incident gets.
+
+// slowRingSize is the trace capacity of the ring.
+const slowRingSize = 128
+
+// DefaultSlowQueryThreshold is the trace threshold when
+// Config.SlowQueryThreshold is 0. Negative disables tracing.
+const DefaultSlowQueryThreshold = 100 * time.Millisecond
+
+// SlowTrace is one recorded slow query.
+type SlowTrace struct {
+	ID       string        `json:"id"`
+	Endpoint string        `json:"endpoint"`
+	Dataset  string        `json:"dataset"`
+	Outcome  string        `json:"outcome"`
+	S        int           `json:"s"`
+	T        int           `json:"t,omitempty"` // meaningless for neighbors
+	K        *int          `json:"k,omitempty"` // request bound; absent = native
+	Path     string        `json:"path,omitempty"`
+	Workers  int           `json:"workers,omitempty"` // batch parallelism; 0 = inline
+	Duration time.Duration `json:"-"`
+	Start    time.Time     `json:"start"`
+
+	// DurationMs mirrors Duration for the JSON surface.
+	DurationMs float64 `json:"duration_ms"`
+}
+
+// slowRing is the fixed-size overwrite-oldest trace buffer.
+type slowRing struct {
+	mu    sync.Mutex
+	buf   [slowRingSize]SlowTrace
+	n     int    // filled entries, ≤ slowRingSize
+	next  int    // next write position
+	total uint64 // traces ever recorded
+}
+
+func (r *slowRing) record(t SlowTrace) {
+	t.DurationMs = float64(t.Duration) / 1e6
+	r.mu.Lock()
+	r.buf[r.next] = t
+	r.next = (r.next + 1) % slowRingSize
+	if r.n < slowRingSize {
+		r.n++
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// snapshot returns the retained traces, newest first.
+func (r *slowRing) snapshot() ([]SlowTrace, uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SlowTrace, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.buf[(r.next-1-i+slowRingSize)%slowRingSize]
+	}
+	return out, r.total
+}
+
+// slowResponse is the GET /v1/debug/slow body.
+type slowResponse struct {
+	ThresholdMs float64     `json:"threshold_ms"`
+	Total       uint64      `json:"total"` // traces recorded since start (ring may have dropped older ones)
+	Traces      []SlowTrace `json:"traces"`
+}
+
+func (s *Server) handleDebugSlow(w http.ResponseWriter, _ *http.Request) {
+	traces, total := s.slowRing.snapshot()
+	writeJSON(w, http.StatusOK, slowResponse{
+		ThresholdMs: float64(s.slowThreshold) / 1e6,
+		Total:       total,
+		Traces:      traces,
+	})
+}

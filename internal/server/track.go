@@ -1,0 +1,159 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// Request tracking: every serving endpoint runs inside instrument(), which
+// assigns a request ID, times the request, resolves its outcome, feeds the
+// endpoint×dataset×outcome latency histogram, writes one structured access
+// log line and — for query endpoints past the slow threshold — records a
+// trace in the slow ring. Handlers annotate the in-flight request through
+// the reqTrack carried in the context; the ID also rides out to the client
+// as the X-Request-Id header and into worker pools via the context.
+
+// Request outcomes, the third label of kreach_request_duration_seconds.
+const (
+	outcomeOK        = "ok"
+	outcomeError     = "error"
+	outcomeCancelled = "cancelled"
+	outcomeCacheHit  = "cache-hit"
+)
+
+// reqTrack is the mutable annotation record of one in-flight request.
+// Handlers fill in what they learn (dataset, query shape, execution path,
+// explicit outcome); instrument() reads it once the handler returns. It is
+// touched only by the request's own goroutine.
+type reqTrack struct {
+	id      string
+	dataset string
+	outcome string // set by handlers for outcomes status codes can't express (cache-hit)
+	path    string // execution path, for the slow ring
+	s, t    int
+	k       *int
+	pairs   int // batch size (batch endpoint only)
+	workers int // batch parallelism (batch endpoint only)
+	query   bool
+}
+
+type trackKey struct{}
+
+// track returns the request's annotation record, or a discardable dummy
+// when the handler runs outside instrument() (direct mux tests).
+func track(ctx context.Context) *reqTrack {
+	if rt, ok := ctx.Value(trackKey{}).(*reqTrack); ok {
+		return rt
+	}
+	return &reqTrack{}
+}
+
+// RequestID returns the request ID instrument() assigned, "" outside an
+// instrumented request. Exposed for handlers and error paths that want to
+// correlate logs with the X-Request-Id the client saw.
+func RequestID(ctx context.Context) string { return track(ctx).id }
+
+// statusWriter captures the response status for outcome classification.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument wraps one endpoint's handler with the full observability
+// pipeline. query marks endpoints whose requests are eligible for the
+// slow-query ring (reach, batch, neighbors).
+func (s *Server) instrument(endpoint string, query bool, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		rt := &reqTrack{
+			id:    fmt.Sprintf("%s-%06d", s.idBase, s.reqSeq.Add(1)),
+			query: query,
+		}
+		w.Header().Set("X-Request-Id", rt.id)
+		sw := &statusWriter{ResponseWriter: w}
+		r = r.WithContext(context.WithValue(r.Context(), trackKey{}, rt))
+
+		s.obs.inFlight.Add(1)
+		start := time.Now()
+		h(sw, r)
+		dur := time.Since(start)
+		s.obs.inFlight.Add(-1)
+
+		outcome := rt.outcome
+		if outcome == "" {
+			switch {
+			case sw.status == 0 || (sw.status >= 200 && sw.status < 400):
+				// A handler that wrote nothing is the client-gone silent path.
+				if sw.status == 0 && r.Context().Err() != nil {
+					outcome = outcomeCancelled
+				} else {
+					outcome = outcomeOK
+				}
+			case r.Context().Err() != nil:
+				outcome = outcomeCancelled
+			default:
+				outcome = outcomeError
+			}
+		}
+		dataset := rt.dataset
+		if dataset == "" {
+			dataset = "-"
+		}
+		s.obs.requests.With(endpoint, dataset, outcome).Observe(dur)
+
+		attrs := []slog.Attr{
+			slog.String("id", rt.id),
+			slog.String("endpoint", endpoint),
+			slog.String("dataset", dataset),
+			slog.String("outcome", outcome),
+			slog.Int("status", sw.status),
+			slog.Duration("duration", dur),
+		}
+		if rt.path != "" {
+			attrs = append(attrs, slog.String("path", rt.path))
+		}
+		if rt.pairs > 0 {
+			attrs = append(attrs, slog.Int("pairs", rt.pairs))
+		}
+		s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
+
+		if query && s.slowThreshold > 0 && dur >= s.slowThreshold {
+			s.obs.slow.Inc()
+			s.slowRing.record(SlowTrace{
+				ID:       rt.id,
+				Endpoint: endpoint,
+				Dataset:  dataset,
+				Outcome:  outcome,
+				S:        rt.s,
+				T:        rt.t,
+				K:        rt.k,
+				Path:     rt.path,
+				Workers:  rt.workers,
+				Duration: dur,
+				Start:    start.UTC(),
+			})
+			s.logger.LogAttrs(r.Context(), slog.LevelWarn, "slow query",
+				slog.String("id", rt.id),
+				slog.String("endpoint", endpoint),
+				slog.String("dataset", dataset),
+				slog.String("path", rt.path),
+				slog.Duration("duration", dur))
+		}
+	}
+}

@@ -12,10 +12,28 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"kreach/internal/core"
 	"kreach/internal/dynamic"
 	"kreach/internal/graph"
+	"kreach/internal/obs"
+)
+
+// Package-global latency histograms, merged across stores (one serving
+// process rarely runs more than a handful of WALs, and per-store splits
+// are available via StoreStats). The serving layer adopts these into its
+// /metrics registry; they are live even when no server is attached.
+var (
+	// AppendLatency is the full durable-append span: encode, write and —
+	// under SyncAlways — the fsync.
+	AppendLatency = obs.NewHistogram()
+	// FsyncLatency is the fsync span alone, the disk's contribution to
+	// AppendLatency (empty under SyncNever).
+	FsyncLatency = obs.NewHistogram()
+	// CheckpointLatency is the full checkpoint span: snapshot write, fsync,
+	// rename, directory sync and log truncation.
+	CheckpointLatency = obs.NewHistogram()
 )
 
 // SyncPolicy controls when appended records are forced to stable storage.
@@ -259,6 +277,8 @@ func (s *Store) Append(epoch uint64, add, remove []graph.Edge) error {
 	if s.broken != nil {
 		return fmt.Errorf("wal: log wedged by unrepaired append failure: %w", s.broken)
 	}
+	start := time.Now()
+	defer func() { AppendLatency.Observe(time.Since(start)) }()
 	s.enc = appendRecord(s.enc[:0], Record{Epoch: epoch, Add: add, Remove: remove})
 	n, err := s.f.Write(s.enc)
 	if err == nil && n != len(s.enc) {
@@ -270,7 +290,10 @@ func (s *Store) Append(epoch uint64, add, remove []graph.Edge) error {
 	}
 	s.size += int64(n)
 	if s.opts.Sync == SyncAlways {
-		if err := s.f.Sync(); err != nil {
+		syncStart := time.Now()
+		err := s.f.Sync()
+		FsyncLatency.Observe(time.Since(syncStart))
+		if err != nil {
 			// The record's durability is unknown; roll it back so the
 			// acknowledged history stays a prefix of the durable one.
 			s.size -= int64(n)
@@ -309,6 +332,8 @@ func (s *Store) Checkpoint(g *graph.Graph, epoch uint64) error {
 	if !s.ready {
 		return ErrNotRecovered
 	}
+	start := time.Now()
+	defer func() { CheckpointLatency.Observe(time.Since(start)) }()
 	tmp := filepath.Join(s.dir, snapshotName+".tmp")
 	if err := writeSnapshotFile(tmp, g, epoch); err != nil {
 		os.Remove(tmp)
