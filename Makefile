@@ -16,7 +16,7 @@ BENCH_JSON_DATASETS ?= AgroCyc,CiteSeer,Xmark
 # fuzz-smoke budget per target; CI runs the same thing on every push.
 FUZZTIME ?= 30s
 
-.PHONY: all build test race lint bench-tables bench-cache bench-smoke bench-json fuzz-smoke obs-smoke
+.PHONY: all build test race lint bench-tables bench-cache bench-smoke bench-json fuzz-smoke obs-smoke router-smoke
 
 all: build test
 
@@ -48,6 +48,17 @@ bench-tables:
 		echo "on a single-CPU runner extra workers cannot multiply"; \
 		echo "throughput (BENCH_kreach.json records gomaxprocs for this)."; \
 		echo; \
+		echo "Known variance: the neighbors enum_speedup column is noisy on"; \
+		echo "1-core hosts — at bench scale each timed pass covers ~1000"; \
+		echo "balls in under a millisecond, so scheduler jitter dominates."; \
+		echo "The 0.42x AgroCyc outlier archived at the telemetry PR was"; \
+		echo "investigated and is measurement noise, not a regression:"; \
+		echo "same-commit repeats span 0.84x-1.74x, the outlier's anomaly"; \
+		echo "was a one-off 3x-fast BFS *baseline* draw (the index side was"; \
+		echo "in range), and that PR's only enumeration-path change is one"; \
+		echo "batched per-call tally increment. Trust the sign of this"; \
+		echo "column only at -scale 1 workloads."; \
+		echo; \
 		echo '```'; \
 		$(GO) run ./cmd/kbench -table all -scale $(BENCH_SCALE) -queries $(BENCH_QUERIES); \
 		echo '```'; \
@@ -70,6 +81,14 @@ bench-smoke:
 # docs/OBSERVABILITY.md documents), plus a live slow-query trace.
 obs-smoke:
 	$(GO) test ./cmd/kreachd -run TestObsSmoke -v
+
+# router-smoke is the distributed-tier e2e gate: build the real kreachd and
+# kreach-router binaries, boot three replicas plus the router, SIGKILL one
+# replica under live batch load, and require zero wrong answers (every 200
+# matches a single-replica oracle, every failure carries a typed code),
+# recovery by re-routing, and a rolling reload with zero non-2xx answers.
+router-smoke:
+	$(GO) test ./cmd/kreach-router -run TestRouterSmoke
 
 # bench-json writes the machine-readable benchmark trajectory
 # (reach/batch/cached/mutate/mutate-durable/neighbors/latency); CI uploads

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"fmt"
+	"log/slog"
+	"os"
+)
+
+// logger is the process-wide structured logger, configured from -log-level
+// and -log-format before anything that logs runs.
+var logger = slog.Default()
+
+// setupLogger builds the process logger from the -log-level/-log-format
+// flags and installs it as both the package logger and slog's default.
+func setupLogger(level, format string) error {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return fmt.Errorf("-log-level must be debug, info, warn or error, got %q", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	switch format {
+	case "text":
+		h = slog.NewTextHandler(os.Stderr, opts)
+	case "json":
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	default:
+		return fmt.Errorf("-log-format must be 'text' or 'json', got %q", format)
+	}
+	logger = slog.New(h)
+	slog.SetDefault(logger)
+	return nil
+}

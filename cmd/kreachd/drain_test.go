@@ -1,0 +1,89 @@
+package main
+
+// The graceful-drain e2e: the real binary, a real SIGTERM. Zero-error
+// rolling restarts behind kreach-router depend on an exact shutdown order
+// — /readyz flips to 503 first, traffic arriving during the grace window
+// is still answered, and only then does the listener close — and none of
+// that order is provable in-process, because it lives in main()'s signal
+// handling. So this test sends the signal and watches the order happen.
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestGracefulDrainOnSIGTERM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and signals real processes")
+	}
+	bin := buildKreachd(t)
+	dir := t.TempDir()
+	graphPath := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(graphPath, []byte("0 1\n1 2\n2 3\n3 4\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd, base := startKreachd(t, bin,
+		"-drain-grace", "1500ms",
+		"-dataset", "chain,graph="+graphPath+",k=4")
+
+	if !daemonReach(t, base, 0, 4) {
+		t.Fatal("0→4 not reachable before drain")
+	}
+	readyz := func() (int, string) {
+		resp, err := http.Get(base + "/readyz")
+		if err != nil {
+			return 0, err.Error()
+		}
+		defer resp.Body.Close()
+		var body struct {
+			Status string `json:"status"`
+		}
+		json.NewDecoder(resp.Body).Decode(&body)
+		return resp.StatusCode, body.Status
+	}
+	if code, _ := readyz(); code != http.StatusOK {
+		t.Fatalf("/readyz = %d before drain, want 200", code)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	// Within the grace window the daemon must (a) report itself draining
+	// on /readyz and (b) still answer queries — that pairing is the whole
+	// point: routers stop sending, but whatever does arrive is served.
+	deadline := time.Now().Add(time.Second)
+	for {
+		code, status := readyz()
+		if code == http.StatusServiceUnavailable {
+			if status != "draining" {
+				t.Fatalf("/readyz status %q during drain, want draining", status)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/readyz never flipped to 503 after SIGTERM (last %d %q)", code, status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !daemonReach(t, base, 0, 4) {
+		t.Fatal("query failed during the drain window; draining must keep serving")
+	}
+
+	// After the grace window the process must exit cleanly on its own.
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("kreachd exited non-zero after drain: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("kreachd never exited after SIGTERM + grace window")
+	}
+}

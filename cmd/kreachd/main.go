@@ -21,8 +21,13 @@
 //	cover=S      degree (default), random or greedy
 //	seed=N       cover seed (default 1)
 //
-// The first dataset is the default for requests that omit "graph". The
-// daemon drains in-flight requests on SIGINT/SIGTERM before exiting.
+// The first dataset is the default for requests that omit "graph". On
+// SIGINT/SIGTERM the daemon drains before exiting: /readyz flips to 503
+// immediately (so routers and load balancers stop sending traffic), every
+// request that arrives during the -drain-grace window is still answered,
+// and only then does the listener close and in-flight work finish under a
+// shutdown deadline — a rolling restart behind kreach-router is
+// zero-error.
 //
 // Query results are cached in a sharded LRU keyed by (epoch, s, t, k);
 // -cache sizes it (negative disables) and -cacheshards overrides the shard
@@ -99,6 +104,7 @@ func main() {
 		logLevel    = flag.String("log-level", "info", "log verbosity: debug, info, warn or error (per-request access logs are info)")
 		logFormat   = flag.String("log-format", "text", "log encoding: 'text' (logfmt-style) or 'json'")
 		slowQuery   = flag.Duration("slow-query-threshold", server.DefaultSlowQueryThreshold, "trace queries slower than this at GET /v1/debug/slow (negative disables)")
+		drainGrace  = flag.Duration("drain-grace", 2*time.Second, "on SIGTERM, keep serving with /readyz=503 this long before closing the listener, so load balancers stop routing here first")
 		specs       []string
 	)
 	flag.Func("dataset", "dataset spec 'name,graph=PATH[,index=PATH][,k=K][,h=H][,rungs=A+B+C][,cover=S][,seed=N]' (repeatable)", func(s string) error {
@@ -202,6 +208,21 @@ func main() {
 	case err := <-errc:
 		fatal(err)
 	case <-ctx.Done():
+	}
+	// Graceful drain: first flip /readyz to 503 so routers and load
+	// balancers stop sending new traffic, keep answering everything that
+	// still arrives for the grace window, then close the listener and let
+	// in-flight requests finish under the shutdown deadline. A replica
+	// restarted this way behind kreach-router produces zero client-visible
+	// errors: by the time the listener closes, nothing is routing here.
+	app.StartDrain()
+	logger.Info("draining", "grace", *drainGrace)
+	if *drainGrace > 0 {
+		select {
+		case err := <-errc:
+			fatal(err)
+		case <-time.After(*drainGrace):
+		}
 	}
 	logger.Info("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)

@@ -1,0 +1,262 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"time"
+
+	"kreach"
+	"kreach/internal/router"
+	"kreach/internal/server"
+	"kreach/internal/workload"
+)
+
+// The router table: the serving tier's cache-locality proof. A replicated
+// tier only keeps the single-node result-cache economics if the front tier
+// routes each source vertex to a stable replica — spray the same skewed
+// workload across N replicas at random and every replica re-learns (and
+// re-evicts) the same hot set. kreach-router's ring is keyed on
+// (dataset, source) for exactly this reason, so the measurement here is
+// end-to-end: the same celebrity-biased workload the cache table uses is
+// driven over real HTTP through a 3-replica tier and through one replica
+// alone, and the aggregate tier hit rate must hold within 10% of the
+// single node's.
+
+// routerReplicas is the tier width the router table measures: the smallest
+// deployment where locality is non-trivial (a hot source has two wrong
+// homes) and the same shape the router smoke e2e kills a replica out of.
+const routerReplicas = 3
+
+// routerDriveWorkers is the client-side concurrency of the drive loop. It
+// is 1 on purpose: with a single request in flight the bounded-load check
+// never sheds, so routing is a pure function of the ring and the warm and
+// measured passes land every pair on the same replica. Concurrent drives
+// engage overflow shedding, which re-homes singleton (tail) pairs between
+// passes and measures load-spreading noise instead of the locality
+// property this row exists to prove.
+const routerDriveWorkers = 1
+
+// RouterRow is the serving-tier cache-locality economics on the celebrity
+// workload: aggregate result-cache hit rate across a 3-replica tier behind
+// kreach-router vs one replica serving alone, plus end-to-end HTTP
+// throughput for both paths (router adds one proxy hop).
+type RouterRow struct {
+	Dataset      string  `json:"dataset"`
+	Replicas     int     `json:"replicas"`
+	SingleHitPct float64 `json:"single_hit_pct"`
+	TierHitPct   float64 `json:"tier_hit_pct"`
+	SingleKQPS   float64 `json:"single_kqps"`
+	RouterKQPS   float64 `json:"router_kqps"`
+}
+
+// routerCacheDelta reads a replica's result-cache counters out of its
+// /v1/stats so hit rates can be computed as deltas over the measured pass
+// alone, exactly like the cache table does with cache.Stats().
+type routerCacheCounters struct {
+	Hits   uint64
+	Misses uint64
+}
+
+func scrapeCacheCounters(client *http.Client, base string) (routerCacheCounters, error) {
+	resp, err := client.Get(base + "/v1/stats")
+	if err != nil {
+		return routerCacheCounters{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return routerCacheCounters{}, fmt.Errorf("stats %s: status %d", base, resp.StatusCode)
+	}
+	var doc struct {
+		Cache struct {
+			Hits   uint64 `json:"hits"`
+			Misses uint64 `json:"misses"`
+		} `json:"cache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return routerCacheCounters{}, err
+	}
+	return routerCacheCounters{Hits: doc.Cache.Hits, Misses: doc.Cache.Misses}, nil
+}
+
+func sumCacheCounters(client *http.Client, bases []string) (routerCacheCounters, error) {
+	var total routerCacheCounters
+	for _, b := range bases {
+		c, err := scrapeCacheCounters(client, b)
+		if err != nil {
+			return routerCacheCounters{}, err
+		}
+		total.Hits += c.Hits
+		total.Misses += c.Misses
+	}
+	return total, nil
+}
+
+// driveReach pushes the workload through base's /v1/reach over real HTTP
+// with a small worker pool, returning the wall time. Requests only need to
+// land (status 200) — answers are the replicas' concern and are covered by
+// the router tests; this loop measures cache behavior and throughput.
+func driveReach(client *http.Client, base string, q workload.Queries, workers int) (time.Duration, error) {
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		driveErr error
+	)
+	n := q.Len()
+	chunk := (n + workers - 1) / workers
+	t0 := time.Now()
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, n)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				body := fmt.Sprintf(`{"graph":"g","s":%d,"t":%d}`, q.S[i], q.T[i])
+				resp, err := client.Post(base+"/v1/reach", "application/json", strings.NewReader(body))
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						err = fmt.Errorf("reach s=%d t=%d: status %d", q.S[i], q.T[i], resp.StatusCode)
+					}
+				}
+				if err != nil {
+					mu.Lock()
+					if driveErr == nil {
+						driveErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return time.Since(t0), driveErr
+}
+
+// routerRow measures one dataset: build the (3,8)-reach index once (shared
+// read-only by every replica — replication, not partitioning), boot one
+// standalone replica and a 3-replica tier behind an in-process
+// kreach-router, then run the celebrity workload warm-then-measured
+// through each path and compare measured-pass hit rates.
+func (r *Runner) routerRow(name string, d *dataset) (RouterRow, error) {
+	kg := kreach.WrapInternal(d.g)
+	hk, err := kreach.BuildHKIndex(kg, kreach.HKOptions{H: 3, K: 8})
+	if err != nil {
+		return RouterRow{}, fmt.Errorf("bench: %s: %w", name, err)
+	}
+	newReplica := func() (*httptest.Server, error) {
+		reg := server.NewRegistry()
+		if err := reg.Add(&server.Dataset{Name: "g", Graph: kg, Reacher: hk}); err != nil {
+			return nil, err
+		}
+		srv := server.New(reg, server.Config{})
+		srv.MarkReady()
+		return httptest.NewServer(srv), nil
+	}
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 2 * routerDriveWorkers}}
+	celeb := workload.CelebrityBiased(d.g, r.cfg.Queries, 64, 0.9, r.cfg.Seed+13)
+
+	// measure warms the caches with one full pass, then times a second pass
+	// and returns the steady-state hit rate from the replicas' own /v1/stats
+	// counter deltas — the same warm-then-delta methodology as cacheRow, but
+	// observed through the serving surface instead of in-process.
+	measure := func(driveBase string, replicaBases []string) (hitPct, kqps float64, err error) {
+		if _, err := driveReach(client, driveBase, celeb, routerDriveWorkers); err != nil {
+			return 0, 0, err
+		}
+		before, err := sumCacheCounters(client, replicaBases)
+		if err != nil {
+			return 0, 0, err
+		}
+		elapsed, err := driveReach(client, driveBase, celeb, routerDriveWorkers)
+		if err != nil {
+			return 0, 0, err
+		}
+		after, err := sumCacheCounters(client, replicaBases)
+		if err != nil {
+			return 0, 0, err
+		}
+		hits := after.Hits - before.Hits
+		if total := hits + after.Misses - before.Misses; total > 0 {
+			hitPct = 100 * float64(hits) / float64(total)
+		}
+		return hitPct, float64(celeb.Len()) / elapsed.Seconds() / 1000, nil
+	}
+
+	// Single node: the whole workload against one replica, no router.
+	single, err := newReplica()
+	if err != nil {
+		return RouterRow{}, err
+	}
+	defer single.Close()
+	singleHit, singleKQPS, err := measure(single.URL, []string{single.URL})
+	if err != nil {
+		return RouterRow{}, fmt.Errorf("bench: %s: single node: %w", name, err)
+	}
+
+	// Tier: three fresh replicas behind a router; the drive goes through
+	// the router, the counters come from the replicas underneath it.
+	bases := make([]string, 0, routerReplicas)
+	for i := 0; i < routerReplicas; i++ {
+		rep, err := newReplica()
+		if err != nil {
+			return RouterRow{}, err
+		}
+		defer rep.Close()
+		bases = append(bases, rep.URL)
+	}
+	rt, err := router.New(router.Config{Replicas: append([]string(nil), bases...)})
+	if err != nil {
+		return RouterRow{}, err
+	}
+	front := httptest.NewServer(rt)
+	defer front.Close()
+	tierHit, routerKQPS, err := measure(front.URL, bases)
+	if err != nil {
+		return RouterRow{}, fmt.Errorf("bench: %s: tier: %w", name, err)
+	}
+
+	return RouterRow{
+		Dataset:      name,
+		Replicas:     routerReplicas,
+		SingleHitPct: singleHit,
+		TierHitPct:   tierHit,
+		SingleKQPS:   singleKQPS,
+		RouterKQPS:   routerKQPS,
+	}, nil
+}
+
+// TableRouter prints the serving-tier cache-locality proof: aggregate
+// result-cache hit rate across a 3-replica tier routed by source locality
+// vs a single node on the same celebrity workload, plus end-to-end HTTP
+// throughput through each path. Not a paper table — it measures the
+// property kreach-router's (dataset, source) ring key exists to preserve.
+func (r *Runner) TableRouter() error {
+	fmt.Fprintf(r.cfg.Out, "Router: %d-replica tier vs single node, (3,8)-reach cache, %d queries over HTTP (celebrity bias 0.9, top 64)\n",
+		routerReplicas, r.cfg.Queries)
+	w := r.tab()
+	fmt.Fprintln(w, "\treplicas\tsingle hit%\ttier hit%\tsingle kq/s\trouter kq/s\t")
+	for _, name := range r.cfg.Datasets {
+		d, err := r.dataset(name)
+		if err != nil {
+			return err
+		}
+		row, err := r.routerRow(name, d)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s\t%d\t%.1f\t%.1f\t%.1f\t%.1f\t\n",
+			name, row.Replicas, row.SingleHitPct, row.TierHitPct, row.SingleKQPS, row.RouterKQPS)
+	}
+	return w.Flush()
+}

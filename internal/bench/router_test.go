@@ -1,0 +1,38 @@
+package bench
+
+import (
+	"io"
+	"testing"
+)
+
+// TestRouterRowLocality is the cache-locality acceptance check: on the
+// 0.9-skew celebrity workload, the aggregate result-cache hit rate of a
+// 3-replica tier behind kreach-router must hold within 10% of a single
+// node's — source-locality routing is what makes replication free for the
+// cache, and this is where it is enforced.
+func TestRouterRowLocality(t *testing.T) {
+	r := NewRunner(Config{
+		Datasets: []string{"AgroCyc"},
+		Queries:  4000,
+		Scale:    20,
+		Seed:     1,
+		Out:      io.Discard,
+	})
+	d, err := r.dataset("AgroCyc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := r.routerRow("AgroCyc", d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("single hit %.1f%%, tier hit %.1f%%, single %.1f kq/s, router %.1f kq/s",
+		row.SingleHitPct, row.TierHitPct, row.SingleKQPS, row.RouterKQPS)
+	if row.SingleHitPct <= 0 {
+		t.Fatalf("single-node hit rate %.1f%%: the celebrity workload should hit the cache", row.SingleHitPct)
+	}
+	if row.TierHitPct < 0.9*row.SingleHitPct {
+		t.Fatalf("tier hit rate %.1f%% fell more than 10%% below single node's %.1f%%: locality routing is not holding",
+			row.TierHitPct, row.SingleHitPct)
+	}
+}

@@ -1,0 +1,49 @@
+// Package router is the kreach distributed serving tier: a stateless L7
+// front over N kreachd replicas (cmd/kreach-router is its daemon). One
+// kreachd process caps out at one machine; the router is how "millions of
+// users" traffic spreads across a replica set without giving up the
+// single-node serving properties the lower layers worked for.
+//
+// Four ideas carry the package:
+//
+//   - Source-locality routing. Queries are placed on a consistent-hash
+//     ring keyed by (dataset, source vertex), so repeated queries about
+//     one vertex's small world keep landing on the same replica and hit
+//     its singleflight LRU (the PR-2 result cache). Placement is
+//     bounded-load: a replica drowning in in-flight work sheds the
+//     overflow to the next ring owner instead of queueing behind it.
+//
+//   - Scatter-gather batches. /v1/batch is partitioned by owner, the legs
+//     dispatched in parallel under the request context (a client
+//     disconnect cancels every leg), and the answers reassembled in
+//     request order. Failed legs retry on surviving owners with jittered
+//     backoff; a leg past its latency budget is hedged against the next
+//     owner and the first answer wins. Whatever cannot be answered after
+//     retries is reported as a typed partial error — never silently
+//     dropped.
+//
+//   - Health-checked replica sets. An active checker drives each replica
+//     through healthy/degraded/ejected off /readyz + /v1/stats scrapes;
+//     request-path failures demote immediately (a SIGKILLed replica stops
+//     receiving traffic at the next request, not the next probe), and
+//     recovery is observed, not assumed.
+//
+//   - Epoch fencing. Index epochs are process-local generation counters,
+//     so the fence is per-replica: the router tracks each replica's
+//     per-dataset epoch from /v1/stats (and from every batch leg, which
+//     carries the epoch it was answered under) and refuses to merge a
+//     scatter-gather response in which one replica answered legs under
+//     two different index generations — stale legs are re-dispatched, and
+//     a batch that cannot be made single-generation-per-replica fails
+//     typed rather than returning a Frankenstein answer. Rolling reloads
+//     drain a replica (no new legs, in-flight legs finish) before its
+//     reload runs, so the mixed case never arises on the orchestrated
+//     path; the fence is the backstop for reloads the router did not
+//     initiate.
+//
+// The router holds no index state of its own: every replica serves the
+// full dataset set (replication, not partitioning — sharding the graph
+// itself is the follower-catch-up item in ROADMAP.md), which is what
+// makes failover trivially correct: any replica can answer any query, the
+// ring only decides who answers it hot.
+package router

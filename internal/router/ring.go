@@ -1,0 +1,120 @@
+package router
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// Ring is a consistent-hash ring over a fixed replica set. Each replica
+// owns VNodes points on the ring; a query key (dataset, source vertex)
+// hashes to a position and is owned by the next points clockwise. The two
+// properties the serving tier leans on:
+//
+//   - Locality: the same (dataset, s) always lands on the same replica
+//     (as long as it stays routable), so that replica's result cache
+//     accumulates s's neighborhood and keeps answering it hot.
+//   - Minimal disruption: when a replica is ejected, only the keys it
+//     owned move (to their next clockwise owner); everyone else's cache
+//     locality is untouched.
+//
+// The ring itself is immutable after construction — membership changes
+// are expressed at lookup time through the `ok` filter, which is how
+// health state stays out of the hash structure entirely.
+type Ring struct {
+	points []ringPoint // sorted by hash
+	ids    []string    // member ids, construction order
+}
+
+type ringPoint struct {
+	hash uint64
+	id   string
+}
+
+// DefaultVNodes is the per-replica virtual-node count when Config.VNodes
+// is 0. 128 points per replica keeps the max/mean key imbalance within a
+// few percent for small replica sets.
+const DefaultVNodes = 128
+
+// NewRing builds a ring over the given member ids.
+func NewRing(ids []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &Ring{ids: append([]string(nil), ids...)}
+	r.points = make([]ringPoint, 0, len(ids)*vnodes)
+	for _, id := range ids {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(id + "#" + strconv.Itoa(v)), id: id})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].id < r.points[j].id
+	})
+	return r
+}
+
+// Members returns the member ids the ring was built over.
+func (r *Ring) Members() []string { return append([]string(nil), r.ids...) }
+
+// Key hashes a (dataset, source vertex) pair onto the ring. The target
+// vertex deliberately does not participate: locality is per source
+// neighborhood, and one replica answering all of s's pairs is exactly
+// what keeps its cache hot for s.
+func (r *Ring) Key(dataset string, s int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(dataset))
+	var sep [1]byte
+	h.Write(sep[:])
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], uint32(s))
+	h.Write(buf[:])
+	return mix64(h.Sum64())
+}
+
+// Owners returns up to n distinct members owning key, in clockwise
+// preference order, keeping only members for which ok returns true. The
+// first entry is the primary owner; the rest are the failover/hedge
+// order. An empty result means no member passed the filter.
+func (r *Ring) Owners(key uint64, n int, ok func(id string) bool) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	owners := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(owners) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.id] {
+			continue
+		}
+		seen[p.id] = true
+		if ok == nil || ok(p.id) {
+			owners = append(owners, p.id)
+		}
+	}
+	return owners
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer. FNV output over short similar strings
+// ("host:port#0".."host:port#127") clusters on the ring badly enough to
+// skew per-member shares 3x; the finalizer restores avalanche so vnode
+// points behave like uniform random positions.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

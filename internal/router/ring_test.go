@@ -1,0 +1,131 @@
+package router
+
+import (
+	"testing"
+)
+
+func TestRingDeterministicOwner(t *testing.T) {
+	r := NewRing([]string{"a:1", "b:1", "c:1"}, 64)
+	for s := 0; s < 1000; s++ {
+		k := r.Key("g", s)
+		o1 := r.Owners(k, 3, nil)
+		o2 := r.Owners(k, 3, nil)
+		if len(o1) != 3 {
+			t.Fatalf("s=%d: got %d owners", s, len(o1))
+		}
+		for i := range o1 {
+			if o1[i] != o2[i] {
+				t.Fatalf("s=%d: owners not deterministic: %v vs %v", s, o1, o2)
+			}
+		}
+		seen := map[string]bool{}
+		for _, id := range o1 {
+			if seen[id] {
+				t.Fatalf("s=%d: duplicate owner %v", s, o1)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	ids := []string{"a:1", "b:1", "c:1", "d:1", "e:1"}
+	r := NewRing(ids, DefaultVNodes)
+	counts := map[string]int{}
+	const keys = 20000
+	for s := 0; s < keys; s++ {
+		counts[r.Owners(r.Key("g", s), 1, nil)[0]]++
+	}
+	mean := float64(keys) / float64(len(ids))
+	for id, c := range counts {
+		ratio := float64(c) / mean
+		if ratio < 0.5 || ratio > 1.7 {
+			t.Fatalf("member %s owns %d keys (%.2fx mean); distribution too skewed: %v", id, c, ratio, counts)
+		}
+	}
+}
+
+// TestRingMinimalDisruption: filtering out one member must move only the
+// keys it owned; every other key keeps its owner.
+func TestRingMinimalDisruption(t *testing.T) {
+	ids := []string{"a:1", "b:1", "c:1", "d:1"}
+	r := NewRing(ids, DefaultVNodes)
+	const keys = 5000
+	before := make([]string, keys)
+	for s := 0; s < keys; s++ {
+		before[s] = r.Owners(r.Key("g", s), 1, nil)[0]
+	}
+	dead := "b:1"
+	moved := 0
+	for s := 0; s < keys; s++ {
+		after := r.Owners(r.Key("g", s), 1, func(id string) bool { return id != dead })[0]
+		if before[s] != dead {
+			if after != before[s] {
+				t.Fatalf("s=%d: key not owned by dead member moved %s -> %s", s, before[s], after)
+			}
+		} else {
+			moved++
+			if after == dead {
+				t.Fatalf("s=%d: dead member still selected", s)
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("expected the dead member to own some keys")
+	}
+}
+
+func TestRingKeyIgnoresTarget(t *testing.T) {
+	r := NewRing([]string{"a:1", "b:1"}, 64)
+	// Key depends only on (dataset, s); different datasets hash apart.
+	if r.Key("g", 7) != r.Key("g", 7) {
+		t.Fatal("key not stable")
+	}
+	if r.Key("g", 7) == r.Key("h", 7) {
+		t.Fatal("dataset does not participate in the key")
+	}
+}
+
+func TestOwnersBoundedLoad(t *testing.T) {
+	rt, err := New(Config{Replicas: []string{
+		"http://a:1", "http://b:1", "http://c:1",
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a source whose primary owner is replicas[0] with no load skew.
+	var s int
+	var primary *Replica
+	for s = 0; s < 1000; s++ {
+		primary = rt.owners("g", s)[0]
+		if primary == rt.replicas[0] {
+			break
+		}
+	}
+	// Overload the primary: it must shed this key to another owner, and the
+	// shed target must be the deterministic next ring owner.
+	primary.inflight.Store(1000)
+	shed := rt.owners("g", s)
+	if shed[0] == primary {
+		t.Fatalf("overloaded primary %s still heads the owner list", primary.ID)
+	}
+	if got := rt.owners("g", s)[0]; got != shed[0] {
+		t.Fatalf("shed owner not deterministic: %s vs %s", got.ID, shed[0].ID)
+	}
+	// Load released: placement returns home.
+	primary.inflight.Store(0)
+	if got := rt.owners("g", s)[0]; got != primary {
+		t.Fatalf("after load released, owner is %s, want %s", got.ID, primary.ID)
+	}
+	// All owners still present, no duplicates.
+	if len(shed) != 3 {
+		t.Fatalf("got %d owners, want 3", len(shed))
+	}
+	fmtSet := map[*Replica]bool{}
+	for _, rep := range shed {
+		if fmtSet[rep] {
+			t.Fatalf("duplicate owner %s", rep.ID)
+		}
+		fmtSet[rep] = true
+	}
+}

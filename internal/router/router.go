@@ -1,0 +1,292 @@
+package router
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"net/http"
+	"time"
+
+	"kreach/internal/server"
+)
+
+// Config tunes a Router.
+type Config struct {
+	// Replicas are the kreachd base URLs the router fronts (at least one).
+	Replicas []string
+	// Primary is the base URL receiving mutations (edges/compact); ""
+	// means the first replica. Mutations never fail over: they are not
+	// idempotent, and the non-primary replicas don't journal them anyway
+	// (follower catch-up over the WAL is the ROADMAP item).
+	Primary string
+	// VNodes is the per-replica virtual-node count (0 = DefaultVNodes).
+	VNodes int
+	// LoadFactor c bounds placement load: a replica already carrying more
+	// than c×(mean in-flight)+1 sheds new keys to the next ring owner.
+	// 0 means DefaultLoadFactor; negative disables bounded-load.
+	LoadFactor float64
+	// MaxBatch caps the pairs accepted by one /v1/batch request
+	// (0 = server.DefaultMaxBatch).
+	MaxBatch int
+	// LegPairs caps the pairs sent to one replica in one leg; larger
+	// owner shares split into multiple legs (0 = DefaultLegPairs).
+	LegPairs int
+	// Retries is the extra dispatch attempts a failed leg gets on
+	// successive owners (0 = DefaultRetries; negative disables).
+	Retries int
+	// RetryBackoff is the base of the jittered exponential backoff
+	// between a leg's attempts (0 = DefaultRetryBackoff).
+	RetryBackoff time.Duration
+	// HedgeAfter is the per-leg latency budget past which the leg is
+	// hedged against the next owner (0 = DefaultHedgeAfter; negative
+	// disables hedging).
+	HedgeAfter time.Duration
+	// ProbeInterval is the active health-check period
+	// (0 = DefaultProbeInterval).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe round-trip (0 = DefaultProbeTimeout).
+	ProbeTimeout time.Duration
+	// EjectAfter is the consecutive-failure count that fully ejects a
+	// replica (0 = DefaultEjectAfter).
+	EjectAfter int
+	// DrainTimeout bounds how long a rolling reload waits for a drained
+	// replica's in-flight legs to finish (0 = DefaultDrainTimeout).
+	DrainTimeout time.Duration
+	// Logger receives structured routing logs; nil discards.
+	Logger *slog.Logger
+}
+
+// Tuning defaults; every zero Config field resolves to one of these.
+const (
+	DefaultLoadFactor    = 1.25
+	DefaultLegPairs      = 4096
+	DefaultRetries       = 3
+	DefaultRetryBackoff  = 10 * time.Millisecond
+	DefaultHedgeAfter    = 50 * time.Millisecond
+	DefaultProbeInterval = 500 * time.Millisecond
+	DefaultProbeTimeout  = 2 * time.Second
+	DefaultEjectAfter    = 3
+	DefaultDrainTimeout  = 10 * time.Second
+)
+
+// Router fronts a replicated kreachd set. Create one with New; it is an
+// http.Handler serving the same query surface as kreachd (/v1/reach,
+// /v1/batch, /v1/neighbors, mutations) plus its own /v1/stats, /metrics,
+// /healthz and /readyz. Call Start to run the active health checker.
+type Router struct {
+	cfg      Config
+	replicas []*Replica
+	byID     map[string]*Replica
+	primary  *Replica
+	ring     *Ring
+	mux      *http.ServeMux
+	logger   *slog.Logger
+	metrics  *routerMetrics
+	maxBody  int64
+	started  time.Time
+}
+
+// New builds a Router over cfg.Replicas.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Replicas) == 0 {
+		return nil, fmt.Errorf("router: at least one replica is required")
+	}
+	if cfg.VNodes <= 0 {
+		cfg.VNodes = DefaultVNodes
+	}
+	if cfg.LoadFactor == 0 {
+		cfg.LoadFactor = DefaultLoadFactor
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = server.DefaultMaxBatch
+	}
+	if cfg.LegPairs <= 0 {
+		cfg.LegPairs = DefaultLegPairs
+	}
+	if cfg.Retries == 0 {
+		cfg.Retries = DefaultRetries
+	} else if cfg.Retries < 0 {
+		cfg.Retries = 0
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = DefaultRetryBackoff
+	}
+	if cfg.HedgeAfter == 0 {
+		cfg.HedgeAfter = DefaultHedgeAfter
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = DefaultProbeInterval
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = DefaultProbeTimeout
+	}
+	if cfg.EjectAfter <= 0 {
+		cfg.EjectAfter = DefaultEjectAfter
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = DefaultDrainTimeout
+	}
+	rt := &Router{
+		cfg:     cfg,
+		byID:    make(map[string]*Replica, len(cfg.Replicas)),
+		mux:     http.NewServeMux(),
+		logger:  cfg.Logger,
+		started: time.Now(),
+	}
+	if rt.logger == nil {
+		rt.logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConnsPerHost: 64, // scatter legs reuse connections per replica
+		IdleConnTimeout:     90 * time.Second,
+	}}
+	ids := make([]string, 0, len(cfg.Replicas))
+	for _, base := range cfg.Replicas {
+		rep, err := newReplica(base, client)
+		if err != nil {
+			return nil, fmt.Errorf("router: replica %q: %w", base, err)
+		}
+		if _, dup := rt.byID[rep.ID]; dup {
+			return nil, fmt.Errorf("router: duplicate replica %q", rep.ID)
+		}
+		rt.byID[rep.ID] = rep
+		rt.replicas = append(rt.replicas, rep)
+		ids = append(ids, rep.ID)
+	}
+	rt.primary = rt.replicas[0]
+	if cfg.Primary != "" {
+		rep, err := newReplica(cfg.Primary, client)
+		if err != nil {
+			return nil, fmt.Errorf("router: primary %q: %w", cfg.Primary, err)
+		}
+		existing, ok := rt.byID[rep.ID]
+		if !ok {
+			return nil, fmt.Errorf("router: primary %q is not one of the replicas", cfg.Primary)
+		}
+		rt.primary = existing
+	}
+	rt.ring = NewRing(ids, cfg.VNodes)
+	rt.metrics = newRouterMetrics(rt)
+	rt.maxBody = 4096 + 64*int64(cfg.MaxBatch)
+
+	rt.mux.HandleFunc("POST /v1/reach", rt.instrument("reach", rt.handleReach))
+	rt.mux.HandleFunc("POST /v1/batch", rt.instrument("batch", rt.handleBatch))
+	rt.mux.HandleFunc("POST /v1/neighbors", rt.instrument("neighbors", rt.handleNeighbors))
+	rt.mux.HandleFunc("POST /v1/datasets/{name}/edges", rt.instrument("edges", rt.handlePrimary))
+	rt.mux.HandleFunc("POST /v1/datasets/{name}/compact", rt.instrument("compact", rt.handlePrimary))
+	rt.mux.HandleFunc("POST /v1/datasets/{name}/reload", rt.instrument("reload", rt.handleRollingReload))
+	rt.mux.HandleFunc("GET /v1/stats", rt.instrument("stats", rt.handleStats))
+	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("GET /readyz", rt.handleReadyz)
+	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	return rt, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) { rt.mux.ServeHTTP(w, r) }
+
+// Replicas returns the router's replica views (stats, tests).
+func (rt *Router) Replicas() []*Replica { return append([]*Replica(nil), rt.replicas...) }
+
+// owners resolves the candidate replicas for one (dataset, s) key:
+// ring-ordered routable owners, with the bounded-load rule applied to the
+// head — a primary owner already carrying more than LoadFactor× the mean
+// in-flight load sheds this key to the first non-overloaded successor
+// (consistent hashing with bounded loads; the overflow is deterministic
+// per ring order, so even shed keys retain second-choice locality).
+func (rt *Router) owners(dataset string, s int) []*Replica {
+	ids := rt.ring.Owners(rt.ring.Key(dataset, s), len(rt.replicas),
+		func(id string) bool { return rt.byID[id].Routable() })
+	if len(ids) == 0 {
+		return nil
+	}
+	reps := make([]*Replica, len(ids))
+	for i, id := range ids {
+		reps[i] = rt.byID[id]
+	}
+	if rt.cfg.LoadFactor > 0 && len(reps) > 1 {
+		var total int64
+		for _, rep := range reps {
+			total += rep.Inflight()
+		}
+		limit := int64(math.Ceil(rt.cfg.LoadFactor * float64(total+1) / float64(len(reps))))
+		for i, rep := range reps {
+			if rep.Inflight() < limit {
+				if i > 0 {
+					head := reps[i]
+					copy(reps[1:i+1], reps[:i])
+					reps[0] = head
+				}
+				break
+			}
+		}
+	}
+	return reps
+}
+
+// routableCount is the number of replicas currently accepting placements.
+func (rt *Router) routableCount() int {
+	n := 0
+	for _, rep := range rt.replicas {
+		if rep.Routable() {
+			n++
+		}
+	}
+	return n
+}
+
+// Typed error codes carried in the "code" field of router error bodies,
+// so clients and tests can tell an unanswerable request from a wrong one
+// without parsing prose.
+const (
+	CodeNoReplicas     = "no_replicas"     // no routable replica for the key
+	CodePartialFailure = "partial_failure" // some legs failed after retries
+	CodeMixedEpoch     = "mixed_epoch"     // fence: one replica answered across a reload
+	CodePrimaryDown    = "primary_down"    // mutation target unreachable
+	CodeUpstreamError  = "upstream_error"  // all candidates failed a pass-through
+	CodeBadRequest     = "bad_request"     // request invalid at the router
+)
+
+// routerError is the router's error body. FailedPairs lists the request
+// positions a partial batch failure could not answer — the contract is
+// that no pair ever silently drops: it is either answered correctly or
+// named here.
+type routerError struct {
+	Error       string `json:"error"`
+	Code        string `json:"code"`
+	FailedPairs []int  `json:"failed_pairs,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
+}
+
+func writeErrorCode(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, routerError{Error: fmt.Sprintf(format, args...), Code: code})
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz: the router is ready when at least one replica is
+// routable — with zero, every query would fail anyway, and a fleet
+// balancer should stop sending here.
+func (rt *Router) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if rt.routableCount() == 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "no routable replicas"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// drainClose drains and closes a response body so the transport can reuse
+// the connection.
+func drainClose(resp *http.Response) {
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+}

@@ -1,0 +1,496 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kreach"
+	"kreach/internal/gen"
+	"kreach/internal/server"
+)
+
+// testGraph generates the shared graph every backend replica serves.
+func testGraph(t *testing.T) *kreach.Graph {
+	t.Helper()
+	g := gen.Spec{Family: gen.Citation, N: 300, M: 1100, Seed: 11, Window: 50}.Generate()
+	return kreach.WrapInternal(g)
+}
+
+// testDataset builds a reloadable dataset: the loader rebuilds the index,
+// which necessarily mints a fresh epoch — exactly what a reload does in
+// production.
+func testDataset(t *testing.T, g *kreach.Graph, name string) *server.Dataset {
+	t.Helper()
+	build := func() (*server.Dataset, error) {
+		idx, err := kreach.BuildIndex(g, kreach.IndexOptions{K: 4, Seed: 1})
+		if err != nil {
+			return nil, err
+		}
+		return &server.Dataset{Name: name, Graph: g, Reacher: idx}, nil
+	}
+	d, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Loader = build
+	return d
+}
+
+// startBackend runs one real kreachd serving stack over httptest.
+func startBackend(t *testing.T, g *kreach.Graph) *httptest.Server {
+	t.Helper()
+	reg := server.NewRegistry()
+	if err := reg.Add(testDataset(t, g, "g")); err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(reg, server.Config{})
+	srv.MarkReady()
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// startTier runs n backends plus a router over them, all in-process.
+func startTier(t *testing.T, n int, cfg Config) (*Router, []*httptest.Server, *kreach.Graph) {
+	t.Helper()
+	g := testGraph(t)
+	backends := make([]*httptest.Server, n)
+	for i := range backends {
+		backends[i] = startBackend(t, g)
+		cfg.Replicas = append(cfg.Replicas, backends[i].URL)
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt, backends, g
+}
+
+func postJSON(t *testing.T, h http.Handler, path string, body any) (int, []byte) {
+	t.Helper()
+	var buf []byte
+	if body != nil {
+		var err error
+		buf, err = json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(buf))
+	req.Header.Set("Content-Type", "application/json")
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w.Code, w.Body.Bytes()
+}
+
+func randPairs(n, vertices int, seed int64) [][2]int {
+	rng := rand.New(rand.NewSource(seed))
+	pairs := make([][2]int, n)
+	for i := range pairs {
+		pairs[i] = [2]int{rng.Intn(vertices), rng.Intn(vertices)}
+	}
+	return pairs
+}
+
+// TestRouterBatchMatchesBackend: a batch through the router must return
+// exactly what a single backend returns — scatter, gather and reassembly
+// are invisible to the client.
+func TestRouterBatchMatchesBackend(t *testing.T) {
+	rt, backends, g := startTier(t, 3, Config{LegPairs: 16})
+	pairs := randPairs(200, g.NumVertices(), 1)
+	body := map[string]any{"graph": "g", "pairs": pairs}
+
+	resp, err := http.Post(backends[0].URL+"/v1/batch", "application/json",
+		bytes.NewReader(mustJSON(t, body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var direct backendBatch
+	if err := json.NewDecoder(resp.Body).Decode(&direct); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	code, raw := postJSON(t, rt, "/v1/batch", body)
+	if code != http.StatusOK {
+		t.Fatalf("router batch: status %d: %s", code, raw)
+	}
+	var routed routerBatch
+	if err := json.Unmarshal(raw, &routed); err != nil {
+		t.Fatal(err)
+	}
+	if routed.Count != len(pairs) || len(routed.Results) != len(pairs) {
+		t.Fatalf("router batch: count %d, results %d, want %d", routed.Count, len(routed.Results), len(pairs))
+	}
+	if routed.Legs < 2 {
+		t.Fatalf("expected the batch to scatter into multiple legs, got %d", routed.Legs)
+	}
+	for i := range pairs {
+		if routed.Results[i] != direct.Results[i] {
+			t.Fatalf("pair %d (%v): router says %v, backend says %v",
+				i, pairs[i], routed.Results[i], direct.Results[i])
+		}
+	}
+}
+
+// TestRouterReachLocality: the same (graph, s) must keep routing to the
+// same replica, and the proxied answer must match the backend's.
+func TestRouterReachLocality(t *testing.T) {
+	rt, backends, g := startTier(t, 3, Config{})
+	body := map[string]any{"graph": "g", "s": 5, "t": 9}
+	code, raw := postJSON(t, rt, "/v1/reach", body)
+	if code != http.StatusOK {
+		t.Fatalf("reach via router: status %d: %s", code, raw)
+	}
+	resp, err := http.Post(backends[0].URL+"/v1/reach", "application/json",
+		bytes.NewReader(mustJSON(t, body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	directRaw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var viaRouter, direct map[string]any
+	mustUnmarshal(t, raw, &viaRouter)
+	mustUnmarshal(t, directRaw, &direct)
+	if viaRouter["reachable"] != direct["reachable"] {
+		t.Fatalf("router answer %v != backend answer %v", viaRouter["reachable"], direct["reachable"])
+	}
+	// Locality: many repeats of the same s land on one replica.
+	owner := rt.owners("g", 5)[0]
+	for i := 0; i < 20; i++ {
+		if got := rt.owners("g", 5)[0]; got != owner {
+			t.Fatalf("owner for s=5 moved from %s to %s with no health change", owner.ID, got.ID)
+		}
+	}
+	_ = g
+}
+
+// TestRouterFailover: SIGKILL-equivalent (closed backend) mid-tier — every
+// batch still answers completely and correctly via retries, and the dead
+// replica is demoted out of rotation.
+func TestRouterFailover(t *testing.T) {
+	rt, backends, g := startTier(t, 3, Config{LegPairs: 8, RetryBackoff: time.Millisecond})
+	pairs := randPairs(120, g.NumVertices(), 2)
+	body := map[string]any{"graph": "g", "pairs": pairs}
+
+	// Oracle from a live backend first.
+	resp, err := http.Post(backends[0].URL+"/v1/batch", "application/json",
+		bytes.NewReader(mustJSON(t, body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var direct backendBatch
+	if err := json.NewDecoder(resp.Body).Decode(&direct); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	backends[1].Close() // hard kill: connections refused from here on
+
+	code, raw := postJSON(t, rt, "/v1/batch", body)
+	if code != http.StatusOK {
+		t.Fatalf("batch with one dead replica: status %d: %s", code, raw)
+	}
+	var routed routerBatch
+	mustUnmarshal(t, raw, &routed)
+	for i := range pairs {
+		if routed.Results[i] != direct.Results[i] {
+			t.Fatalf("pair %d: wrong answer after failover", i)
+		}
+	}
+	// The request path demoted the dead replica without waiting for a probe.
+	dead := rt.replicas[1]
+	if dead.State() == StateHealthy {
+		t.Fatalf("dead replica still %s after failed legs", dead.State())
+	}
+	if dead.Routable() {
+		t.Fatal("dead replica still routable")
+	}
+}
+
+// TestRouterAllDead: with every replica unroutable the router answers a
+// typed 503, not a hang or a wrong answer.
+func TestRouterAllDead(t *testing.T) {
+	rt, backends, _ := startTier(t, 2, Config{RetryBackoff: time.Millisecond})
+	for _, b := range backends {
+		b.Close()
+	}
+	// One probe round observes the deaths and demotes both replicas.
+	rt.ProbeAll(context.Background())
+	code, raw := postJSON(t, rt, "/v1/batch", map[string]any{"graph": "g", "pairs": [][2]int{{1, 2}}})
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503: %s", code, raw)
+	}
+	var e routerError
+	mustUnmarshal(t, raw, &e)
+	if e.Code != CodeNoReplicas {
+		t.Fatalf("code %q, want %q", e.Code, CodeNoReplicas)
+	}
+	// readyz mirrors the same verdict.
+	req := httptest.NewRequest(http.MethodGet, "/readyz", nil)
+	w := httptest.NewRecorder()
+	rt.ServeHTTP(w, req)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz with no replicas: %d", w.Code)
+	}
+}
+
+// TestRouterProbeObservesState: the prober learns identity, epochs and
+// readiness; a backend that starts draining drops out of rotation at the
+// next probe while remaining healthy (alive, finishing its work).
+func TestRouterProbeObservesState(t *testing.T) {
+	rt, backends, _ := startTier(t, 1, Config{})
+	rt.ProbeAll(context.Background())
+	rep := rt.replicas[0]
+	instance, epochs, _, lastProbe := rep.snapshot()
+	if instance == "" {
+		t.Fatal("probe did not record instance id")
+	}
+	if epochs["g"] == 0 {
+		t.Fatal("probe did not record dataset epoch")
+	}
+	if lastProbe.IsZero() {
+		t.Fatal("probe did not record its time")
+	}
+	if !rep.Routable() {
+		t.Fatal("ready backend not routable after probe")
+	}
+
+	// Backend starts draining (SIGTERM path): alive, answering, unroutable.
+	resp, err := http.Post(backends[0].URL+"/v1/admin/drain", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	rt.ProbeAll(context.Background())
+	if rep.Routable() {
+		t.Fatal("draining backend still routable")
+	}
+	if rep.State() != StateHealthy {
+		t.Fatalf("draining backend demoted to %s; draining is not a failure", rep.State())
+	}
+}
+
+// TestRouterEpochFenceRedispatch: a replica that reloads mid-gather
+// answers legs under two epochs; the fence catches it and the re-dispatch
+// converges on the new epoch — the client sees one clean answer.
+func TestRouterEpochFenceRedispatch(t *testing.T) {
+	stub := newStubBackend(t, func(n int64) uint64 {
+		if n == 1 {
+			return 7 // first leg answered under the old index generation
+		}
+		return 8
+	})
+	rt, err := New(Config{Replicas: []string{stub.URL}, LegPairs: 1, RetryBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, raw := postJSON(t, rt, "/v1/batch", map[string]any{"graph": "g", "pairs": [][2]int{{1, 2}, {3, 4}}})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, raw)
+	}
+	if got := rt.metrics.fences.Value(); got == 0 {
+		t.Fatal("fence did not record the mixed-epoch gather")
+	}
+	var routed routerBatch
+	mustUnmarshal(t, raw, &routed)
+	if len(routed.Results) != 2 {
+		t.Fatalf("results %d, want 2", len(routed.Results))
+	}
+}
+
+// TestRouterEpochFenceRejects: a replica that keeps flapping between
+// epochs cannot be merged; the router answers a typed 502 rather than a
+// response mixing index generations.
+func TestRouterEpochFenceRejects(t *testing.T) {
+	stub := newStubBackend(t, func(n int64) uint64 {
+		return uint64(n) // a fresh epoch every call: the gather can never converge
+	})
+	rt, err := New(Config{Replicas: []string{stub.URL}, LegPairs: 1, RetryBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, raw := postJSON(t, rt, "/v1/batch", map[string]any{"graph": "g", "pairs": [][2]int{{1, 2}, {3, 4}}})
+	if code != http.StatusBadGateway {
+		t.Fatalf("status %d, want 502: %s", code, raw)
+	}
+	var e routerError
+	mustUnmarshal(t, raw, &e)
+	if e.Code != CodeMixedEpoch {
+		t.Fatalf("code %q, want %q", e.Code, CodeMixedEpoch)
+	}
+}
+
+// newStubBackend fakes the /v1/batch surface with a controllable epoch per
+// call — the only way to force a mid-gather reload deterministically.
+func newStubBackend(t *testing.T, epochOf func(call int64) uint64) *httptest.Server {
+	t.Helper()
+	var calls atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req batchRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		n := calls.Add(1)
+		resp := backendBatch{
+			Graph:   req.Graph,
+			Epoch:   epochOf(n),
+			Count:   len(req.Pairs),
+			Results: make([]bool, len(req.Pairs)),
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(resp)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestRouterRollingReload: reload every replica through the router while
+// client load flows; zero non-2xx answers, and every replica ends on a
+// fresh epoch.
+func TestRouterRollingReload(t *testing.T) {
+	rt, _, g := startTier(t, 3, Config{LegPairs: 8, RetryBackoff: time.Millisecond, DrainTimeout: 5 * time.Second})
+	rt.ProbeAll(context.Background())
+	oldEpochs := make(map[string]uint64)
+	for _, rep := range rt.replicas {
+		oldEpochs[rep.ID], _ = rep.Epoch("g")
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var non2xx atomic.Int64
+	var queries atomic.Int64
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				pairs := randPairs(8, g.NumVertices(), rng.Int63())
+				code, _ := postJSON(t, rt, "/v1/batch", map[string]any{"graph": "g", "pairs": pairs})
+				queries.Add(1)
+				if code != http.StatusOK {
+					non2xx.Add(1)
+				}
+			}
+		}(int64(w))
+	}
+
+	code, raw := postJSON(t, rt, "/v1/datasets/g/reload", nil)
+	close(stop)
+	wg.Wait()
+	if code != http.StatusOK {
+		t.Fatalf("rolling reload: status %d: %s", code, raw)
+	}
+	if n := non2xx.Load(); n != 0 {
+		t.Fatalf("%d of %d client queries failed during the rolling reload", n, queries.Load())
+	}
+	var report struct {
+		Replicas []replicaReload `json:"replicas"`
+		Failed   int             `json:"failed"`
+	}
+	mustUnmarshal(t, raw, &report)
+	if report.Failed != 0 {
+		t.Fatalf("reload report: %d replicas failed: %s", report.Failed, raw)
+	}
+	for _, e := range report.Replicas {
+		if e.Skipped {
+			t.Fatalf("replica %s skipped during reload of a healthy tier", e.Replica)
+		}
+		if e.NewEpoch <= oldEpochs[e.Replica] {
+			t.Fatalf("replica %s: epoch %d did not advance past %d", e.Replica, e.NewEpoch, oldEpochs[e.Replica])
+		}
+	}
+	// No replica left drained.
+	for _, rep := range rt.replicas {
+		if rep.draining.Load() {
+			t.Fatalf("replica %s still draining after reload", rep.ID)
+		}
+	}
+}
+
+// TestRouterMetricsCatalog: one scrape carries every cataloged family.
+func TestRouterMetricsCatalog(t *testing.T) {
+	rt, _, _ := startTier(t, 2, Config{})
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	w := httptest.NewRecorder()
+	rt.ServeHTTP(w, req)
+	body := w.Body.String()
+	for _, name := range MetricCatalog() {
+		if !strings.Contains(body, "# TYPE "+name+" ") {
+			t.Errorf("metric %s missing from scrape", name)
+		}
+	}
+}
+
+// TestRouterStats: the stats document carries the per-replica table.
+func TestRouterStats(t *testing.T) {
+	rt, _, _ := startTier(t, 2, Config{})
+	rt.ProbeAll(context.Background())
+	req := httptest.NewRequest(http.MethodGet, "/v1/stats", nil)
+	w := httptest.NewRecorder()
+	rt.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("stats: %d", w.Code)
+	}
+	var doc struct {
+		Replicas []replicaStats `json:"replicas"`
+	}
+	mustUnmarshal(t, w.Body.Bytes(), &doc)
+	if len(doc.Replicas) != 2 {
+		t.Fatalf("stats lists %d replicas, want 2", len(doc.Replicas))
+	}
+	for _, rs := range doc.Replicas {
+		if rs.InstanceID == "" || rs.Epochs["g"] == 0 || !rs.Routable {
+			t.Fatalf("replica %s: incomplete stats entry: %+v", rs.Replica, rs)
+		}
+	}
+}
+
+// TestRouterBadRequestPassThrough: a backend 4xx (unknown dataset) is the
+// client's answer — it must pass through, not be retried into a 502.
+func TestRouterBadRequestPassThrough(t *testing.T) {
+	rt, _, _ := startTier(t, 2, Config{})
+	code, _ := postJSON(t, rt, "/v1/batch", map[string]any{"graph": "nope", "pairs": [][2]int{{1, 2}}})
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown dataset through router: status %d, want 404", code)
+	}
+	code, _ = postJSON(t, rt, "/v1/reach", map[string]any{"graph": "nope", "s": 1, "t": 2})
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown dataset reach through router: status %d, want 404", code)
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func mustUnmarshal(t *testing.T, raw []byte, v any) {
+	t.Helper()
+	if err := json.Unmarshal(raw, v); err != nil {
+		t.Fatalf("unmarshal %q: %v", raw, err)
+	}
+}

@@ -1,0 +1,423 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// Scatter-gather for /v1/batch: partition the pairs by ring owner, fan
+// the legs out in parallel under the request context, gather with the
+// per-replica epoch fence, reassemble in request order. The contract is
+// total accounting — every pair position is either answered or named in
+// a typed failed_pairs list; nothing silently drops.
+
+// batchRequest mirrors the backend body (internal/server handlers).
+type batchRequest struct {
+	Graph string   `json:"graph"`
+	Pairs [][2]int `json:"pairs"`
+	K     *int     `json:"k"`
+}
+
+// backendBatch mirrors the backend /v1/batch response; Epoch is the index
+// generation every answer in the leg was computed under (single-epoch by
+// construction: the backend resolves one RCU snapshot per request).
+type backendBatch struct {
+	Graph      string   `json:"graph"`
+	Epoch      uint64   `json:"epoch"`
+	Count      int      `json:"count"`
+	Results    []bool   `json:"results"`
+	Verdicts   []string `json:"verdicts"`
+	EffectiveK []int    `json:"effective_k"`
+}
+
+// routerBatch is the merged client response: the backend shape plus the
+// leg count, and no top-level epoch — a merged answer spans replicas whose
+// epochs are process-local and not comparable.
+type routerBatch struct {
+	Graph      string   `json:"graph"`
+	Count      int      `json:"count"`
+	Results    []bool   `json:"results"`
+	Verdicts   []string `json:"verdicts,omitempty"`
+	EffectiveK []int    `json:"effective_k,omitempty"`
+	Legs       int      `json:"legs"`
+}
+
+// leg is one replica-sized slice of a batch: the pair positions it covers,
+// the replica that ultimately answered, and the backend response.
+type leg struct {
+	idx   []int    // positions in the client request
+	pairs [][2]int // aligned with idx
+	cands []*Replica
+
+	rep      *Replica
+	resp     *backendBatch
+	err      error
+	retried  bool
+	terminal *terminalError
+}
+
+// terminalError is a backend 4xx: the request itself is invalid (unknown
+// graph, bad k), so retrying another replica cannot help — the first such
+// answer passes through to the client.
+type terminalError struct {
+	status int
+	body   []byte
+}
+
+func (t *terminalError) Error() string { return fmt.Sprintf("upstream status %d", t.status) }
+
+func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, rt.maxBody)).Decode(&req); err != nil {
+		writeErrorCode(w, http.StatusBadRequest, CodeBadRequest, "invalid request body: %v", err)
+		return
+	}
+	if req.Graph == "" {
+		writeErrorCode(w, http.StatusBadRequest, CodeBadRequest, "missing graph")
+		return
+	}
+	if len(req.Pairs) == 0 {
+		writeJSON(w, http.StatusOK, routerBatch{Graph: req.Graph, Count: 0, Results: []bool{}})
+		return
+	}
+	if len(req.Pairs) > rt.cfg.MaxBatch {
+		writeErrorCode(w, http.StatusBadRequest, CodeBadRequest,
+			"batch of %d pairs exceeds limit %d", len(req.Pairs), rt.cfg.MaxBatch)
+		return
+	}
+
+	legs := rt.partition(req.Graph, req.Pairs)
+	if legs == nil {
+		writeErrorCode(w, http.StatusServiceUnavailable, CodeNoReplicas, "no routable replicas")
+		return
+	}
+
+	rt.dispatchAll(r.Context(), req.Graph, req.K, legs)
+
+	// Per-replica epoch fence: no replica may contribute legs answered
+	// under two different index generations to one merged response. A
+	// violation means the replica reloaded mid-gather; the stale (older
+	// generation) legs are re-dispatched once — they will be answered
+	// under the new generation, or by another replica entirely.
+	if stale := rt.fenceViolations(legs); len(stale) > 0 {
+		rt.metrics.fences.Add(uint64(len(stale)))
+		rt.logger.Warn("epoch fence tripped, re-dispatching stale legs",
+			"dataset", req.Graph, "legs", len(stale))
+		for _, lg := range stale {
+			lg.cands = rt.owners(req.Graph, lg.pairs[0][0])
+			lg.rep, lg.resp, lg.err = nil, nil, nil
+		}
+		rt.dispatchAll(r.Context(), req.Graph, req.K, stale)
+		if again := rt.fenceViolations(legs); len(again) > 0 {
+			rt.metrics.fences.Add(uint64(len(again)))
+			writeErrorCode(w, http.StatusBadGateway, CodeMixedEpoch,
+				"replica answered legs under mixed index epochs during reload; retry the batch")
+			return
+		}
+	}
+
+	// A backend 4xx is the client's error, not a routing failure: pass the
+	// first one through verbatim.
+	for _, lg := range legs {
+		if lg.terminal != nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(lg.terminal.status)
+			w.Write(lg.terminal.body)
+			return
+		}
+	}
+
+	resp := routerBatch{
+		Graph:   req.Graph,
+		Count:   len(req.Pairs),
+		Results: make([]bool, len(req.Pairs)),
+		Legs:    len(legs),
+	}
+	var failed []int
+	for _, lg := range legs {
+		if lg.resp == nil {
+			failed = append(failed, lg.idx...)
+			continue
+		}
+		if lg.resp.Verdicts != nil && resp.Verdicts == nil {
+			resp.Verdicts = make([]string, len(req.Pairs))
+			resp.EffectiveK = make([]int, len(req.Pairs))
+		}
+		for j, pos := range lg.idx {
+			resp.Results[pos] = lg.resp.Results[j]
+			if resp.Verdicts != nil && j < len(lg.resp.Verdicts) {
+				resp.Verdicts[pos] = lg.resp.Verdicts[j]
+				if lg.resp.EffectiveK != nil {
+					resp.EffectiveK[pos] = lg.resp.EffectiveK[j]
+				}
+			}
+		}
+	}
+	if len(failed) > 0 {
+		sort.Ints(failed)
+		rt.metrics.partials.Inc()
+		writeJSON(w, http.StatusBadGateway, routerError{
+			Error:       fmt.Sprintf("%d of %d pairs unanswered after retries", len(failed), len(req.Pairs)),
+			Code:        CodePartialFailure,
+			FailedPairs: failed,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// partition groups the pairs by their primary ring owner and splits each
+// owner's share into legs of at most LegPairs. Returns nil when no
+// replica is routable.
+func (rt *Router) partition(dataset string, pairs [][2]int) []*leg {
+	type group struct {
+		idx   []int
+		pairs [][2]int
+		cands []*Replica
+	}
+	ownersBySource := make(map[int][]*Replica)
+	groups := make(map[string]*group)
+	var order []string
+	for i, p := range pairs {
+		cands, ok := ownersBySource[p[0]]
+		if !ok {
+			cands = rt.owners(dataset, p[0])
+			ownersBySource[p[0]] = cands
+		}
+		if len(cands) == 0 {
+			return nil
+		}
+		id := cands[0].ID
+		g := groups[id]
+		if g == nil {
+			g = &group{cands: cands}
+			groups[id] = g
+			order = append(order, id)
+		}
+		g.idx = append(g.idx, i)
+		g.pairs = append(g.pairs, p)
+	}
+	var legs []*leg
+	for _, id := range order {
+		g := groups[id]
+		for off := 0; off < len(g.idx); off += rt.cfg.LegPairs {
+			end := min(off+rt.cfg.LegPairs, len(g.idx))
+			legs = append(legs, &leg{idx: g.idx[off:end], pairs: g.pairs[off:end], cands: g.cands})
+		}
+	}
+	return legs
+}
+
+// dispatchAll runs every leg in parallel and waits for all of them.
+func (rt *Router) dispatchAll(ctx context.Context, dataset string, k *int, legs []*leg) {
+	done := make(chan struct{})
+	for _, lg := range legs {
+		go func(lg *leg) {
+			defer func() { done <- struct{}{} }()
+			rt.dispatchLeg(ctx, dataset, k, lg)
+		}(lg)
+	}
+	for range legs {
+		<-done
+	}
+}
+
+// dispatchLeg walks a leg's candidate owners: the primary first, then the
+// failover order with jittered exponential backoff between attempts, each
+// attempt hedged against the next candidate past the latency budget. The
+// first successful answer wins; a backend 4xx stops the walk immediately.
+func (rt *Router) dispatchLeg(ctx context.Context, dataset string, k *int, lg *leg) {
+	body, err := json.Marshal(batchRequest{Graph: dataset, Pairs: lg.pairs, K: k})
+	if err != nil {
+		lg.err = err
+		return
+	}
+	attempts := min(len(lg.cands), rt.cfg.Retries+1)
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			rt.metrics.retries.Inc()
+			lg.retried = true
+			backoff := rt.cfg.RetryBackoff << (i - 1)
+			backoff += time.Duration(rand.Int63n(int64(backoff) + 1)) // full jitter on top
+			select {
+			case <-ctx.Done():
+				lg.err = ctx.Err()
+				rt.metrics.legs.With("failed").Inc()
+				return
+			case <-time.After(backoff):
+			}
+		}
+		var hedge *Replica
+		if i+1 < len(lg.cands) {
+			hedge = lg.cands[i+1]
+		}
+		resp, rep, err := rt.legHedged(ctx, lg.cands[i], hedge, dataset, body)
+		if err == nil {
+			lg.rep, lg.resp = rep, resp
+			if lg.retried {
+				rt.metrics.legs.With("retried_ok").Inc()
+			} else {
+				rt.metrics.legs.With("ok").Inc()
+			}
+			return
+		}
+		lg.err = err
+		if t, ok := err.(*terminalError); ok {
+			lg.terminal = t
+			rt.metrics.legs.With("failed").Inc()
+			return
+		}
+		if ctx.Err() != nil {
+			rt.metrics.legs.With("failed").Inc()
+			return
+		}
+	}
+	rt.metrics.legs.With("failed").Inc()
+}
+
+// legHedged runs one attempt against primary; if it has not answered
+// within HedgeAfter and a hedge candidate exists, the same leg fires
+// against the hedge and the first success wins (the loser is cancelled).
+func (rt *Router) legHedged(ctx context.Context, primary, hedge *Replica, dataset string, body []byte) (*backendBatch, *Replica, error) {
+	if hedge == nil || rt.cfg.HedgeAfter < 0 {
+		resp, err := rt.legAttempt(ctx, primary, dataset, body)
+		return resp, primary, err
+	}
+	type result struct {
+		resp *backendBatch
+		rep  *Replica
+		err  error
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch := make(chan result, 2)
+	launch := func(rep *Replica) {
+		go func() {
+			resp, err := rt.legAttempt(ctx, rep, dataset, body)
+			ch <- result{resp, rep, err}
+		}()
+	}
+	launch(primary)
+	timer := time.NewTimer(rt.cfg.HedgeAfter)
+	defer timer.Stop()
+	inFlight := 1
+	hedged := false
+	var firstErr error
+	for {
+		select {
+		case <-timer.C:
+			if !hedged {
+				hedged = true
+				inFlight++
+				rt.metrics.hedges.Inc()
+				launch(hedge)
+			}
+		case res := <-ch:
+			inFlight--
+			if res.err == nil {
+				return res.resp, res.rep, nil
+			}
+			if t, ok := res.err.(*terminalError); ok {
+				return nil, res.rep, t
+			}
+			if firstErr == nil {
+				firstErr = res.err
+			}
+			if inFlight == 0 {
+				if !hedged {
+					// Primary failed before the hedge budget: fall through to
+					// the hedge candidate immediately rather than burning the
+					// remaining budget on a known-dead socket.
+					hedged = true
+					inFlight++
+					launch(hedge)
+					continue
+				}
+				return nil, nil, firstErr
+			}
+		}
+	}
+}
+
+// legAttempt sends one leg to one replica and folds the outcome into the
+// replica's health and epoch state.
+func (rt *Router) legAttempt(ctx context.Context, rep *Replica, dataset string, body []byte) (*backendBatch, error) {
+	rep.inflight.Add(1)
+	defer rep.inflight.Add(-1)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rep.Base+"/v1/batch", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rep.http.Do(req)
+	if err != nil {
+		if ctx.Err() == nil {
+			rep.noteFailure(rt.cfg.EjectAfter, err)
+		}
+		return nil, err
+	}
+	defer drainClose(resp)
+	switch {
+	case resp.StatusCode == http.StatusOK:
+	case resp.StatusCode >= 400 && resp.StatusCode < 500:
+		payload, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		return nil, &terminalError{status: resp.StatusCode, body: payload}
+	default:
+		err := fmt.Errorf("router: %s /v1/batch: status %d", rep.ID, resp.StatusCode)
+		rep.noteFailure(rt.cfg.EjectAfter, err)
+		return nil, err
+	}
+	var b backendBatch
+	if err := json.NewDecoder(resp.Body).Decode(&b); err != nil {
+		err = fmt.Errorf("router: %s /v1/batch: %w", rep.ID, err)
+		rep.noteFailure(rt.cfg.EjectAfter, err)
+		return nil, err
+	}
+	if b.Count != len(b.Results) {
+		err := fmt.Errorf("router: %s /v1/batch: count %d != results %d", rep.ID, b.Count, len(b.Results))
+		rep.noteFailure(rt.cfg.EjectAfter, err)
+		return nil, err
+	}
+	rep.noteSuccess()
+	rep.observeEpoch(dataset, b.Epoch)
+	return &b, nil
+}
+
+// fenceViolations returns the stale legs of every replica that answered
+// this gather under more than one index epoch: for each offending replica,
+// the legs below its newest observed epoch. Epochs are process-local, so
+// the check is strictly per replica — two replicas reporting different
+// numbers is normal and meaningless.
+func (rt *Router) fenceViolations(legs []*leg) []*leg {
+	newest := make(map[string]uint64)
+	mixed := make(map[string]bool)
+	for _, lg := range legs {
+		if lg.resp == nil || lg.rep == nil {
+			continue
+		}
+		id := lg.rep.ID
+		if prev, ok := newest[id]; ok && prev != lg.resp.Epoch {
+			mixed[id] = true
+		}
+		if lg.resp.Epoch > newest[id] {
+			newest[id] = lg.resp.Epoch
+		}
+	}
+	if len(mixed) == 0 {
+		return nil
+	}
+	var stale []*leg
+	for _, lg := range legs {
+		if lg.resp != nil && lg.rep != nil && mixed[lg.rep.ID] && lg.resp.Epoch < newest[lg.rep.ID] {
+			stale = append(stale, lg)
+		}
+	}
+	return stale
+}

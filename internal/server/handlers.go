@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"net/http"
+	"os"
 	"runtime"
+	"time"
 
 	"kreach"
 )
@@ -198,8 +200,14 @@ type batchRequest struct {
 // batchResponse is positionally aligned with the request's pairs. Results
 // is reachable-or-not for every pair; Verdicts and EffectiveK are present
 // only for per-query-k datasets (EffectiveK is 0 except for yes-within).
+// Epoch is the index generation every answer in this response came from —
+// the handler resolves one snapshot per request, so a batch can never mix
+// generations, and the epoch tells scatter-gather callers (kreach-router)
+// which generation that was, so THEY can refuse to merge legs this replica
+// answered across a reload.
 type batchResponse struct {
 	Graph      string   `json:"graph"`
+	Epoch      uint64   `json:"epoch"`
 	Count      int      `json:"count"`
 	Results    []bool   `json:"results"`
 	Verdicts   []string `json:"verdicts,omitempty"`
@@ -315,7 +323,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeAnswerError(w, r, d, err)
 		return
 	}
-	resp := batchResponse{Graph: d.Name, Count: len(pairs), Results: make([]bool, len(answers))}
+	resp := batchResponse{Graph: d.Name, Epoch: d.Epoch(), Count: len(pairs), Results: make([]bool, len(answers))}
 	for i, a := range answers {
 		resp.Results[i] = a.reachable()
 	}
@@ -428,16 +436,39 @@ type cacheInfo struct {
 	HitRate   float64 `json:"hit_rate"`
 }
 
+// serverIdentity is the /v1/stats replica-identity section: who this
+// process is, as opposed to what it serves. Together with the per-dataset
+// epochs it lets a router (or an operator comparing two replicas' stats)
+// tell otherwise-identical replicas apart and track each one's index
+// generations across reloads. StartTime is RFC 3339 UTC.
+type serverIdentity struct {
+	InstanceID string `json:"instance_id"`
+	StartTime  string `json:"start_time"`
+	GoVersion  string `json:"go_version"`
+	PID        int    `json:"pid"`
+	Ready      bool   `json:"ready"`
+	Draining   bool   `json:"draining"`
+}
+
 type statsResponse struct {
-	Default  string        `json:"default"`
-	Datasets []datasetInfo `json:"datasets"`
-	Cache    cacheInfo     `json:"cache"`
-	Runtime  runtimeInfo   `json:"runtime"`
+	Server   serverIdentity `json:"server"`
+	Default  string         `json:"default"`
+	Datasets []datasetInfo  `json:"datasets"`
+	Cache    cacheInfo      `json:"cache"`
+	Runtime  runtimeInfo    `json:"runtime"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	names := s.reg.Names()
 	resp := statsResponse{Datasets: make([]datasetInfo, 0, len(names))}
+	resp.Server = serverIdentity{
+		InstanceID: s.idBase,
+		StartTime:  s.startTime.UTC().Format(time.RFC3339Nano),
+		GoVersion:  runtime.Version(),
+		PID:        os.Getpid(),
+		Ready:      s.ready.Load(),
+		Draining:   s.draining.Load(),
+	}
 	if len(names) > 0 {
 		resp.Default = names[0]
 	}

@@ -50,6 +50,8 @@ func MetricCatalog() []string {
 		"kreach_ready",
 		"kreach_request_duration_seconds",
 		"kreach_requests_in_flight",
+		"kreach_server_build_info",
+		"kreach_server_start_time_seconds",
 		"kreach_slow_queries_total",
 		"kreach_wal_append_seconds",
 		"kreach_wal_checkpoint_seconds",
@@ -98,8 +100,25 @@ func newServerMetrics(s *Server) *serverMetrics {
 	r.AddCollector(s.collectCache)
 	r.AddCollector(collectCore)
 	r.AddCollector(s.collectDatasets)
+	r.AddCollector(s.collectIdentity)
 	r.AddCollector(collectRuntime)
 	return m
+}
+
+// collectIdentity emits the replica-identity families: a constant-1 info
+// gauge whose labels carry the process identity (the Prometheus *_info
+// idiom — join on instance_id to tell replicas apart) and the process
+// start time, from which dashboards derive uptime and restart detection.
+func (s *Server) collectIdentity(e *obs.Emitter) {
+	e.Gauge("kreach_server_build_info",
+		"Constant 1; labels identify the serving process (instance id, Go version).",
+		map[string]string{
+			"instance_id": s.idBase,
+			"go_version":  runtime.Version(),
+		}, 1)
+	e.Gauge("kreach_server_start_time_seconds",
+		"Unix time the serving process started.",
+		nil, float64(s.startTime.UnixNano())/1e9)
 }
 
 // collectCache surfaces the result cache's shard counters. A server with

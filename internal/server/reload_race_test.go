@@ -1,0 +1,194 @@
+package server_test
+
+// The epoch/reload race test: hammer a dataset with concurrent reloads
+// while readers watch it through /v1/stats and /v1/batch. The RCU contract
+// under test is what kreach-router's fence builds on: every response is
+// computed against exactly one published snapshot (one epoch — never a
+// cross of two), and the epoch each observer sees never moves backwards.
+// Run under -race (CI does) this also proves the registry's lock
+// discipline, not just its ordering.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"kreach"
+	"kreach/internal/server"
+)
+
+func TestEpochMonotoneUnderConcurrentReload(t *testing.T) {
+	g, _ := genGraph(t, 3)
+	build := func() (*server.Dataset, error) {
+		idx, err := kreach.BuildIndex(g, kreach.IndexOptions{K: 4, Seed: 1})
+		if err != nil {
+			return nil, err
+		}
+		return &server.Dataset{Name: "g", Graph: g, Reacher: idx}, nil
+	}
+	d, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Loader = build
+	reg := server.NewRegistry()
+	if err := reg.Add(d); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(reg, server.Config{}))
+	defer ts.Close()
+
+	const (
+		reloaders = 3
+		readers   = 4
+		rounds    = 25
+	)
+	var (
+		wgReload sync.WaitGroup
+		wgRead   sync.WaitGroup
+		stop     = make(chan struct{})
+		failures atomic.Int64
+	)
+	fail := func(format string, args ...any) {
+		failures.Add(1)
+		t.Errorf(format, args...)
+	}
+
+	// Reloaders: each round swaps in a freshly built index (new epoch).
+	for r := 0; r < reloaders; r++ {
+		wgReload.Add(1)
+		go func() {
+			defer wgReload.Done()
+			for i := 0; i < rounds; i++ {
+				resp, err := http.Post(ts.URL+"/v1/datasets/g/reload", "application/json", nil)
+				if err != nil {
+					fail("reload: %v", err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					fail("reload: status %d", resp.StatusCode)
+				}
+			}
+		}()
+	}
+
+	// Stats readers: the epoch a single observer sees may only advance.
+	// atomic.Pointer publication is the mechanism; going backwards would
+	// mean a reader resolved a retired snapshot after a newer one was
+	// published — exactly the crossed-epoch state a router fence would
+	// misjudge replicas by.
+	for r := 0; r < readers; r++ {
+		wgRead.Add(1)
+		go func(id int) {
+			defer wgRead.Done()
+			var last uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				epoch, err := scrapeEpoch(ts.URL)
+				if err != nil {
+					fail("reader %d: %v", id, err)
+					return
+				}
+				if epoch < last {
+					fail("reader %d: epoch went backwards %d -> %d", id, last, epoch)
+					return
+				}
+				last = epoch
+			}
+		}(r)
+	}
+
+	// Batch readers: every response must be internally complete (one
+	// snapshot answered all of it) and its epoch must be from the published
+	// sequence — never zero, never beyond what a subsequent stats read
+	// reports as current.
+	for r := 0; r < readers; r++ {
+		wgRead.Add(1)
+		go func(id int) {
+			defer wgRead.Done()
+			pairs := [][2]int{{1, 2}, {3, 4}, {5, 6}, {7, 8}}
+			var last uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				status, body := post(t, ts.URL+"/v1/batch", map[string]any{"graph": "g", "pairs": pairs})
+				if status != http.StatusOK {
+					fail("batch reader %d: status %d", id, status)
+					return
+				}
+				epoch := field[uint64](t, body, "epoch")
+				results := field[[]bool](t, body, "results")
+				if epoch == 0 {
+					fail("batch reader %d: response without epoch", id)
+					return
+				}
+				if len(results) != len(pairs) {
+					fail("batch reader %d: %d results for %d pairs under epoch %d",
+						id, len(results), len(pairs), epoch)
+					return
+				}
+				if epoch < last {
+					fail("batch reader %d: epoch went backwards %d -> %d", id, last, epoch)
+					return
+				}
+				last = epoch
+			}
+		}(r)
+	}
+
+	// Readers observe throughout the reload storm; once the last reload has
+	// landed, stop them and check the tally.
+	wgReload.Wait()
+	close(stop)
+	wgRead.Wait()
+	if failures.Load() > 0 {
+		t.Fatalf("%d consistency violations under concurrent reload", failures.Load())
+	}
+	finalEpoch, err := scrapeEpoch(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finalEpoch <= d.Epoch() {
+		t.Fatalf("final epoch %d did not advance past the initial %d across %d reloads",
+			finalEpoch, d.Epoch(), reloaders*rounds)
+	}
+}
+
+// scrapeEpoch reads the dataset's epoch out of /v1/stats.
+func scrapeEpoch(base string) (uint64, error) {
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("stats: status %d", resp.StatusCode)
+	}
+	var doc struct {
+		Datasets []struct {
+			Name  string `json:"name"`
+			Epoch uint64 `json:"epoch"`
+		} `json:"datasets"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return 0, err
+	}
+	for _, d := range doc.Datasets {
+		if d.Name == "g" {
+			return d.Epoch, nil
+		}
+	}
+	return 0, fmt.Errorf("stats: dataset g missing")
+}

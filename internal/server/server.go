@@ -387,6 +387,8 @@ type Server struct {
 	slowRing      *slowRing
 	slowThreshold time.Duration
 	ready         atomic.Bool
+	draining      atomic.Bool
+	startTime     time.Time
 	idBase        string        // request-ID prefix, unique per process start
 	reqSeq        atomic.Uint64 // request-ID sequence
 }
@@ -412,7 +414,8 @@ func New(reg *Registry, cfg Config) *Server {
 		s.slowThreshold = DefaultSlowQueryThreshold
 	}
 	s.slowRing = &slowRing{}
-	s.idBase = fmt.Sprintf("%x", time.Now().UnixNano())
+	s.startTime = time.Now()
+	s.idBase = fmt.Sprintf("%x", s.startTime.UnixNano())
 	s.obs = newServerMetrics(s)
 	// A [s,t] pair of 32-bit ids serializes to at most ~24 bytes; 64 leaves
 	// whitespace headroom. Bodies beyond the cap are rejected before the
@@ -425,6 +428,7 @@ func New(reg *Registry, cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/datasets/{name}/reload", s.instrument("reload", false, s.handleReload))
 	s.mux.HandleFunc("POST /v1/datasets/{name}/edges", s.instrument("edges", false, s.handleEdges))
 	s.mux.HandleFunc("POST /v1/datasets/{name}/compact", s.instrument("compact", false, s.handleCompact))
+	s.mux.HandleFunc("POST /v1/admin/drain", s.instrument("drain", false, s.handleDrain))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -436,9 +440,42 @@ func New(reg *Registry, cfg Config) *Server {
 // including WAL recovery — is loaded and published; until then the server
 // answers queries for whatever is registered but reports itself not ready,
 // so rolling deploys don't route traffic to a half-recovered process.
+// MarkReady is a no-op once the server has started draining: a late
+// recovery goroutine cannot re-admit traffic to a process on its way out.
 func (s *Server) MarkReady() {
+	if s.draining.Load() {
+		return
+	}
 	s.ready.Store(true)
 	s.obs.ready.Set(1)
+}
+
+// StartDrain flips /readyz to 503 while queries keep being served. Routers
+// and load balancers that gate on readiness stop sending new traffic, the
+// in-flight requests finish normally, and the process can then shut down
+// without a single connection reset — the first half of a zero-error
+// rolling restart. Draining is one-way: MarkReady cannot undo it.
+func (s *Server) StartDrain() {
+	s.draining.Store(true)
+	s.ready.Store(false)
+	s.obs.ready.Set(0)
+}
+
+// Draining reports whether StartDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// InstanceID is the process-unique identity of this server, also carried
+// by every response's X-Request-Id prefix, the /v1/stats server section
+// and the kreach_server_build_info metric. Two replicas serving the same
+// datasets always differ here, which is how a router (or an operator
+// staring at two identical /v1/stats documents) tells them apart.
+func (s *Server) InstanceID() string { return s.idBase }
+
+// handleDrain is POST /v1/admin/drain: the HTTP face of StartDrain, for
+// orchestrators that drain a replica before reloading or replacing it.
+func (s *Server) handleDrain(w http.ResponseWriter, _ *http.Request) {
+	s.StartDrain()
+	writeJSON(w, http.StatusOK, map[string]string{"status": "draining"})
 }
 
 // ServeHTTP implements http.Handler.
@@ -490,7 +527,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // gate traffic on this, not on /healthz.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if !s.ready.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "loading"})
+		status := "loading"
+		if s.draining.Load() {
+			status = "draining"
+		}
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": status})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
