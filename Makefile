@@ -16,7 +16,7 @@ BENCH_JSON_DATASETS ?= AgroCyc,CiteSeer,Xmark
 # fuzz-smoke budget per target; CI runs the same thing on every push.
 FUZZTIME ?= 30s
 
-.PHONY: all build test race lint bench-tables bench-cache bench-smoke bench-json fuzz-smoke obs-smoke router-smoke
+.PHONY: all build test race lint bench-tables bench-cache bench-smoke bench-json fuzz-smoke obs-smoke router-smoke repl-smoke
 
 all: build test
 
@@ -89,6 +89,16 @@ obs-smoke:
 # recovery by re-routing, and a rolling reload with zero non-2xx answers.
 router-smoke:
 	$(GO) test ./cmd/kreach-router -run TestRouterSmoke
+
+# repl-smoke is the replication e2e gate: boot a durable primary, a durable
+# and an in-memory follower (-follow) and the router, SIGKILL the durable
+# follower mid-stream, keep mutating through the router, and require the
+# restarted follower to resume from its own journal, catch up to the
+# primary's exact epoch (readiness gated on it), record nonzero-then-zero
+# replication lag, and answer every routed batch bit-for-bit like the
+# primary — zero wrong answers.
+repl-smoke:
+	$(GO) test ./cmd/kreachd -run TestReplSmoke
 
 # bench-json writes the machine-readable benchmark trajectory
 # (reach/batch/cached/mutate/mutate-durable/neighbors/latency); CI uploads

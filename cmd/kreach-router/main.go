@@ -27,7 +27,10 @@
 //
 // An active health checker probes every replica's /readyz and /v1/stats
 // each -probe-interval, driving healthy/degraded/ejected states;
-// request-path failures demote a replica immediately. GET /v1/stats shows
+// request-path failures demote a replica immediately. Replicas running as
+// followers (kreachd -follow) report their replication lag through
+// /v1/stats; -max-lag-epochs and -max-lag-seconds demote a follower whose
+// lag crosses either bound until it catches up. GET /v1/stats shows
 // the live replica table, GET /metrics the router's Prometheus exposition,
 // GET /readyz answers 200 while at least one replica is routable.
 package main
@@ -63,6 +66,8 @@ func main() {
 		probeTimeout  = flag.Duration("probe-timeout", router.DefaultProbeTimeout, "health-check round-trip timeout")
 		ejectAfter    = flag.Int("eject-after", router.DefaultEjectAfter, "consecutive failures that fully eject a replica")
 		drainTimeout  = flag.Duration("drain-timeout", router.DefaultDrainTimeout, "rolling reload: max wait for a drained replica's in-flight work")
+		maxLagEpochs  = flag.Uint64("max-lag-epochs", 0, "demote a follower replica lagging its primary by more than this many epochs (0 disables)")
+		maxLagSecs    = flag.Float64("max-lag-seconds", 0, "demote a follower replica behind its primary for longer than this many seconds (0 disables)")
 		logLevel      = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 		logFormat     = flag.String("log-format", "text", "log encoding: 'text' (logfmt-style) or 'json'")
 		replicas      []string
@@ -95,6 +100,8 @@ func main() {
 		ProbeTimeout:  *probeTimeout,
 		EjectAfter:    *ejectAfter,
 		DrainTimeout:  *drainTimeout,
+		MaxLagEpochs:  *maxLagEpochs,
+		MaxLagSeconds: *maxLagSecs,
 		Logger:        logger,
 	})
 	if err != nil {

@@ -62,7 +62,20 @@
 // — snapshot plus log replay, torn tails truncated — before the first
 // request is served. Durable datasets are not reloadable (the durability
 // directory, not the spec files, is their source of truth); restart the
-// daemon to re-read specs.
+// daemon to re-read specs. -wal-retain-epochs N keeps the newest N records
+// in the log across checkpoints so followers slightly behind the last
+// checkpoint catch up from records instead of re-shipping a snapshot.
+//
+// -follow URL turns the daemon into a read-only replica: every dataset
+// (same specs as the primary — name, graph seed and k= must match)
+// replicates from the primary kreachd at URL via its WAL feed
+// (GET /v1/datasets/{name}/wal), applying the primary's records under the
+// primary's exact epochs. With -wal-dir the follower journals what it
+// applies and resumes from its own last durable epoch after a restart;
+// without it a restart re-ships a snapshot. Followers reject local writes
+// (POST edges/compact answer 409) and gate /readyz on having caught up to
+// the primary at least once. -follow excludes -mutable; -follow-poll sets
+// the feed long-poll duration.
 package main
 
 import (
@@ -98,7 +111,10 @@ func main() {
 		cacheSize   = flag.Int("cache", 0, "result cache entries, rounded to powers of two (0 = default, negative = disabled)")
 		cacheShards = flag.Int("cacheshards", 0, "result cache shard count (0 = derived from GOMAXPROCS)")
 		mutable     = flag.Bool("mutable", false, "serve datasets as dynamic indexes accepting edge mutations (requires k=, excludes index=/h=/rungs=)")
-		walDir      = flag.String("wal-dir", "", "durability root for -mutable datasets: write-ahead log + snapshots under DIR/<name>/, with crash recovery on startup; empty = in-memory")
+		walDir      = flag.String("wal-dir", "", "durability root for -mutable or -follow datasets: write-ahead log + snapshots under DIR/<name>/, with crash recovery on startup; empty = in-memory")
+		walRetain   = flag.Int("wal-retain-epochs", 0, "keep the newest N WAL records across checkpoints so followers resume from records instead of snapshots (0 = truncate fully)")
+		follow      = flag.String("follow", "", "run as a read-only replica of the primary kreachd at this base URL (e.g. http://host:7325); excludes -mutable")
+		followPoll  = flag.Duration("follow-poll", server.DefaultFollowerPollWait, "feed long-poll duration a caught-up follower asks the primary to hold")
 		fsync       = flag.String("fsync", "always", "WAL fsync policy: 'always' (acknowledged mutations survive crashes) or 'never' (OS writeback)")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 		logLevel    = flag.String("log-level", "info", "log verbosity: debug, info, warn or error (per-request access logs are info)")
@@ -129,16 +145,36 @@ func main() {
 	default:
 		fatal(fmt.Errorf("-fsync must be 'always' or 'never', got %q", *fsync))
 	}
-	if *walDir != "" && !*mutable {
-		fatal(errors.New("-wal-dir requires -mutable (only dynamic datasets journal mutations)"))
+	if *follow != "" && *mutable {
+		fatal(errors.New("-follow excludes -mutable (a follower's state is driven by the primary's feed; send writes to the primary)"))
+	}
+	if *walDir != "" && !*mutable && *follow == "" {
+		fatal(errors.New("-wal-dir requires -mutable or -follow (only dynamic datasets journal mutations)"))
+	}
+	if *walRetain < 0 {
+		fatal(errors.New("-wal-retain-epochs must be >= 0"))
+	}
+	if *walRetain > 0 && *walDir == "" {
+		fatal(errors.New("-wal-retain-epochs requires -wal-dir (retention is a property of the on-disk log)"))
 	}
 
 	// Recovery runs here, dataset by dataset, before the registry is handed
 	// to the server — no request can observe a half-recovered dataset.
 	reg := server.NewRegistry()
 	var wals []*kreach.WAL
+	var followers []*server.Follower
 	for _, spec := range specs {
-		d, err := loadDataset(spec, *mutable, *walDir, sync)
+		var d *server.Dataset
+		var err error
+		if *follow != "" {
+			var f *server.Follower
+			d, f, err = loadFollower(spec, *follow, *followPoll, *walDir, sync, *walRetain, reg)
+			if err == nil {
+				followers = append(followers, f)
+			}
+		} else {
+			d, err = loadDataset(spec, *mutable, *walDir, sync, *walRetain)
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -197,9 +233,28 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	// Every dataset — WAL recovery included — is loaded and published, so
-	// the process is ready the moment it starts accepting connections.
-	app.MarkReady()
+	if len(followers) > 0 {
+		// Replication runs for the life of the process; readiness waits until
+		// every follower has stood at its primary's epoch at least once, so a
+		// replica never reports ready while serving stale answers. Queries
+		// still work during catch-up — routers just don't send traffic yet.
+		for _, f := range followers {
+			go f.Run(ctx)
+		}
+		go func() {
+			for _, f := range followers {
+				if err := f.WaitCaughtUp(ctx); err != nil {
+					return
+				}
+			}
+			app.MarkReady()
+			logger.Info("followers caught up", "primary", *follow, "datasets", len(followers))
+		}()
+	} else {
+		// Every dataset — WAL recovery included — is loaded and published, so
+		// the process is ready the moment it starts accepting connections.
+		app.MarkReady()
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	logger.Info("serving", "addr", ln.Addr().String(), "datasets", len(reg.Names()))
@@ -351,7 +406,7 @@ func parseSpec(raw string) (datasetSpec, error) {
 	return sp, nil
 }
 
-func loadDataset(raw string, mutable bool, walDir string, sync kreach.SyncPolicy) (*server.Dataset, error) {
+func loadDataset(raw string, mutable bool, walDir string, sync kreach.SyncPolicy, retain int) (*server.Dataset, error) {
 	sp, err := parseSpec(raw)
 	if err != nil {
 		return nil, err
@@ -366,7 +421,7 @@ func loadDataset(raw string, mutable bool, walDir string, sync kreach.SyncPolicy
 	// mutable dataset starts over from the on-disk graph: overlay
 	// mutations not yet compacted to disk are deliberately discarded.
 	d := &server.Dataset{Name: sp.name, Graph: g,
-		Loader: func() (*server.Dataset, error) { return loadDataset(raw, mutable, walDir, sync) }}
+		Loader: func() (*server.Dataset, error) { return loadDataset(raw, mutable, walDir, sync, retain) }}
 	if mutable {
 		if sp.indexPath != "" || sp.h > 0 || len(sp.rungs) > 0 {
 			return nil, fmt.Errorf("dataset %q: -mutable excludes index=/h=/rungs=", sp.name)
@@ -382,8 +437,9 @@ func loadDataset(raw string, mutable bool, walDir string, sync kreach.SyncPolicy
 			// and silently fork history; restart the daemon instead.
 			recoverStart := time.Now()
 			dyn, base, w, err := kreach.OpenDurableDynamicIndex(g, opts, kreach.DurableOptions{
-				Dir:  filepath.Join(walDir, sp.name),
-				Sync: sync,
+				Dir:          filepath.Join(walDir, sp.name),
+				Sync:         sync,
+				RetainEpochs: retain,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("dataset %q: %w", sp.name, err)
@@ -445,6 +501,54 @@ func loadDataset(raw string, mutable bool, walDir string, sync kreach.SyncPolicy
 		d.Reacher = ix
 	}
 	return d, nil
+}
+
+// loadFollower builds one replicated dataset: the spec's graph seeds the
+// local state (a durable follower's WAL overrides it on recovery), the
+// dynamic options must match the primary's spec, and the returned Follower
+// still needs Run started once the signal context exists.
+func loadFollower(raw, primary string, pollWait time.Duration, walDir string, sync kreach.SyncPolicy, retain int, reg *server.Registry) (*server.Dataset, *server.Follower, error) {
+	sp, err := parseSpec(raw)
+	if err != nil {
+		return nil, nil, err
+	}
+	if sp.indexPath != "" || sp.h > 0 || len(sp.rungs) > 0 {
+		return nil, nil, fmt.Errorf("dataset %q: -follow excludes index=/h=/rungs= (followers replicate a dynamic index)", sp.name)
+	}
+	if !sp.haveK || sp.k < 1 {
+		return nil, nil, fmt.Errorf("dataset %q: -follow requires a finite k= >= 1 matching the primary's", sp.name)
+	}
+	g, err := loadGraph(sp.graphPath)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dataset %q: %w", sp.name, err)
+	}
+	cfg := server.FollowerConfig{
+		Primary:      primary,
+		Dataset:      sp.name,
+		Registry:     reg,
+		Options:      kreach.DynamicOptions{K: sp.k, Cover: sp.cover, Seed: sp.seed},
+		Sync:         sync,
+		RetainEpochs: retain,
+		PollWait:     pollWait,
+		Logger:       logger,
+	}
+	if walDir != "" {
+		cfg.WALDir = filepath.Join(walDir, sp.name)
+	}
+	f, err := server.NewFollower(cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dataset %q: %w", sp.name, err)
+	}
+	d, err := f.Bootstrap(g)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dataset %q: %w", sp.name, err)
+	}
+	logger.Info("dataset following",
+		"name", sp.name,
+		"primary", primary,
+		"resume_epoch", f.Status().LastAppliedEpoch,
+		"durable", cfg.WALDir != "")
+	return d, f, nil
 }
 
 func loadGraph(path string) (*kreach.Graph, error) {

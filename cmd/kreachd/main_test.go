@@ -59,7 +59,7 @@ func TestLoadDatasetBuildsEachKind(t *testing.T) {
 		"c,graph=" + path + ",k=5,h=2":   server.KindHK,
 		"d,graph=" + path + ",rungs=2+4": server.KindMulti,
 	} {
-		d, err := loadDataset(spec, false, "", kreach.SyncAlways)
+		d, err := loadDataset(spec, false, "", kreach.SyncAlways, 0)
 		if err != nil {
 			t.Fatalf("spec %q: %v", spec, err)
 		}
@@ -70,7 +70,7 @@ func TestLoadDatasetBuildsEachKind(t *testing.T) {
 			t.Errorf("spec %q graph is %d/%d, want 6/6", spec, d.Graph.NumVertices(), d.Graph.NumEdges())
 		}
 	}
-	if _, err := loadDataset("x,graph="+filepath.Join(dir, "missing.txt"), false, "", kreach.SyncAlways); err == nil {
+	if _, err := loadDataset("x,graph="+filepath.Join(dir, "missing.txt"), false, "", kreach.SyncAlways, 0); err == nil {
 		t.Error("missing graph file accepted")
 	}
 }
@@ -81,7 +81,7 @@ func TestLoadDatasetMutableValidation(t *testing.T) {
 	if err := os.WriteFile(path, []byte("0 1\n1 2\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	d, err := loadDataset("m,graph="+path+",k=3", true, "", kreach.SyncAlways)
+	d, err := loadDataset("m,graph="+path+",k=3", true, "", kreach.SyncAlways, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,7 @@ func TestLoadDatasetMutableValidation(t *testing.T) {
 		"m,graph=" + path + ",k=3,h=1",   // hk variant not mutable
 		"m,graph=" + path + ",rungs=2+4", // ladder not mutable
 	} {
-		if _, err := loadDataset(bad, true, "", kreach.SyncAlways); err == nil {
+		if _, err := loadDataset(bad, true, "", kreach.SyncAlways, 0); err == nil {
 			t.Errorf("mutable spec %q accepted", bad)
 		}
 	}
@@ -111,7 +111,7 @@ func TestMutableEndToEnd(t *testing.T) {
 	if err := os.WriteFile(path, []byte("0 1\n1 2\n3 4\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	d, err := loadDataset("social,graph="+path+",k=4", true, "", kreach.SyncAlways)
+	d, err := loadDataset("social,graph="+path+",k=4", true, "", kreach.SyncAlways, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -18,6 +18,7 @@ import (
 	"kreach"
 	"kreach/internal/gen"
 	"kreach/internal/graph"
+	"kreach/internal/wal"
 	"kreach/internal/workload"
 )
 
@@ -205,4 +206,136 @@ func mutateDynamic(t *testing.T, dyn *kreach.DynamicIndex, base *graph.Graph, se
 	}
 	// The stream's edge set is the ground truth for the mutated graph.
 	return graph.FromEdges(base.NumVertices(), stream.Edges())
+}
+
+// TestConformanceFollowerReplication extends the differential suite to the
+// replication path: a library-level follower replays a durable primary's
+// WAL feed — snapshots, records, and compaction epoch markers — and at
+// EVERY published epoch must stand at the primary's exact epoch and agree
+// with both the primary and the BFS oracle, across k ∈ {1..4}.
+func TestConformanceFollowerReplication(t *testing.T) {
+	spec, ok := gen.Dataset("Nasa")
+	if !ok {
+		t.Fatal("unknown conformance dataset Nasa")
+	}
+	spec = spec.Scaled(60)
+	for k := 1; k <= 4; k++ {
+		k := k
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			ig := spec.Generate()
+			g := kreach.WrapInternal(ig)
+			n := g.NumVertices()
+			seed := uint64(k)
+			opts := kreach.DynamicOptions{K: k, Seed: seed, CompactRatio: 1e9}
+			dyn, _, w, err := kreach.OpenDurableDynamicIndex(g, opts, kreach.DurableOptions{
+				Dir: t.TempDir(), RetainEpochs: 6,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer w.Close()
+
+			// The follower: a plain in-memory index driven purely by feed
+			// chunks, exactly the protocol kreachd -follow speaks.
+			fdyn, err := kreach.NewDynamicIndex(g, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var cursor uint64
+			pairs := func(es []graph.Edge) [][2]int {
+				out := make([][2]int, len(es))
+				for i, e := range es {
+					out[i] = [2]int{int(e.Src), int(e.Dst)}
+				}
+				return out
+			}
+			syncFollower := func() {
+				t.Helper()
+				ck, err := w.FeedSince(cursor, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ck.Snapshot != nil {
+					fg, epoch, err := kreach.DecodeWALSnapshot(ck.Snapshot)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if fdyn, err = kreach.AdoptDynamicSnapshot(fg, epoch, opts, nil); err != nil {
+						t.Fatal(err)
+					}
+					cursor = epoch
+				}
+				if len(ck.Records) > 0 {
+					recs, err := wal.DecodeRecords(ck.Records)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, rec := range recs {
+						if rec.Epoch <= cursor {
+							continue
+						}
+						if _, err := fdyn.ApplyRecord(pairs(rec.Add), pairs(rec.Remove), rec.Epoch); err != nil {
+							t.Fatal(err)
+						}
+						cursor = rec.Epoch
+					}
+				}
+				// A served-through beyond the last record is a primary
+				// compaction: adopt it as an epoch marker.
+				if ck.ServedThrough > cursor {
+					if _, err := fdyn.ApplyRecord(nil, nil, ck.ServedThrough); err != nil {
+						t.Fatal(err)
+					}
+					cursor = ck.ServedThrough
+				}
+			}
+
+			// checkEpoch: exact epoch equality plus three-way pairwise
+			// agreement (primary, follower, oracle) on the current edge set.
+			ms := workload.NewMutationStream(ig, seed+70, workload.MutationMix{Add: 0.55, Remove: 0.45})
+			checkEpoch := func(step int) {
+				t.Helper()
+				syncFollower()
+				if fdyn.Epoch() != dyn.Epoch() {
+					t.Fatalf("step %d: follower at epoch %d, primary at %d", step, fdyn.Epoch(), dyn.Epoch())
+				}
+				cur := graph.FromEdges(n, ms.Edges())
+				checkPairs(t, fmt.Sprintf("primary@%d", step), dyn, cur, k, seed+uint64(step))
+				checkPairs(t, fmt.Sprintf("follower@%d", step), fdyn, cur, k, seed+uint64(step))
+			}
+
+			applied := 0
+			for applied < 24 {
+				op := ms.Next()
+				var res kreach.MutationResult
+				switch op.Kind {
+				case workload.OpAdd:
+					res, err = dyn.Mutate([][2]int{{int(op.U), int(op.V)}}, nil)
+				case workload.OpRemove:
+					res, err = dyn.Mutate(nil, [][2]int{{int(op.U), int(op.V)}})
+				default:
+					continue
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.Applied() {
+					t.Fatalf("op %v (%d,%d) did not apply: %+v", op.Kind, op.U, op.V, res)
+				}
+				applied++
+				checkEpoch(applied)
+
+				if applied == 12 {
+					// A mid-run compaction publishes a record-free epoch; the
+					// follower must adopt it and stay answer-identical.
+					next, _, err := dyn.Compact(nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					dyn = next
+					checkEpoch(-applied)
+				}
+			}
+		})
+	}
 }

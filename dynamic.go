@@ -102,6 +102,28 @@ func (ix *DynamicIndex) Mutate(add, remove [][2]int) (MutationResult, error) {
 	}, err
 }
 
+// ApplyRecord applies one replicated mutation record under the epoch the
+// primary issued for it: the batch adopts that epoch instead of a fresh
+// local generation (same epoch ⇔ same state on both sides), and — when the
+// index was opened durably — the record is journaled to the follower's own
+// log first, so a restart recovers to the identical epoch. An explicitly
+// empty record (no adds, no removes) is an epoch marker: it renames the
+// current edge set to the given epoch, which is how followers adopt a
+// primary compaction's successor epoch. The epoch must be nonzero.
+func (ix *DynamicIndex) ApplyRecord(add, remove [][2]int, epoch uint64) (MutationResult, error) {
+	res, err := ix.d.ApplyRecord(toEdges(add), toEdges(remove), epoch)
+	return MutationResult{
+		Added:          res.Added,
+		Removed:        res.Removed,
+		DupAdds:        res.DupAdds,
+		MissingRemoves: res.MissingRemoves,
+		UnknownVertex:  res.UnknownVertex,
+		Promoted:       res.Promoted,
+		RowsRecomputed: res.RowsRecomputed,
+		Epoch:          res.Epoch,
+	}, err
+}
+
 func toEdges(pairs [][2]int) []graph.Edge {
 	es := make([]graph.Edge, len(pairs))
 	for i, p := range pairs {

@@ -565,18 +565,58 @@ func (ix *Index) mutateLocked(add, remove []graph.Edge, replayEpoch uint64) (Mut
 	ix.edgesRemoved += uint64(res.Removed)
 	ix.promotions += uint64(res.Promoted)
 	ix.rowsRecomputed += uint64(res.RowsRecomputed)
-	if res.Applied() {
+	switch {
+	case res.Applied():
 		if reserved == 0 {
 			reserved = core.NextGeneration()
 		}
 		res.Epoch = reserved
 		ix.epoch.Store(res.Epoch)
-	} else {
+	case replayEpoch != 0 && len(add) == 0 && len(remove) == 0:
+		// An explicitly empty replicated record is an epoch marker: it
+		// names the current edge set under a newer epoch. A primary
+		// compaction does exactly this (same edges, fresh successor epoch),
+		// and followers persist the successor as an empty record — adopting
+		// it here keeps "same epoch ⇔ same durable state" exact across the
+		// replication boundary. A journaled no-op batch (all duplicates)
+		// arrives with edges attached, so it never takes this branch.
+		res.Epoch = replayEpoch
+		ix.epoch.Store(replayEpoch)
+	default:
 		// A no-op batch (all duplicates/missing/unknown) leaves the edge
 		// set untouched: keep the epoch so cached answers stay live.
 		res.Epoch = ix.epoch.Load()
 	}
 	return res, nil
+}
+
+// ApplyRecord applies one replicated mutation record from a primary's
+// feed: Replay's epoch adoption plus local durability. With a journal
+// attached, the record is appended to it first — under the primary's
+// epoch — so the follower's own log replays to the identical state. The
+// process generation counter is advanced past the record's epoch before
+// anything else, keeping locally issued generations (compactions, sibling
+// datasets) from colliding with adopted primary epochs.
+func (ix *Index) ApplyRecord(add, remove []graph.Edge, epoch uint64) (MutationResult, error) {
+	if epoch == 0 {
+		return MutationResult{}, errors.New("dynamic: replicated record requires a nonzero epoch")
+	}
+	start := time.Now()
+	defer func() { MutateLatency.Observe(time.Since(start)) }()
+	ix.mutMu.Lock()
+	defer ix.mutMu.Unlock()
+	if ix.retired.Load() {
+		// Checked before the journal write: a record must not become locally
+		// durable through a retired index's store.
+		return MutationResult{}, ErrRetired
+	}
+	core.AdvanceGeneration(epoch)
+	if ix.journal != nil {
+		if err := ix.journal.Append(epoch, add, remove); err != nil {
+			return MutationResult{}, fmt.Errorf("dynamic: journal: %w", err)
+		}
+	}
+	return ix.mutateLocked(add, remove, epoch)
 }
 
 // promote adds vertex c to the cover with a fresh dense id and an empty

@@ -24,8 +24,12 @@ type statsView struct {
 		Draining   bool   `json:"draining"`
 	} `json:"server"`
 	Datasets []struct {
-		Name  string `json:"name"`
-		Epoch uint64 `json:"epoch"`
+		Name     string `json:"name"`
+		Epoch    uint64 `json:"epoch"`
+		Follower *struct {
+			LagEpochs  uint64  `json:"lag_epochs"`
+			LagSeconds float64 `json:"lag_seconds"`
+		} `json:"follower"`
 	} `json:"datasets"`
 }
 
@@ -48,8 +52,28 @@ func (rt *Router) probe(ctx context.Context, rep *Replica) error {
 	}
 
 	rep.setInstance(view.Server.InstanceID)
+	var worstEpochs uint64
+	var worstSeconds float64
 	for _, d := range view.Datasets {
 		rep.observeEpoch(d.Name, d.Epoch)
+		if d.Follower != nil {
+			worstEpochs = max(worstEpochs, d.Follower.LagEpochs)
+			worstSeconds = max(worstSeconds, d.Follower.LagSeconds)
+		}
+	}
+	// Replication lag demotion: a follower trailing its primary beyond the
+	// configured bounds stops taking placements — it is alive and healthy,
+	// just temporarily serving old epochs — and readmits itself the moment a
+	// probe sees it caught up.
+	over := (rt.cfg.MaxLagEpochs > 0 && worstEpochs > rt.cfg.MaxLagEpochs) ||
+		(rt.cfg.MaxLagSeconds > 0 && worstSeconds > rt.cfg.MaxLagSeconds)
+	wasLagged := rep.Lagged()
+	rep.setLag(worstEpochs, worstSeconds, over)
+	if over && !wasLagged {
+		rt.logger.Warn("replica demoted for replication lag", "replica", rep.ID,
+			"lag_epochs", worstEpochs, "lag_seconds", worstSeconds)
+	} else if !over && wasLagged {
+		rt.logger.Info("replica caught up, readmitted", "replica", rep.ID)
 	}
 	// The process is alive and scraping: the failure streak resets even if
 	// it is not ready (a draining or still-loading backend is not broken,

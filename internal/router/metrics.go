@@ -19,6 +19,8 @@ func MetricCatalog() []string {
 		"kreach_router_partial_failures_total",
 		"kreach_router_probes_total",
 		"kreach_router_replica_inflight",
+		"kreach_router_replica_lag_epochs",
+		"kreach_router_replica_lag_seconds",
 		"kreach_router_replica_up",
 		"kreach_router_replicas",
 		"kreach_router_replicas_routable",
@@ -86,6 +88,13 @@ func (rt *Router) collectReplicas(e *obs.Emitter) {
 			labels, up)
 		e.Gauge("kreach_router_replica_inflight", "Requests/legs currently outstanding against the replica.",
 			labels, float64(rep.Inflight()))
+		lagE, lagS := rep.lagView()
+		e.Gauge("kreach_router_replica_lag_epochs",
+			"Worst per-dataset replication lag in epochs, from the last probe (0 for primaries).",
+			labels, float64(lagE))
+		e.Gauge("kreach_router_replica_lag_seconds",
+			"Worst per-dataset replication lag in seconds, from the last probe (0 for primaries).",
+			labels, lagS)
 	}
 }
 

@@ -240,6 +240,9 @@ type replicaStats struct {
 	Ready      bool              `json:"ready"`
 	Draining   bool              `json:"draining"`
 	Routable   bool              `json:"routable"`
+	Lagged     bool              `json:"lagged,omitempty"`
+	LagEpochs  uint64            `json:"lag_epochs,omitempty"`
+	LagSeconds float64           `json:"lag_seconds,omitempty"`
 	Inflight   int64             `json:"inflight"`
 	InstanceID string            `json:"instance_id,omitempty"`
 	Epochs     map[string]uint64 `json:"epochs,omitempty"`
@@ -260,11 +263,13 @@ func (rt *Router) handleStats(w http.ResponseWriter, _ *http.Request) {
 			Ready:      rep.ready.Load(),
 			Draining:   rep.draining.Load(),
 			Routable:   rep.Routable(),
+			Lagged:     rep.Lagged(),
 			Inflight:   rep.Inflight(),
 			InstanceID: instance,
 			Epochs:     epochs,
 			LastError:  lastErr,
 		}
+		rs.LagEpochs, rs.LagSeconds = rep.lagView()
 		if !lastProbe.IsZero() {
 			rs.LastProbe = lastProbe.UTC().Format(time.RFC3339Nano)
 		}

@@ -53,12 +53,15 @@ type Replica struct {
 	state    atomic.Int32 // ReplicaState
 	fails    atomic.Int32 // consecutive failures (probe or request path)
 	ready    atomic.Bool  // backend /readyz verdict (true until a probe says otherwise)
+	lagged   atomic.Bool  // replication lag beyond configured bounds: no new placements
 
-	mu        sync.Mutex
-	instance  string            // backend instance_id from /v1/stats
-	epochs    map[string]uint64 // per-dataset index epoch, monotone per process
-	lastErr   string
-	lastProbe time.Time
+	mu         sync.Mutex
+	instance   string            // backend instance_id from /v1/stats
+	epochs     map[string]uint64 // per-dataset index epoch, monotone per process
+	lagEpochs  uint64            // worst per-dataset follower lag, from the last probe
+	lagSeconds float64
+	lastErr    string
+	lastProbe  time.Time
 }
 
 func newReplica(base string, client *http.Client) (*Replica, error) {
@@ -83,9 +86,30 @@ func newReplica(base string, client *http.Client) (*Replica, error) {
 func (r *Replica) State() ReplicaState { return ReplicaState(r.state.Load()) }
 
 // Routable reports whether new placements may target this replica:
-// healthy, backend-ready, and not being drained by the router.
+// healthy, backend-ready, not being drained by the router, and not lagging
+// its replication primary beyond the configured bounds.
 func (r *Replica) Routable() bool {
-	return r.State() == StateHealthy && r.ready.Load() && !r.draining.Load()
+	return r.State() == StateHealthy && r.ready.Load() && !r.draining.Load() && !r.lagged.Load()
+}
+
+// Lagged reports whether the replica is demoted for replication lag.
+func (r *Replica) Lagged() bool { return r.lagged.Load() }
+
+// setLag records the worst per-dataset follower lag a probe observed and
+// whether it crosses the demotion bounds. Replicas that are not followers
+// always report (0, 0, false), so the flag never sticks on a primary.
+func (r *Replica) setLag(epochs uint64, seconds float64, over bool) {
+	r.mu.Lock()
+	r.lagEpochs, r.lagSeconds = epochs, seconds
+	r.mu.Unlock()
+	r.lagged.Store(over)
+}
+
+// lagView returns the last probe's lag observation.
+func (r *Replica) lagView() (epochs uint64, seconds float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lagEpochs, r.lagSeconds
 }
 
 // Inflight is the number of requests/legs currently outstanding.

@@ -18,8 +18,8 @@ type Config struct {
 	Replicas []string
 	// Primary is the base URL receiving mutations (edges/compact); ""
 	// means the first replica. Mutations never fail over: they are not
-	// idempotent, and the non-primary replicas don't journal them anyway
-	// (follower catch-up over the WAL is the ROADMAP item).
+	// idempotent, and follower replicas reject local writes anyway — they
+	// catch up from the primary's WAL feed (kreachd -follow).
 	Primary string
 	// VNodes is the per-replica virtual-node count (0 = DefaultVNodes).
 	VNodes int
@@ -54,6 +54,12 @@ type Config struct {
 	// DrainTimeout bounds how long a rolling reload waits for a drained
 	// replica's in-flight legs to finish (0 = DefaultDrainTimeout).
 	DrainTimeout time.Duration
+	// MaxLagEpochs demotes a follower replica whose worst per-dataset
+	// replication lag exceeds this many epochs (0 disables).
+	MaxLagEpochs uint64
+	// MaxLagSeconds demotes a follower replica that has been behind its
+	// primary for longer than this many seconds (0 disables).
+	MaxLagSeconds float64
 	// Logger receives structured routing logs; nil discards.
 	Logger *slog.Logger
 }

@@ -1,0 +1,79 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// This file is the primary side of WAL-streaming replication:
+// GET /v1/datasets/{name}/wal?from_epoch=E serves one KRF1 chunk — a full
+// KRS1 snapshot when E predates the retained log (or E is 0, or E names a
+// history this primary never had), raw KRW1 records otherwise. The
+// optional wait=<duration> parameter long-polls: a caught-up follower's
+// request parks until durable progress happens, so an idle primary costs
+// one held connection instead of a poll storm. See internal/wal/stream.go
+// for the wire format and kreach/internal/server.Follower for the consumer.
+
+const (
+	// maxFeedWait caps the long-poll a feed request may ask for, so a dead
+	// follower's parked request cannot outlive routers' patience.
+	maxFeedWait = 30 * time.Second
+	// feedChunkBytes caps one response's records region (at a record
+	// boundary); the chunk's served-through epoch tells the follower to
+	// come straight back for the rest.
+	feedChunkBytes = 4 << 20
+)
+
+func (s *Server) handleWALFeed(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	d, err := s.reg.Lookup(name)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	track(r.Context()).dataset = d.Name
+	if d.WAL == nil {
+		writeError(w, http.StatusConflict,
+			"dataset %q has no write-ahead log to stream (serve it with -mutable -wal-dir)", d.Name)
+		return
+	}
+	q := r.URL.Query()
+	var from uint64
+	if v := q.Get("from_epoch"); v != "" {
+		from, err = strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad from_epoch %q: %v", v, err)
+			return
+		}
+	}
+	var wait time.Duration
+	if v := q.Get("wait"); v != "" {
+		wait, err = time.ParseDuration(v)
+		if err != nil || wait < 0 {
+			writeError(w, http.StatusBadRequest, "bad wait %q", v)
+			return
+		}
+		if wait > maxFeedWait {
+			wait = maxFeedWait
+		}
+	}
+	ck, err := d.WAL.FeedSince(from, feedChunkBytes)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	if wait > 0 && ck.Snapshot == nil && ck.NumRecords == 0 && ck.LastEpoch <= from {
+		// Caught up: park until something newer lands (or the wait, or the
+		// client, expires), then recapture.
+		d.WAL.WaitForEpoch(r.Context(), from, wait)
+		if ck, err = d.WAL.FeedSince(from, feedChunkBytes); err != nil {
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Kreach-Epoch", strconv.FormatUint(ck.LastEpoch, 10))
+	w.WriteHeader(http.StatusOK)
+	w.Write(ck.AppendWire(nil)) //nolint:errcheck // client hangup mid-chunk is the follower's torn-feed path
+}

@@ -1,0 +1,472 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kreach"
+	"kreach/internal/graph"
+	"kreach/internal/wal"
+)
+
+// This file is the consumer side of WAL-streaming replication. A Follower
+// drives one read-only dataset from a primary's feed endpoint: it
+// cold-starts from the shipped snapshot (or its own recovered WAL),
+// applies records under the primary's exact epochs, journals them to its
+// own log so a restart resumes from the last durable epoch, and publishes
+// every adopted state through the RCU registry — follower caches
+// self-invalidate epoch-for-epoch exactly as on the primary.
+//
+// Epoch exactness is the invariant everything else hangs on: after any
+// complete sync, follower epoch == primary epoch ⇒ identical edge sets. A
+// primary compaction issues a fresh epoch with no record (same edges); the
+// feed reports it as a served-through gap, and the follower adopts it by
+// journaling an empty epoch-marker record, so even compaction epochs
+// survive a follower crash. Torn streams, bit flips and mid-ship primary
+// deaths are all handled the same way: the chunk dies, nothing partial
+// applies beyond whole records already journaled, and the next sync
+// resumes from the follower's own durable cursor.
+
+// Follower lifecycle defaults.
+const (
+	// DefaultFollowerPollWait is the long-poll duration a follower asks the
+	// feed to hold when it is caught up.
+	DefaultFollowerPollWait = 10 * time.Second
+	// DefaultFollowerBackoff is the retry delay after a failed sync.
+	DefaultFollowerBackoff = 500 * time.Millisecond
+)
+
+// FollowerConfig configures NewFollower.
+type FollowerConfig struct {
+	// Primary is the primary kreachd's base URL (e.g. http://host:7325).
+	Primary string
+	// Dataset is the dataset name, identical on both sides.
+	Dataset string
+	// Registry receives the swapped-in dataset when a shipped snapshot
+	// replaces the follower's index; nil is allowed in tests (the displaced
+	// index is retired directly).
+	Registry *Registry
+	// Options are the dynamic-index build options; k must match the
+	// primary's or answers will legitimately differ.
+	Options kreach.DynamicOptions
+	// WALDir is the follower's own durability directory; empty runs the
+	// follower in memory (a restart re-ships the snapshot).
+	WALDir string
+	// Sync is the local journal's fsync policy.
+	Sync kreach.SyncPolicy
+	// RetainEpochs is the local journal's checkpoint retention window,
+	// letting chained followers serve their own feed.
+	RetainEpochs int
+	// PollWait is the feed long-poll duration (0 = DefaultFollowerPollWait).
+	PollWait time.Duration
+	// RetryBackoff is the delay after a failed sync (0 = DefaultFollowerBackoff).
+	RetryBackoff time.Duration
+	// Client overrides the HTTP client (tests); nil builds one with a
+	// timeout sized to PollWait plus a snapshot-transfer allowance.
+	Client *http.Client
+	// Logger receives replication lifecycle logs; nil discards.
+	Logger *slog.Logger
+}
+
+// Follower replicates one dataset from a primary. Create with NewFollower,
+// obtain the servable dataset from Bootstrap, then drive it with Run (or
+// SyncOnce in tests). Status is safe to call from any goroutine.
+type Follower struct {
+	cfg     FollowerConfig
+	client  *http.Client
+	logger  *slog.Logger
+	started time.Time
+
+	// mu guards the current index/graph/dataset pointers across snapshot
+	// adoption swaps; the replication loop is single-goroutine, but Status
+	// and stats handlers read concurrently.
+	mu  sync.Mutex
+	dyn *kreach.DynamicIndex
+	g   *kreach.Graph
+	w   *kreach.WAL
+
+	cursor       atomic.Uint64 // last locally durable/applied epoch
+	primaryEpoch atomic.Uint64 // newest primary epoch seen in a heartbeat
+	peakLag      atomic.Uint64 // worst epoch lag ever observed
+	records      atomic.Uint64 // records applied
+	snapshots    atomic.Uint64 // snapshots adopted
+	syncErrors   atomic.Uint64 // failed sync cycles
+	lastContact  atomic.Int64  // unix ns of the last completed sync
+	lastCaught   atomic.Int64  // unix ns of the last caught-up moment
+
+	caughtOnce sync.Once
+	caughtCh   chan struct{}
+}
+
+// NewFollower validates cfg and returns an un-bootstrapped follower.
+func NewFollower(cfg FollowerConfig) (*Follower, error) {
+	if cfg.Primary == "" {
+		return nil, errors.New("server: follower needs a primary URL")
+	}
+	if cfg.Dataset == "" {
+		return nil, errors.New("server: follower needs a dataset name")
+	}
+	if cfg.PollWait <= 0 {
+		cfg.PollWait = DefaultFollowerPollWait
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = DefaultFollowerBackoff
+	}
+	f := &Follower{
+		cfg:      cfg,
+		client:   cfg.Client,
+		logger:   cfg.Logger,
+		started:  time.Now(),
+		caughtCh: make(chan struct{}),
+	}
+	if f.client == nil {
+		f.client = &http.Client{Timeout: cfg.PollWait + 60*time.Second}
+	}
+	if f.logger == nil {
+		f.logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return f, nil
+}
+
+// Bootstrap builds the follower's local starting state — durable recovery
+// of its own WAL when WALDir is set, a fresh in-memory index otherwise —
+// and returns the read-only Dataset to register. No network happens here;
+// the first Run (or SyncOnce) contacts the primary.
+func (f *Follower) Bootstrap(base *kreach.Graph) (*Dataset, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dyn != nil {
+		return nil, errors.New("server: follower already bootstrapped")
+	}
+	if f.cfg.WALDir != "" {
+		dyn, g, w, err := kreach.OpenDurableDynamicIndex(base, f.cfg.Options, kreach.DurableOptions{
+			Dir:          f.cfg.WALDir,
+			Sync:         f.cfg.Sync,
+			RetainEpochs: f.cfg.RetainEpochs,
+		})
+		if err != nil {
+			return nil, err
+		}
+		f.dyn, f.g, f.w = dyn, g, w
+		// Resume from the last locally durable epoch, not the index's: a
+		// virgin recovery issues a fresh local generation that the primary
+		// never saw.
+		f.cursor.Store(w.Stats().LastEpoch)
+	} else {
+		dyn, err := kreach.NewDynamicIndex(base, f.cfg.Options)
+		if err != nil {
+			return nil, err
+		}
+		f.dyn, f.g = dyn, base
+	}
+	return f.datasetLocked(), nil
+}
+
+// WAL returns the follower's local durability store (nil when in-memory).
+func (f *Follower) WAL() *kreach.WAL {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.w
+}
+
+func (f *Follower) datasetLocked() *Dataset {
+	return &Dataset{
+		Name:     f.cfg.Dataset,
+		Graph:    f.g,
+		Reacher:  f.dyn,
+		WAL:      f.w,
+		ReadOnly: true,
+		Follower: f,
+	}
+}
+
+// Run drives the replication loop until ctx ends: sync, long-poll, apply,
+// repeat; failed syncs back off and retry forever (a down primary is a lag
+// event, not a crash).
+func (f *Follower) Run(ctx context.Context) {
+	for ctx.Err() == nil {
+		applied, err := f.SyncOnce(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			f.syncErrors.Add(1)
+			f.logger.Warn("replication sync failed",
+				"dataset", f.cfg.Dataset, "primary", f.cfg.Primary, "error", err)
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(f.cfg.RetryBackoff):
+			}
+			continue
+		}
+		if applied > 0 {
+			f.logger.Debug("replicated",
+				"dataset", f.cfg.Dataset, "applied", applied, "epoch", f.cursor.Load())
+		}
+		// No sleep on success: the feed long-polls server-side, so an idle
+		// primary paces this loop by holding the request open.
+	}
+}
+
+// SyncOnce performs one feed request/apply cycle and returns how many
+// state-bearing frames' worth it applied (records plus snapshots). A
+// stream that dies mid-frame leaves every fully applied record durable —
+// the next call resumes from the cursor — and never anything partial.
+func (f *Follower) SyncOnce(ctx context.Context) (int, error) {
+	from := f.cursor.Load()
+	u := fmt.Sprintf("%s/v1/datasets/%s/wal?from_epoch=%d&wait=%s",
+		strings.TrimRight(f.cfg.Primary, "/"), url.PathEscape(f.cfg.Dataset), from, f.cfg.PollWait)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<14))
+		return 0, fmt.Errorf("server: feed %s: status %d: %s",
+			u, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	applied := 0
+	var servedThrough uint64
+	committed := false // true while the newest frame read is a heartbeat
+	fr := wal.NewFeedReader(resp.Body)
+	for {
+		frame, ferr := fr.Next()
+		if errors.Is(ferr, io.EOF) {
+			break
+		}
+		if ferr != nil {
+			return applied, ferr
+		}
+		committed = frame.Kind == wal.FrameHeartbeat
+		switch frame.Kind {
+		case wal.FrameHeartbeat:
+			last, served, herr := frame.Heartbeat()
+			if herr != nil {
+				return applied, herr
+			}
+			f.observePrimary(last)
+			servedThrough = served
+		case wal.FrameSnapshot:
+			if err := f.adoptSnapshot(frame.Payload); err != nil {
+				return applied, err
+			}
+			applied++
+		case wal.FrameRecords:
+			recs, derr := wal.DecodeRecords(frame.Payload)
+			if derr != nil {
+				return applied, derr
+			}
+			for _, rec := range recs {
+				if rec.Epoch <= f.cursor.Load() {
+					continue // idempotent re-delivery of an already-durable record
+				}
+				if err := f.applyRecord(rec); err != nil {
+					return applied, err
+				}
+				applied++
+			}
+		}
+	}
+	// A chunk is complete only when its final frame was the trailing commit
+	// heartbeat — a stream cut at a frame boundary is a well-formed prefix
+	// the transport cannot flag, and honoring the leading heartbeat's
+	// promise there would adopt an epoch whose records never arrived. Once
+	// committed, a gap between the last record's epoch and served-through is
+	// a primary compaction (same edges, fresh successor epoch) — adopt it as
+	// a durable epoch marker so the histories match exactly.
+	if cur := f.cursor.Load(); committed && servedThrough > cur {
+		if err := f.adoptEpoch(servedThrough); err != nil {
+			return applied, err
+		}
+	}
+	f.lastContact.Store(time.Now().UnixNano())
+	f.maybeCaughtUp()
+	return applied, nil
+}
+
+func (f *Follower) applyRecord(rec wal.Record) error {
+	f.mu.Lock()
+	dyn := f.dyn
+	f.mu.Unlock()
+	if _, err := dyn.ApplyRecord(edgePairs(rec.Add), edgePairs(rec.Remove), rec.Epoch); err != nil {
+		return fmt.Errorf("server: applying replicated record at epoch %d: %w", rec.Epoch, err)
+	}
+	f.cursor.Store(rec.Epoch)
+	f.records.Add(1)
+	f.maybeCaughtUp()
+	return nil
+}
+
+// adoptEpoch journals and adopts an empty epoch-marker record: same edge
+// set, newer epoch (the follower-side image of a primary compaction).
+func (f *Follower) adoptEpoch(epoch uint64) error {
+	f.mu.Lock()
+	dyn := f.dyn
+	f.mu.Unlock()
+	if _, err := dyn.ApplyRecord(nil, nil, epoch); err != nil {
+		return fmt.Errorf("server: adopting epoch %d: %w", epoch, err)
+	}
+	f.cursor.Store(epoch)
+	f.maybeCaughtUp()
+	return nil
+}
+
+// adoptSnapshot replaces the follower's entire state with a shipped KRS1
+// image: fresh index at the shipped epoch, local WAL reset to it, and the
+// new dataset published through the registry (retiring the displaced
+// index) so epoch-keyed caches roll over exactly as on the primary.
+func (f *Follower) adoptSnapshot(payload []byte) error {
+	g, epoch, err := kreach.DecodeWALSnapshot(payload)
+	if err != nil {
+		return fmt.Errorf("server: decoding shipped snapshot: %w", err)
+	}
+	f.mu.Lock()
+	if f.g != nil && g.NumVertices() != f.g.NumVertices() {
+		n, have := g.NumVertices(), f.g.NumVertices()
+		f.mu.Unlock()
+		return fmt.Errorf("server: shipped snapshot has %d vertices, follower graph has %d — wrong primary?", n, have)
+	}
+	w := f.w
+	f.mu.Unlock()
+	dyn, err := kreach.AdoptDynamicSnapshot(g, epoch, f.cfg.Options, w)
+	if err != nil {
+		return fmt.Errorf("server: adopting shipped snapshot: %w", err)
+	}
+	f.mu.Lock()
+	old := f.dyn
+	f.dyn, f.g = dyn, g
+	ds := f.datasetLocked()
+	f.mu.Unlock()
+	published := false
+	if f.cfg.Registry != nil {
+		if _, err := f.cfg.Registry.Swap(ds); err == nil {
+			published = true // Swap retires the displaced index
+		}
+	}
+	if !published && old != nil {
+		old.Retire()
+	}
+	f.cursor.Store(epoch)
+	f.snapshots.Add(1)
+	f.maybeCaughtUp()
+	f.logger.Info("adopted primary snapshot",
+		"dataset", f.cfg.Dataset, "epoch", epoch, "vertices", g.NumVertices())
+	return nil
+}
+
+// observePrimary folds a heartbeat's newest-epoch into the lag accounting.
+// Heartbeats lead every chunk, so a freshly restarted follower records its
+// true (nonzero) lag before catch-up shrinks it.
+func (f *Follower) observePrimary(last uint64) {
+	for {
+		cur := f.primaryEpoch.Load()
+		if last <= cur || f.primaryEpoch.CompareAndSwap(cur, last) {
+			break
+		}
+	}
+	if cur := f.cursor.Load(); last > cur {
+		lag := last - cur
+		for {
+			p := f.peakLag.Load()
+			if lag <= p || f.peakLag.CompareAndSwap(p, lag) {
+				break
+			}
+		}
+	}
+}
+
+func (f *Follower) maybeCaughtUp() {
+	if f.cursor.Load() >= f.primaryEpoch.Load() && f.lastContact.Load() > 0 {
+		f.lastCaught.Store(time.Now().UnixNano())
+		f.caughtOnce.Do(func() { close(f.caughtCh) })
+	}
+}
+
+// WaitCaughtUp blocks until the follower has, at least once, completed a
+// sync that left it at the primary's newest durable epoch (or ctx ends).
+// kreachd gates readiness on it, so a follower never reports ready while
+// serving state behind the primary it just contacted.
+func (f *Follower) WaitCaughtUp(ctx context.Context) error {
+	select {
+	case <-f.caughtCh:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// FollowerStatus is a point-in-time view of one follower's replication
+// progress, as surfaced in /v1/stats and /metrics.
+type FollowerStatus struct {
+	Primary          string
+	Dataset          string
+	LastAppliedEpoch uint64  // follower's durable cursor
+	PrimaryEpoch     uint64  // newest primary epoch seen in a heartbeat
+	LagEpochs        uint64  // PrimaryEpoch - cursor when behind, else 0
+	LagSeconds       float64 // time since last caught-up (0 when caught up)
+	PeakLagEpochs    uint64  // worst epoch lag ever observed
+	CaughtUp         bool
+	RecordsApplied   uint64
+	SnapshotsLoaded  uint64
+	SyncErrors       uint64
+	LastContact      time.Time // zero until the first completed sync
+}
+
+// Status returns the follower's current replication accounting.
+func (f *Follower) Status() FollowerStatus {
+	cursor := f.cursor.Load()
+	pe := f.primaryEpoch.Load()
+	st := FollowerStatus{
+		Primary:          f.cfg.Primary,
+		Dataset:          f.cfg.Dataset,
+		LastAppliedEpoch: cursor,
+		PrimaryEpoch:     pe,
+		PeakLagEpochs:    f.peakLag.Load(),
+		RecordsApplied:   f.records.Load(),
+		SnapshotsLoaded:  f.snapshots.Load(),
+		SyncErrors:       f.syncErrors.Load(),
+	}
+	if ns := f.lastContact.Load(); ns > 0 {
+		st.LastContact = time.Unix(0, ns)
+	}
+	if pe > cursor {
+		st.LagEpochs = pe - cursor
+		// Seconds behind, proxied by how long it has been since the
+		// follower last stood at the primary's epoch (its own start when it
+		// never has).
+		since := f.lastCaught.Load()
+		if since == 0 {
+			since = f.started.UnixNano()
+		}
+		st.LagSeconds = time.Since(time.Unix(0, since)).Seconds()
+	} else {
+		st.CaughtUp = st.LastContact != (time.Time{})
+	}
+	return st
+}
+
+func edgePairs(es []graph.Edge) [][2]int {
+	if len(es) == 0 {
+		return nil
+	}
+	out := make([][2]int, len(es))
+	for i, e := range es {
+		out[i] = [2]int{int(e.Src), int(e.Dst)}
+	}
+	return out
+}

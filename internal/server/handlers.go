@@ -375,20 +375,22 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 
 // datasetInfo is one /v1/stats entry.
 type datasetInfo struct {
-	Name       string       `json:"name"`
-	Kind       Kind         `json:"kind"`
-	Epoch      uint64       `json:"epoch"`
-	Reloadable bool         `json:"reloadable"`
-	Vertices   int          `json:"vertices"`
-	Edges      int          `json:"edges"`
-	K          *int         `json:"k,omitempty"`
-	H          *int         `json:"h,omitempty"`
-	Rungs      []int        `json:"rungs,omitempty"`
-	CoverSize  *int         `json:"cover_size,omitempty"`
-	IndexEdges *int         `json:"index_edges,omitempty"`
-	SizeBytes  int          `json:"size_bytes"`
-	Dynamic    *dynamicInfo `json:"dynamic,omitempty"`
-	WAL        *walInfo     `json:"wal,omitempty"`
+	Name       string        `json:"name"`
+	Kind       Kind          `json:"kind"`
+	Epoch      uint64        `json:"epoch"`
+	Reloadable bool          `json:"reloadable"`
+	Vertices   int           `json:"vertices"`
+	Edges      int           `json:"edges"`
+	K          *int          `json:"k,omitempty"`
+	H          *int          `json:"h,omitempty"`
+	Rungs      []int         `json:"rungs,omitempty"`
+	CoverSize  *int          `json:"cover_size,omitempty"`
+	IndexEdges *int          `json:"index_edges,omitempty"`
+	SizeBytes  int           `json:"size_bytes"`
+	ReadOnly   bool          `json:"read_only,omitempty"`
+	Dynamic    *dynamicInfo  `json:"dynamic,omitempty"`
+	WAL        *walInfo      `json:"wal,omitempty"`
+	Follower   *followerInfo `json:"follower,omitempty"`
 }
 
 // dynamicInfo is the mutation/compaction section of a dynamic dataset's
@@ -412,6 +414,7 @@ type dynamicInfo struct {
 type walInfo struct {
 	Dir             string `json:"dir"`
 	Sync            string `json:"sync"`
+	RetainEpochs    int    `json:"retain_epochs"`
 	RecordsAppended uint64 `json:"records_appended"`
 	Syncs           uint64 `json:"syncs"`
 	RecordsReplayed uint64 `json:"records_replayed"`
@@ -419,7 +422,27 @@ type walInfo struct {
 	Truncations     uint64 `json:"truncations"`
 	SnapshotEpoch   uint64 `json:"snapshot_epoch"`
 	LastEpoch       uint64 `json:"last_epoch"`
+	TailFloor       uint64 `json:"tail_floor"`
 	LogBytes        int64  `json:"log_bytes"`
+	FeedRequests    uint64 `json:"feed_requests"`
+	FeedSnapshots   uint64 `json:"feed_snapshots"`
+	FeedRecords     uint64 `json:"feed_records"`
+}
+
+// followerInfo is the replication section of a follower dataset's
+// /v1/stats entry: the lag numbers the router's prober demotes on.
+type followerInfo struct {
+	Primary          string  `json:"primary"`
+	LastAppliedEpoch uint64  `json:"last_applied_epoch"`
+	PrimaryEpoch     uint64  `json:"primary_epoch"`
+	LagEpochs        uint64  `json:"lag_epochs"`
+	LagSeconds       float64 `json:"lag_seconds"`
+	PeakLagEpochs    uint64  `json:"peak_lag_epochs"`
+	CaughtUp         bool    `json:"caught_up"`
+	RecordsApplied   uint64  `json:"records_applied"`
+	SnapshotsLoaded  uint64  `json:"snapshots_loaded"`
+	SyncErrors       uint64  `json:"sync_errors"`
+	LastContact      string  `json:"last_contact,omitempty"` // RFC 3339 UTC
 }
 
 // cacheInfo is the /v1/stats cache section. HitRate is derived —
@@ -529,6 +552,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 				info.WAL = &walInfo{
 					Dir:             wst.Dir,
 					Sync:            wst.Sync,
+					RetainEpochs:    wst.RetainEpochs,
 					RecordsAppended: wst.RecordsAppended,
 					Syncs:           wst.Syncs,
 					RecordsReplayed: wst.RecordsReplayed,
@@ -536,9 +560,33 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 					Truncations:     wst.Truncations,
 					SnapshotEpoch:   wst.SnapshotEpoch,
 					LastEpoch:       wst.LastEpoch,
+					TailFloor:       wst.TailFloor,
 					LogBytes:        wst.LogBytes,
+					FeedRequests:    wst.FeedRequests,
+					FeedSnapshots:   wst.FeedSnapshots,
+					FeedRecords:     wst.FeedRecords,
 				}
 			}
+		}
+		info.ReadOnly = d.ReadOnly
+		if d.Follower != nil {
+			fs := d.Follower.Status()
+			fi := &followerInfo{
+				Primary:          fs.Primary,
+				LastAppliedEpoch: fs.LastAppliedEpoch,
+				PrimaryEpoch:     fs.PrimaryEpoch,
+				LagEpochs:        fs.LagEpochs,
+				LagSeconds:       fs.LagSeconds,
+				PeakLagEpochs:    fs.PeakLagEpochs,
+				CaughtUp:         fs.CaughtUp,
+				RecordsApplied:   fs.RecordsApplied,
+				SnapshotsLoaded:  fs.SnapshotsLoaded,
+				SyncErrors:       fs.SyncErrors,
+			}
+			if !fs.LastContact.IsZero() {
+				fi.LastContact = fs.LastContact.UTC().Format(time.RFC3339Nano)
+			}
+			info.Follower = fi
 		}
 		resp.Datasets = append(resp.Datasets, info)
 	}

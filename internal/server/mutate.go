@@ -18,6 +18,12 @@ import (
 // dataset that does not serve a mutable index.
 var ErrNotDynamic = errors.New("server: dataset does not serve a mutable index")
 
+// ErrReadOnly reports a mutation or compaction request against a follower
+// dataset: its state is driven by the primary's replication feed, and a
+// local write (or a local compaction's fresh epoch) would fork the history
+// the feed keeps epoch-exact. Send writes to the primary.
+var ErrReadOnly = errors.New("server: dataset is a read-only follower")
+
 // mutateRetries bounds how often a mutation re-resolves the current
 // snapshot when a compaction or reload retires the one it was holding.
 const mutateRetries = 3
@@ -72,6 +78,10 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusConflict, "%v: %q serves kind %q", ErrNotDynamic, d.Name, d.Kind())
 			return
 		}
+		if d.ReadOnly {
+			writeError(w, http.StatusConflict, "%v: %q replicates from a primary", ErrReadOnly, d.Name)
+			return
+		}
 		track(r.Context()).dataset = d.Name
 		res, err := dyn.Mutate(req.Add, req.Remove)
 		if errors.Is(err, kreach.ErrRetired) && attempt < mutateRetries {
@@ -121,6 +131,9 @@ func (s *Server) compactDataset(name string) (*Dataset, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %q serves kind %q", ErrNotDynamic, d.Name, d.Kind())
 	}
+	if d.ReadOnly {
+		return nil, fmt.Errorf("%w: %q replicates from a primary", ErrReadOnly, d.Name)
+	}
 	var next *Dataset
 	_, _, err = dyn.Compact(func(nx *kreach.DynamicIndex, g *kreach.Graph) error {
 		next = &Dataset{Name: d.Name, Graph: g, Reacher: nx, WAL: d.WAL}
@@ -161,7 +174,8 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.Is(err, ErrUnknownDataset):
 			status = http.StatusNotFound
-		case errors.Is(err, ErrNotDynamic), errors.Is(err, kreach.ErrCompacting):
+		case errors.Is(err, ErrNotDynamic), errors.Is(err, ErrReadOnly),
+			errors.Is(err, kreach.ErrCompacting):
 			status = http.StatusConflict
 		case errors.Is(err, kreach.ErrRetired), errors.Is(err, ErrSuperseded):
 			status = http.StatusServiceUnavailable

@@ -48,6 +48,12 @@ func MetricCatalog() []string {
 		"kreach_goroutines",
 		"kreach_heap_alloc_bytes",
 		"kreach_ready",
+		"kreach_replication_lag_epochs",
+		"kreach_replication_lag_seconds",
+		"kreach_replication_peak_lag_epochs",
+		"kreach_replication_records_applied_total",
+		"kreach_replication_snapshots_loaded_total",
+		"kreach_replication_sync_errors_total",
 		"kreach_request_duration_seconds",
 		"kreach_requests_in_flight",
 		"kreach_server_build_info",
@@ -55,6 +61,9 @@ func MetricCatalog() []string {
 		"kreach_slow_queries_total",
 		"kreach_wal_append_seconds",
 		"kreach_wal_checkpoint_seconds",
+		"kreach_wal_feed_records_total",
+		"kreach_wal_feed_requests_total",
+		"kreach_wal_feed_snapshots_total",
 		"kreach_wal_fsync_seconds",
 	}
 }
@@ -97,12 +106,73 @@ func newServerMetrics(s *Server) *serverMetrics {
 	r.RegisterHistogram("kreach_dynamic_compact_seconds",
 		"Dynamic-index compaction latency (materialize, rebuild, checkpoint, publish).", dynamic.CompactLatency)
 
+	// Replication families are registered empty so the catalog holds from
+	// the first scrape on any role; collectReplication fills in per-dataset
+	// samples on primaries (feed counters) and followers (lag accounting).
+	// Help strings must match the collector's exactly — same-named families
+	// merge by name at exposition time.
+	r.GaugeVec("kreach_replication_lag_epochs", helpReplLagEpochs, "dataset")
+	r.GaugeVec("kreach_replication_lag_seconds", helpReplLagSeconds, "dataset")
+	r.GaugeVec("kreach_replication_peak_lag_epochs", helpReplPeakLag, "dataset")
+	r.CounterVec("kreach_replication_records_applied_total", helpReplRecords, "dataset")
+	r.CounterVec("kreach_replication_snapshots_loaded_total", helpReplSnapshots, "dataset")
+	r.CounterVec("kreach_replication_sync_errors_total", helpReplSyncErrors, "dataset")
+	r.CounterVec("kreach_wal_feed_requests_total", helpFeedRequests, "dataset")
+	r.CounterVec("kreach_wal_feed_snapshots_total", helpFeedSnapshots, "dataset")
+	r.CounterVec("kreach_wal_feed_records_total", helpFeedRecords, "dataset")
+
 	r.AddCollector(s.collectCache)
 	r.AddCollector(collectCore)
 	r.AddCollector(s.collectDatasets)
+	r.AddCollector(s.collectReplication)
 	r.AddCollector(s.collectIdentity)
 	r.AddCollector(collectRuntime)
 	return m
+}
+
+// Replication metric help strings, shared between registration (empty
+// families) and collection (live samples) so the merged family keeps one
+// help line.
+const (
+	helpReplLagEpochs  = "Epochs the follower's durable cursor trails the primary's newest known epoch."
+	helpReplLagSeconds = "Seconds since the follower last stood at the primary's newest epoch (0 when caught up)."
+	helpReplPeakLag    = "Worst epoch lag the follower has ever observed."
+	helpReplRecords    = "Replicated WAL records applied by the follower."
+	helpReplSnapshots  = "Full snapshots shipped from the primary and adopted by the follower."
+	helpReplSyncErrors = "Failed replication sync cycles (primary unreachable, torn stream, bad frame)."
+	helpFeedRequests   = "WAL feed chunks served to followers."
+	helpFeedSnapshots  = "WAL feed chunks answered with a full snapshot (cursor predates the retained log)."
+	helpFeedRecords    = "WAL records shipped through the feed."
+)
+
+// collectReplication emits replication progress per dataset at scrape time:
+// feed counters for any dataset streaming its WAL (primaries, and durable
+// followers re-serving their own log) and lag accounting for follower
+// datasets. Datasets without a WAL or follower contribute no samples; the
+// families themselves are registered empty so they never vanish.
+func (s *Server) collectReplication(e *obs.Emitter) {
+	for _, name := range s.reg.Names() {
+		d, err := s.reg.Lookup(name)
+		if err != nil {
+			continue
+		}
+		labels := map[string]string{"dataset": name}
+		if d.WAL != nil {
+			ws := d.WAL.Stats()
+			e.Counter("kreach_wal_feed_requests_total", helpFeedRequests, labels, float64(ws.FeedRequests))
+			e.Counter("kreach_wal_feed_snapshots_total", helpFeedSnapshots, labels, float64(ws.FeedSnapshots))
+			e.Counter("kreach_wal_feed_records_total", helpFeedRecords, labels, float64(ws.FeedRecords))
+		}
+		if d.Follower != nil {
+			fs := d.Follower.Status()
+			e.Gauge("kreach_replication_lag_epochs", helpReplLagEpochs, labels, float64(fs.LagEpochs))
+			e.Gauge("kreach_replication_lag_seconds", helpReplLagSeconds, labels, fs.LagSeconds)
+			e.Gauge("kreach_replication_peak_lag_epochs", helpReplPeakLag, labels, float64(fs.PeakLagEpochs))
+			e.Counter("kreach_replication_records_applied_total", helpReplRecords, labels, float64(fs.RecordsApplied))
+			e.Counter("kreach_replication_snapshots_loaded_total", helpReplSnapshots, labels, float64(fs.SnapshotsLoaded))
+			e.Counter("kreach_replication_sync_errors_total", helpReplSyncErrors, labels, float64(fs.SyncErrors))
+		}
+	}
 }
 
 // collectIdentity emits the replica-identity families: a constant-1 info

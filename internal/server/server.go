@@ -61,8 +61,19 @@ type Dataset struct {
 	// in-memory ones. The store is driven by the index itself (mutations
 	// journal through it, compactions checkpoint it); the serving layer
 	// only reads its counters for /v1/stats and carries the handle across
-	// compaction swaps so the section survives snapshot replacement.
+	// compaction swaps so the section survives snapshot replacement. It is
+	// also the source the replication feed endpoint streams from.
 	WAL *kreach.WAL
+
+	// ReadOnly marks a follower-replicated dataset: its edge set is driven
+	// by the primary's WAL feed, so client mutations and compactions are
+	// refused with 409 — accepting them would fork the epoch history the
+	// replication protocol keeps exact.
+	ReadOnly bool
+
+	// Follower is the replication driver behind a ReadOnly dataset; stats
+	// and metrics read its lag counters through it. Nil on primaries.
+	Follower *Follower
 }
 
 // Kind reports which index variant the dataset holds, as tagged by the
@@ -425,6 +436,7 @@ func New(reg *Registry, cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/batch", s.instrument("batch", true, s.handleBatch))
 	s.mux.HandleFunc("POST /v1/neighbors", s.instrument("neighbors", true, s.handleNeighbors))
 	s.mux.HandleFunc("GET /v1/stats", s.instrument("stats", false, s.handleStats))
+	s.mux.HandleFunc("GET /v1/datasets/{name}/wal", s.instrument("wal", false, s.handleWALFeed))
 	s.mux.HandleFunc("POST /v1/datasets/{name}/reload", s.instrument("reload", false, s.handleReload))
 	s.mux.HandleFunc("POST /v1/datasets/{name}/edges", s.instrument("edges", false, s.handleEdges))
 	s.mux.HandleFunc("POST /v1/datasets/{name}/compact", s.instrument("compact", false, s.handleCompact))

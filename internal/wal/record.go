@@ -171,29 +171,47 @@ func decodePayload(payload []byte) (Record, error) {
 // are valid and empty; a partially written magic is a torn tail of an
 // empty log).
 func DecodeLog(data []byte) ([]Record, int, error) {
+	recs, _, valid, err := decodeLogMarks(data)
+	return recs, valid, err
+}
+
+// recMark locates one record inside the on-disk log: its epoch plus the
+// absolute file offset just past its framing. The store keeps one mark per
+// live record so the feed can slice raw record bytes straight out of the
+// file and checkpoints can retain an exact epoch window.
+type recMark struct {
+	epoch uint64
+	end   int64
+}
+
+// decodeLogMarks is DecodeLog plus a parallel offset index over the valid
+// prefix (marks[i].end is where record i's framing ends, magic included).
+func decodeLogMarks(data []byte) ([]Record, []recMark, int, error) {
 	if len(data) < len(logMagic) {
 		if len(data) == 0 {
-			return nil, 0, nil
+			return nil, nil, 0, nil
 		}
 		if string(data) == string(logMagic[:len(data)]) {
-			return nil, 0, ErrTornTail
+			return nil, nil, 0, ErrTornTail
 		}
-		return nil, 0, ErrBadMagic
+		return nil, nil, 0, ErrBadMagic
 	}
 	if [4]byte(data[:4]) != logMagic {
-		return nil, 0, ErrBadMagic
+		return nil, nil, 0, ErrBadMagic
 	}
 	var recs []Record
+	var marks []recMark
 	off := len(logMagic)
 	for off < len(data) {
 		rec, n, err := decodeRecord(data[off:])
 		if err != nil {
-			return recs, off, err
+			return recs, marks, off, err
 		}
 		off += n
 		recs = append(recs, rec)
+		marks = append(marks, recMark{epoch: rec.Epoch, end: int64(off)})
 	}
-	return recs, off, nil
+	return recs, marks, off, nil
 }
 
 // AppendLog appends the framed encoding of recs — a full log image when

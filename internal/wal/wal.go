@@ -69,6 +69,12 @@ type File interface {
 type Options struct {
 	// Sync is the fsync policy for appended records (default SyncAlways).
 	Sync SyncPolicy
+	// RetainEpochs keeps the newest N log records across a checkpoint
+	// instead of truncating the whole log. A follower whose cursor falls
+	// inside the retained window streams records; outside it, the feed
+	// re-ships a full snapshot. 0 (the default) preserves the original
+	// truncate-everything behavior.
+	RetainEpochs int
 	// OpenFile overrides how the log file is opened for appending; nil
 	// means os.OpenFile with O_APPEND. Fault-injection tests use it to
 	// wrap the file in a waltest failpoint.
@@ -113,11 +119,29 @@ type Store struct {
 	lastEpoch uint64
 	enc       []byte // append encoding scratch
 
-	appended    atomic.Uint64
-	syncs       atomic.Uint64
-	replayed    atomic.Uint64
-	checkpoints atomic.Uint64
-	truncations atomic.Uint64
+	// recs indexes every live log record (epoch, end offset) in log order.
+	// tailFloor is the feed's resume boundary: the log is guaranteed to
+	// contain every record with epoch strictly greater than it, so a
+	// follower at epoch >= tailFloor can tail records instead of
+	// re-shipping a snapshot.
+	recs      []recMark
+	tailFloor uint64
+	// base is the graph Recover rebuilt from; the feed synthesizes an
+	// epoch-0 snapshot from it for cold-start followers of a store that
+	// has never checkpointed.
+	base *graph.Graph
+	// watch is closed and replaced whenever durable state advances; feed
+	// long-polls block on it.
+	watch chan struct{}
+
+	appended      atomic.Uint64
+	syncs         atomic.Uint64
+	replayed      atomic.Uint64
+	checkpoints   atomic.Uint64
+	truncations   atomic.Uint64
+	feedRequests  atomic.Uint64
+	feedSnapshots atomic.Uint64
+	feedRecords   atomic.Uint64
 }
 
 // Open prepares the durability directory (creating it if needed) and
@@ -127,7 +151,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
-	return &Store{dir: dir, opts: opts}, nil
+	return &Store{dir: dir, opts: opts, watch: make(chan struct{})}, nil
 }
 
 // RecoveryStats reports what Recover found.
@@ -190,7 +214,7 @@ func (s *Store) Recover(base *graph.Graph, dopts dynamic.Options) (*dynamic.Inde
 	if err != nil && !errors.Is(err, os.ErrNotExist) {
 		return nil, nil, st, fmt.Errorf("wal: %w", err)
 	}
-	recs, valid, derr := DecodeLog(data)
+	recs, marks, valid, derr := decodeLogMarks(data)
 	if errors.Is(derr, ErrBadMagic) {
 		// Not a KRW1 log: refuse to truncate a foreign file.
 		return nil, nil, st, fmt.Errorf("wal: %s: %w", logPath, derr)
@@ -228,7 +252,10 @@ func (s *Store) Recover(base *graph.Graph, dopts dynamic.Options) (*dynamic.Inde
 		st.Replayed++
 		s.replayed.Add(1)
 		s.lastEpoch = rec.Epoch
-		adopted = adopted || res.Applied()
+		// A record adopts its epoch when it changed the edge set, and also
+		// when it is an empty epoch marker (a follower's durable note of a
+		// primary compaction) — both leave the index at rec.Epoch.
+		adopted = adopted || res.Epoch == rec.Epoch
 	}
 	if !adopted && s.snapEpoch > 0 {
 		// No replayed batch changed the edge set, so the pre-crash epoch
@@ -255,6 +282,19 @@ func (s *Store) Recover(base *graph.Graph, dopts dynamic.Options) (*dynamic.Inde
 			return nil, nil, st, fmt.Errorf("wal: writing log header: %w", err)
 		}
 		s.size = int64(len(logMagic))
+	}
+	s.recs = marks
+	s.base = g
+	// Earlier checkpoints may have dropped records older than the first one
+	// still in the log, so the provable feed floor after a restart is just
+	// below the first retained record's epoch (the snapshot's when the log
+	// is empty): epochs are integers, so no record can sit strictly between
+	// epoch-1 and epoch, and everything strictly newer than the floor is
+	// present — the first record included.
+	if len(marks) > 0 {
+		s.tailFloor = marks[0].epoch - 1
+	} else {
+		s.tailFloor = s.snapEpoch
 	}
 	s.ready = true
 	st.Epoch = ix.Epoch()
@@ -304,7 +344,15 @@ func (s *Store) Append(epoch uint64, add, remove []graph.Edge) error {
 	}
 	s.appended.Add(1)
 	s.lastEpoch = epoch
+	s.recs = append(s.recs, recMark{epoch: epoch, end: s.size})
+	s.notifyLocked()
 	return nil
+}
+
+// notifyLocked wakes every feed long-poll blocked on durable progress.
+func (s *Store) notifyLocked() {
+	close(s.watch)
+	s.watch = make(chan struct{})
 }
 
 // rollback truncates the log back to the last good record boundary after a
@@ -318,14 +366,19 @@ func (s *Store) rollback(cause error) {
 	s.truncations.Add(1)
 }
 
-// Checkpoint makes a compacted snapshot durable and truncates the log; it
+// Checkpoint makes a compacted snapshot durable and trims the log; it
 // implements dynamic.Journal and is called inside Index.Compact with the
 // materialized graph and the successor's epoch, while the index's mutation
 // mutex blocks concurrent appends. The snapshot is written to a temp file,
 // fsynced and renamed over the old one, so a crash at any byte leaves
 // either the old or the new snapshot — never a torn one; a crash after the
-// rename but before the log truncation is healed at recovery by the
-// epoch filter (records at or below the snapshot epoch are skipped).
+// rename but before the log trim is healed at recovery by the epoch filter
+// (records at or below the snapshot epoch are skipped).
+//
+// With Options.RetainEpochs > 0 the newest N records survive the
+// checkpoint (rewritten into a fresh log via temp+rename), so followers
+// within that window keep streaming records; the feed floor rises to the
+// epoch of the newest dropped record.
 func (s *Store) Checkpoint(g *graph.Graph, epoch uint64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -334,28 +387,145 @@ func (s *Store) Checkpoint(g *graph.Graph, epoch uint64) error {
 	}
 	start := time.Now()
 	defer func() { CheckpointLatency.Observe(time.Since(start)) }()
+	if err := s.writeSnapshotLocked(g, epoch); err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	s.snapEpoch = epoch
+	s.lastEpoch = epoch
+	s.base = g
+	keep := s.opts.RetainEpochs
+	if keep > len(s.recs) {
+		keep = len(s.recs)
+	}
+	drop := len(s.recs) - keep
+	switch {
+	case keep <= 0:
+		// Every logged batch is folded into the snapshot: drop the
+		// records, keep the magic.
+		if len(s.recs) > 0 {
+			s.tailFloor = s.recs[len(s.recs)-1].epoch
+		}
+		if err := s.f.Truncate(int64(len(logMagic))); err != nil {
+			// The snapshot is durable, so recovery stays correct either way
+			// (the epoch filter skips the stale records); report the failure
+			// so the compaction surfaces it.
+			return fmt.Errorf("wal: truncating log after checkpoint: %w", err)
+		}
+		s.size = int64(len(logMagic))
+		s.recs = s.recs[:0]
+	case drop == 0:
+		// Retention window is wider than the log: nothing to trim.
+	default:
+		newFloor := s.recs[drop-1].epoch
+		if err := s.rewriteLogLocked(drop); err != nil {
+			return fmt.Errorf("wal: retaining log tail after checkpoint: %w", err)
+		}
+		s.tailFloor = newFloor
+	}
+	s.checkpoints.Add(1)
+	s.notifyLocked()
+	return nil
+}
+
+// rewriteLogLocked drops the oldest drop records by writing magic + the
+// surviving tail to a temp file and renaming it over the log, then swaps
+// the append handle onto the new inode. A crash mid-rewrite leaves the old
+// log intact; a rename that lands is complete. If the new file cannot be
+// reopened the store wedges (the old handle points at an unlinked inode —
+// appending there would silently lose durability).
+func (s *Store) rewriteLogLocked(drop int) error {
+	cut := s.recs[drop-1].end
+	logPath := filepath.Join(s.dir, logName)
+	data, err := os.ReadFile(logPath)
+	if err != nil {
+		return err
+	}
+	if int64(len(data)) < s.size {
+		return fmt.Errorf("log shorter than tracked size: %d < %d", len(data), s.size)
+	}
+	tmp := logPath + ".tmp"
+	tf, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	_, werr := tf.Write(logMagic[:])
+	if werr == nil {
+		_, werr = tf.Write(data[cut:s.size])
+	}
+	if werr == nil {
+		werr = tf.Sync()
+	}
+	if cerr := tf.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp, logPath)
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return werr
+	}
+	syncDir(s.dir)
+	nf, err := s.opts.openFile(logPath)
+	if err != nil {
+		s.broken = err
+		return err
+	}
+	s.f.Close()
+	s.f = nf
+	shift := cut - int64(len(logMagic))
+	s.size -= shift
+	kept := s.recs[drop:]
+	for i := range kept {
+		kept[i].end -= shift
+	}
+	s.recs = append(s.recs[:0], kept...)
+	return nil
+}
+
+// Reset makes an externally shipped snapshot the store's entire durable
+// state: the snapshot is written (temp, fsync, rename), the log is cleared
+// completely — retention does not apply, because any logged record belongs
+// to a history the snapshot replaces — and the durable epoch becomes
+// exactly epoch. Followers adopting a primary's snapshot use it; the
+// primary's own compactions go through Checkpoint.
+func (s *Store) Reset(g *graph.Graph, epoch uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ready {
+		return ErrNotRecovered
+	}
+	if err := s.writeSnapshotLocked(g, epoch); err != nil {
+		return fmt.Errorf("wal: reset: %w", err)
+	}
+	s.snapEpoch = epoch
+	s.lastEpoch = epoch
+	s.base = g
+	s.tailFloor = epoch
+	if err := s.f.Truncate(int64(len(logMagic))); err != nil {
+		return fmt.Errorf("wal: truncating log after reset: %w", err)
+	}
+	s.size = int64(len(logMagic))
+	s.recs = s.recs[:0]
+	s.broken = nil
+	s.checkpoints.Add(1)
+	s.notifyLocked()
+	return nil
+}
+
+// writeSnapshotLocked writes g at epoch as the store's snapshot via
+// temp + fsync + rename + directory sync.
+func (s *Store) writeSnapshotLocked(g *graph.Graph, epoch uint64) error {
 	tmp := filepath.Join(s.dir, snapshotName+".tmp")
 	if err := writeSnapshotFile(tmp, g, epoch); err != nil {
 		os.Remove(tmp)
-		return fmt.Errorf("wal: checkpoint: %w", err)
+		return err
 	}
 	if err := os.Rename(tmp, filepath.Join(s.dir, snapshotName)); err != nil {
 		os.Remove(tmp)
-		return fmt.Errorf("wal: checkpoint: %w", err)
+		return err
 	}
 	syncDir(s.dir)
-	s.snapEpoch = epoch
-	s.lastEpoch = epoch
-	// Every logged batch is now folded into the snapshot: drop the records,
-	// keep the magic.
-	if err := s.f.Truncate(int64(len(logMagic))); err != nil {
-		// The snapshot is durable, so recovery stays correct either way
-		// (the epoch filter skips the stale records); report the failure so
-		// the compaction surfaces it.
-		return fmt.Errorf("wal: truncating log after checkpoint: %w", err)
-	}
-	s.size = int64(len(logMagic))
-	s.checkpoints.Add(1)
 	return nil
 }
 
@@ -364,6 +534,7 @@ func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.ready = false
+	s.notifyLocked() // feed long-polls re-check ready and bail
 	if s.f == nil {
 		return nil
 	}
@@ -376,6 +547,7 @@ func (s *Store) Close() error {
 type StoreStats struct {
 	Dir             string
 	Sync            SyncPolicy
+	RetainEpochs    int    // configured checkpoint retention window
 	RecordsAppended uint64 // batches made durable since Open
 	Syncs           uint64 // fsyncs issued for appends
 	RecordsReplayed uint64 // records replayed by Recover
@@ -383,7 +555,11 @@ type StoreStats struct {
 	Truncations     uint64 // torn-tail and failed-append truncations
 	SnapshotEpoch   uint64 // epoch of the current snapshot (0: none)
 	LastEpoch       uint64 // highest epoch made durable
+	TailFloor       uint64 // feed resume boundary: records > this are in the log
 	LogBytes        int64  // current log size, magic included
+	FeedRequests    uint64 // replication feed chunks served
+	FeedSnapshots   uint64 // feed chunks that shipped a full snapshot
+	FeedRecords     uint64 // log records served through the feed
 }
 
 // Stats returns the store's counters.
@@ -393,6 +569,7 @@ func (s *Store) Stats() StoreStats {
 	return StoreStats{
 		Dir:             s.dir,
 		Sync:            s.opts.Sync,
+		RetainEpochs:    s.opts.RetainEpochs,
 		RecordsAppended: s.appended.Load(),
 		Syncs:           s.syncs.Load(),
 		RecordsReplayed: s.replayed.Load(),
@@ -400,7 +577,11 @@ func (s *Store) Stats() StoreStats {
 		Truncations:     s.truncations.Load(),
 		SnapshotEpoch:   s.snapEpoch,
 		LastEpoch:       s.lastEpoch,
+		TailFloor:       s.tailFloor,
 		LogBytes:        s.size,
+		FeedRequests:    s.feedRequests.Load(),
+		FeedSnapshots:   s.feedSnapshots.Load(),
+		FeedRecords:     s.feedRecords.Load(),
 	}
 }
 
